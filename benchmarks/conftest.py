@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+The harness regenerates every table and figure of the paper.  Benchmarks
+share one memoised :class:`ExperimentRunner` so the full harness costs
+each (workload, config, width) simulation once; the throughput benches
+construct fresh schedulers to measure raw simulation speed.
+
+Scale defaults to 0.08 (seconds per exhibit); set ``REPRO_BENCH_SCALE``
+to run the harness at reproduction scale.  The EXPERIMENTS.md numbers are
+produced separately by ``python -m repro.experiments.report 1.0``.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import PAPER_ISSUE_WIDTHS
+from repro.experiments import ExperimentRunner
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.08"))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner(scale=BENCH_SCALE, widths=PAPER_ISSUE_WIDTHS)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark clock.
+
+    Exhibit generation is dominated by trace simulation; multiple rounds
+    would only measure the memoisation cache.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

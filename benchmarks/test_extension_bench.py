@@ -1,0 +1,30 @@
+"""Extension benches: node elimination (Fig 1.f) and value speculation
+(Fig 1.d) on top of configuration D."""
+
+from conftest import once
+
+from repro.experiments import elimination_counts, extension_figure
+
+
+def test_extension_speedups(benchmark, runner):
+    exhibit = once(benchmark, lambda: extension_figure(runner))
+    print("\n" + exhibit.render())
+    headers = exhibit.headers
+    d_col = headers.index("D")
+    both_col = headers.index("D+both")
+    e_col = headers.index("E")
+    for row in exhibit.rows:
+        # Extensions may only help (they remove work or dependences).
+        assert row[both_col] >= row[d_col] * 0.999
+        assert row[headers.index("D+elim")] >= row[d_col] * 0.999
+        assert row[headers.index("D+vspec")] >= row[d_col] * 0.999
+        assert row[e_col] > 1.0
+
+
+def test_elimination_counts(benchmark, runner):
+    exhibit = once(benchmark, lambda: elimination_counts(runner, width=16))
+    print("\n" + exhibit.render())
+    fractions = {row[0]: row[2] for row in exhibit.rows}
+    # Collapsing-heavy kernels expose eliminable producers everywhere.
+    assert all(0.0 <= value <= 100.0 for value in fractions.values())
+    assert sum(1 for value in fractions.values() if value > 0.0) >= 4

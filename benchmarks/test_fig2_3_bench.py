@@ -1,0 +1,28 @@
+"""Benches regenerating Figures 2 and 3 (IPC and speedup, full suite)."""
+
+from conftest import once
+
+from repro.experiments import figure2, figure3
+
+
+def test_figure2_ipc(benchmark, runner):
+    exhibit = once(benchmark, lambda: figure2(runner))
+    print("\n" + exhibit.render())
+    for row in exhibit.rows:
+        _, a, b, c, d, e = row
+        assert e >= d >= c >= b * 0.999 >= a * 0.98
+
+
+def test_figure3_speedup(benchmark, runner):
+    exhibit = once(benchmark, lambda: figure3(runner))
+    print("\n" + exhibit.render())
+    for row in exhibit.rows:
+        _, b, c, d, e = row
+        # Paper headline: D in the 1.2-1.9 band growing with width,
+        # collapsing the dominant contributor, E the envelope.
+        assert d > 1.1
+        assert (c - 1) > (b - 1)
+        assert e >= d
+    d_column = [row[3] for row in exhibit.rows]
+    assert d_column == sorted(d_column) or \
+        max(a - b for a, b in zip(d_column, d_column[1:])) < 0.05

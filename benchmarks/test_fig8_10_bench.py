@@ -1,0 +1,42 @@
+"""Benches regenerating Figures 8, 9 and 10 (collapsing behaviour)."""
+
+from conftest import once
+
+from repro.experiments import figure8, figure9, figure10
+
+
+def test_figure8_instructions_collapsed(benchmark, runner):
+    exhibit = once(benchmark, lambda: figure8(runner))
+    print("\n" + exhibit.render())
+    li_index = exhibit.headers.index("li")
+    workload_count = len(exhibit.headers) - 2
+    for row in exhibit.rows:
+        values = row[1:1 + workload_count]
+        assert all(0.0 < v <= 100.0 for v in values)
+        # li (call/pointer-heavy) collapses least, as in the paper.
+        assert row[li_index] == min(values)
+    means = [row[-1] for row in exhibit.rows]
+    assert means[-1] >= means[0] - 1.0      # grows (or holds) with width
+
+
+def test_figure9_mechanism_contributions(benchmark, runner):
+    exhibit = once(benchmark, lambda: figure9(runner))
+    print("\n" + exhibit.render())
+    for row in exhibit.rows:
+        _, cat31, cat41, cat0 = row
+        # Paper: 3-1 contributes 65-82% at widths <= 32, 4-1 13-30%,
+        # zero-op detection 5-10%; 3-1 always dominates.
+        assert cat31 > cat41 > 0
+        assert cat31 > 50.0
+        assert abs(cat31 + cat41 + cat0 - 100.0) < 0.1
+
+
+def test_figure10_collapse_distance(benchmark, runner):
+    exhibit = once(benchmark, lambda: figure10(runner))
+    print("\n" + exhibit.render())
+    consecutive = {row[0]: row[1] for row in exhibit.rows}
+    within8 = {row[0]: row[-1] for row in exhibit.rows}
+    # Paper: distance almost always < 8 even at width 2k, and wide
+    # machines collapse mostly non-consecutive instructions.
+    assert all(v > 80.0 for v in within8.values())
+    assert consecutive["2k"] < 100.0

@@ -1,0 +1,27 @@
+"""Future-work bench: better load-address predictors (paper Section 5.2
+closing question)."""
+
+from conftest import once
+
+from repro.experiments import predictor_comparison
+from repro.workloads import POINTER_CHASING
+
+
+def test_predictor_comparison(benchmark, runner):
+    exhibit = once(benchmark, lambda: predictor_comparison(runner,
+                                                           width=16))
+    print("\n" + exhibit.render())
+    rows = exhibit.row_map()
+    two_delta = exhibit.headers.index("two-delta")
+    hybrid = exhibit.headers.index("hybrid")
+    ideal = exhibit.headers.index("ideal (E)")
+    for name, row in rows.items():
+        # The hybrid never loses much to the paper's two-delta, and the
+        # ideal configuration bounds all realistic predictors.
+        assert row[hybrid] >= row[two_delta] - 0.08
+        assert row[ideal] >= max(row[two_delta], row[hybrid]) - 0.05
+    # On at least one pointer chaser the correlation-based predictor
+    # closes part of the two-delta -> ideal gap (the paper's hypothesis).
+    gains = [rows[name][hybrid] - rows[name][two_delta]
+             for name in POINTER_CHASING]
+    assert max(gains) > 0.02

@@ -1,0 +1,27 @@
+"""Benches regenerating Tables 3 and 4 (load-speculation behaviour)."""
+
+from conftest import once
+
+from repro.experiments import table3, table4
+
+
+def test_table3_pointer_chasing_loads(benchmark, runner):
+    exhibit = once(benchmark, lambda: table3(runner))
+    print("\n" + exhibit.render())
+    for row in exhibit.rows:
+        _, ready, correct, incorrect, missing = row
+        assert abs(ready + correct + incorrect + missing - 100.0) < 0.2
+        # Paper: low success rate, dominated by not-predicted loads,
+        # very few wrong predictions (the confidence counter works).
+        assert missing > correct
+        assert incorrect < 12.0
+
+
+def test_table4_non_pointer_loads(benchmark, runner):
+    exhibit = once(benchmark, lambda: table4(runner))
+    print("\n" + exhibit.render())
+    chasing = table3(runner)
+    for regular_row, chase_row in zip(exhibit.rows, chasing.rows):
+        # Paper: regular codes predict far better and miss far less.
+        assert regular_row[2] > chase_row[2] + 10.0
+        assert regular_row[4] < chase_row[4]

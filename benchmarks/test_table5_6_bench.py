@@ -1,0 +1,26 @@
+"""Benches regenerating Tables 5 and 6 (collapsed sequence mixes)."""
+
+from conftest import once
+
+from repro.experiments import table5, table6
+
+
+def test_table5_pair_sequences(benchmark, runner):
+    exhibit = once(benchmark, lambda: table5(runner))
+    print("\n" + exhibit.render())
+    assert len(exhibit.rows) >= 5
+    pairs = {tuple(row[:2]) for row in exhibit.rows}
+    # Compare->branch collapsing is a top pair in the paper (arrr-brc /
+    # arri-brc); our kernels must reproduce that pattern.
+    assert any(op2 == "brc" for _, op2 in pairs)
+    # Address-generation collapses into loads appear as well.
+    assert any(op2.startswith("ld") for _, op2 in pairs)
+
+
+def test_table6_triple_sequences(benchmark, runner):
+    exhibit = once(benchmark, lambda: table6(runner))
+    print("\n" + exhibit.render())
+    assert len(exhibit.rows) >= 5
+    for row in exhibit.rows:
+        shares = [v for v in row[3:] if isinstance(v, float)]
+        assert all(0.0 <= v <= 100.0 for v in shares)

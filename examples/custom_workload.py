@@ -1,0 +1,87 @@
+"""Bring your own kernel: write assembly, validate it, sweep collapse
+rules.
+
+This example defines a saxpy-like kernel from scratch, checks the
+emulator's answer against Python, and then runs the collapsing-rule
+ablations of DESIGN.md Section 6 on it: pairs-only, consecutive-only,
+no zero detection, and the full paper model.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import CollapseRules, MachineConfig, simulate_trace
+from repro.asm import assemble
+from repro.emu import trace_program
+from repro.metrics import render_table
+
+N = 256
+A_CONST = 7
+
+SOURCE = """
+        .equ N, {n}
+        .text
+main:
+        set     x, %o0
+        set     y, %o1
+        mov     0, %l0
+loop:
+        sll     %l0, 2, %l1         ! i * 4
+        ld      [%o0 + %l1], %l2    ! x[i]
+        smul    %l2, {a}, %l3       ! a * x[i]
+        ld      [%o1 + %l1], %l4    ! y[i]
+        add     %l3, %l4, %l5
+        st      %l5, [%o1 + %l1]    ! y[i] += a*x[i]
+        inc     %l0
+        cmp     %l0, N
+        bl      loop
+        halt
+
+        .data
+x:
+{x_words}
+y:
+{y_words}
+"""
+
+
+def build():
+    x = [(3 * i + 1) & 0xFFFF for i in range(N)]
+    y = [(5 * i + 2) & 0xFFFF for i in range(N)]
+    words = lambda vs: "\n".join(
+        "        .word " + ", ".join(str(v) for v in vs[k:k + 8])
+        for k in range(0, len(vs), 8))
+    program = assemble(SOURCE.format(n=N, a=A_CONST, x_words=words(x),
+                                     y_words=words(y)))
+    trace, machine, _ = trace_program(program, name="saxpy")
+    # Self-check against the obvious Python loop.
+    base = program.symbols["y"]
+    got = machine.memory.read_words(base, N)
+    want = [(A_CONST * xv + yv) & 0xFFFFFFFF for xv, yv in zip(x, y)]
+    assert got == want, "kernel computed the wrong answer!"
+    return trace
+
+
+def main():
+    trace = build()
+    print("saxpy validated; %d dynamic instructions" % (len(trace),))
+    variants = [
+        ("no collapsing", None),
+        ("paper model", CollapseRules.paper()),
+        ("pairs only", CollapseRules.pairs_only()),
+        ("consecutive only", CollapseRules.consecutive_only()),
+        ("within basic block", CollapseRules.within_block_only()),
+        ("no zero detection", CollapseRules.no_zero_detection()),
+    ]
+    rows = []
+    for label, rules in variants:
+        config = MachineConfig(8, collapse_rules=rules, name=label)
+        result = simulate_trace(trace, config)
+        rows.append([label, result.ipc, result.collapse.events,
+                     100 * result.collapse.collapsed_fraction])
+    print(render_table(
+        ["collapse rules", "IPC", "events", "instructions collapsed (%)"],
+        rows, title="collapsing-rule ablation on saxpy (width 8)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Reproduce the paper's headline result (Figure 3) on the full suite.
+
+"When both techniques are used with maximum issue widths of 4, 8, 16 and
+32, the overall speedups in comparison to a base instruction level
+parallel machine are 1.20, 1.35, 1.51 and 1.66."
+
+Run:  python examples/paper_headline.py [scale]
+
+Scale defaults to 0.15 (about a minute); use 1.0 for the numbers recorded
+in EXPERIMENTS.md.
+"""
+
+import sys
+
+from repro.experiments import ExperimentRunner, figure3
+
+PAPER_D = {"4": 1.20, "8": 1.35, "16": 1.51, "32": 1.66}
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+    runner = ExperimentRunner(scale=scale, widths=(4, 8, 16, 32))
+    exhibit = figure3(runner)
+    print(exhibit.render())
+    print()
+    print("paper's configuration D speedups vs. this reproduction:")
+    print("%6s %8s %10s" % ("width", "paper", "measured"))
+    for row in exhibit.rows:
+        label, measured = row[0], row[3]
+        print("%6s %8.2f %10.2f" % (label, PAPER_D[label], measured))
+    print("\n(shape expectations: monotone growth with width; collapsing"
+          "\n contributes the majority — compare the C and B columns)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is configured via ``pyproject.toml``; this file exists so that
+environments without the ``wheel`` package (where PEP 517 editable installs
+fail with "invalid command 'bdist_wheel'") can still do
+``python setup.py develop`` or legacy ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,74 @@
+"""repro — reproduction of "The Performance Potential of Data Dependence
+Speculation & Collapsing" (Sazeides, Vassiliadis, Smith; MICRO-29, 1996).
+
+The package is layered bottom-up:
+
+- :mod:`repro.isa`, :mod:`repro.asm`, :mod:`repro.emu` — a SPARC-v8-like
+  ISA, assembler and functional emulator (the trace substrate);
+- :mod:`repro.trace` — dynamic traces (columnar), I/O, synthesis;
+- :mod:`repro.bpred`, :mod:`repro.addrpred` — branch and load-address
+  prediction;
+- :mod:`repro.collapse` — dependence-collapsing rules and statistics;
+- :mod:`repro.core` — the windowed timing model (the paper's study);
+- :mod:`repro.workloads` — six self-validating SPECINT-analog kernels;
+- :mod:`repro.metrics`, :mod:`repro.experiments` — aggregation and one
+  driver per paper table/figure.
+
+Quick start::
+
+    from repro import quick_compare
+    print(quick_compare("eqntott", width=8, scale=0.2))
+"""
+
+from .collapse import CollapseRules
+from .core import (
+    MachineConfig,
+    config_a,
+    config_b,
+    config_c,
+    config_d,
+    config_e,
+    paper_config,
+    simulate_many,
+    simulate_trace,
+)
+from .errors import (
+    AssemblyError,
+    ConfigError,
+    EmulationError,
+    ReproError,
+    TraceFormatError,
+)
+from .experiments import ExperimentRunner
+from .workloads import SUITE, WORKLOADS, cached_trace, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CollapseRules",
+    "MachineConfig",
+    "config_a", "config_b", "config_c", "config_d", "config_e",
+    "paper_config", "simulate_many", "simulate_trace",
+    "AssemblyError", "ConfigError", "EmulationError", "ReproError",
+    "TraceFormatError",
+    "ExperimentRunner",
+    "SUITE", "WORKLOADS", "cached_trace", "get_workload",
+    "quick_compare",
+    "__version__",
+]
+
+
+def quick_compare(workload="eqntott", width=8, scale=0.2):
+    """Simulate one workload on all five configurations; returns a small
+    report string.  Convenience for interactive exploration."""
+    trace = cached_trace(workload, scale)
+    configs = [config_a(width), config_b(width), config_c(width),
+               config_d(width), config_e(width)]
+    results = simulate_many(trace, configs)
+    base = results[0]
+    lines = ["%s @ width %d (%d instructions)"
+             % (workload, width, len(trace))]
+    for letter, result in zip("ABCDE", results):
+        lines.append("  %s: IPC %.2f  speedup %.2f"
+                     % (letter, result.ipc, result.speedup_over(base)))
+    return "\n".join(lines)

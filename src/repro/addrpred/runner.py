@@ -1,0 +1,61 @@
+"""Precompute address-prediction outcomes for every load in a trace.
+
+All loads update the table in program order (Section 3: "All loads update
+the table state but only not ready loads use the table"), so the
+prediction outcome of every dynamic load is timing-independent and can be
+computed in one pass.  The timing simulator later decides *readiness*
+(which is timing-dependent) and combines it with these outcomes.
+"""
+
+from ..trace.records import LD
+from .two_delta import TwoDeltaTable
+
+
+class LoadPredictionResult:
+    """Per-load prediction outcomes.
+
+    ``attempted`` and ``correct`` are dicts keyed by trace position,
+    populated only for loads: ``attempted[pos]`` is True when confidence
+    allowed using the prediction; ``correct[pos]`` is True when the
+    predicted address matched.
+    """
+
+    __slots__ = ("attempted", "correct", "loads", "would_correct")
+
+    def __init__(self):
+        self.attempted = {}
+        self.correct = {}
+        self.loads = 0
+        self.would_correct = 0
+
+    @property
+    def raw_accuracy(self):
+        """Fraction of loads whose table prediction was correct,
+        independent of confidence (diagnostic)."""
+        if not self.loads:
+            return 0.0
+        return self.would_correct / self.loads
+
+
+def run_address_predictor(trace, table=None):
+    """One program-order pass of the address predictor over ``trace``."""
+    if table is None:
+        table = TwoDeltaTable()
+    static = trace.static
+    cls = static.cls
+    pcs = static.pc
+    addresses = trace.eff_addr
+    result = LoadPredictionResult()
+    observe = table.observe
+    attempted = result.attempted
+    correct_map = result.correct
+    for position, sidx in enumerate(trace.sidx):
+        if cls[sidx] != LD:
+            continue
+        would_use, correct, _ = observe(pcs[sidx], addresses[position])
+        result.loads += 1
+        if correct:
+            result.would_correct += 1
+        attempted[position] = would_use
+        correct_map[position] = correct
+    return result

@@ -1,0 +1,5 @@
+"""Dependence-graph analysis: dataflow limits (paper Section 1)."""
+
+from .depgraph import DependenceGraph, collapsed_critical_path
+
+__all__ = ["DependenceGraph", "collapsed_critical_path"]

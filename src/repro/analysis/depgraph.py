@@ -1,0 +1,215 @@
+"""Dynamic dependence-graph analysis (paper Section 1).
+
+"An execution of a computer program defines a dynamic dataflow or
+dependence graph ... in theory, the minimum execution time of the program
+is the length of the longest path (i.e. the 'critical path') through the
+dependence graph."
+
+This module builds that graph from a trace and computes the paper's
+theoretical quantities:
+
+- the **critical path length** under true data dependences (registers,
+  condition codes, memory through same-word stores) with the study's
+  latencies — the dataflow execution-time limit with unbounded resources
+  and perfect control prediction;
+- the same limit under **collapsed** dependences, showing how collapsing
+  shortens the critical path itself (the paper's Figure 1.e intuition);
+- per-position *depth* (earliest dataflow completion time), from which
+  the dataflow-limit IPC is derived.
+
+Control dependences are ignored (perfect prediction), matching the
+"theoretical limits under ideal assumptions" the paper contrasts with
+its windowed results.
+"""
+
+from ..collapse.classify import Group
+from ..trace.records import LD, ST
+
+
+class DependenceGraph:
+    """Explicit dynamic dependence graph of a trace.
+
+    Edges point producer -> consumer; ``edges_of(pos)`` lists producer
+    positions with their kinds (``"reg"``, ``"cc"``, ``"mem"``,
+    ``"data"`` for store data).
+    """
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.preds = []          # per position: list of (producer, kind)
+        self._build()
+
+    def _build(self):
+        trace = self.trace
+        static = trace.static
+        sidx = trace.sidx
+        src1_col = static.src1
+        src2_col = static.src2
+        datasrc_col = static.datasrc
+        reads_cc_col = static.reads_cc
+        writes_cc_col = static.writes_cc
+        dest_col = static.dest
+        cls_col = static.cls
+        eff_addr = trace.eff_addr
+
+        reg_writer = [-1] * 33
+        mem_writer = {}
+        preds = self.preds
+        for i, s in enumerate(sidx):
+            cls = cls_col[s]
+            plist = []
+            for src in (src1_col[s], src2_col[s]):
+                if src >= 0 and reg_writer[src] >= 0:
+                    plist.append((reg_writer[src], "reg"))
+            if cls == ST:
+                data = datasrc_col[s]
+                if data >= 0 and reg_writer[data] >= 0:
+                    plist.append((reg_writer[data], "data"))
+            if reads_cc_col[s] and reg_writer[32] >= 0:
+                plist.append((reg_writer[32], "cc"))
+            if cls == LD:
+                producer = mem_writer.get(eff_addr[i] >> 2, -1)
+                if producer >= 0:
+                    plist.append((producer, "mem"))
+            preds.append(plist)
+            dest = dest_col[s]
+            if dest >= 0:
+                reg_writer[dest] = i
+            if writes_cc_col[s]:
+                reg_writer[32] = i
+            if cls == ST:
+                mem_writer[eff_addr[i] >> 2] = i
+
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return len(self.preds)
+
+    def edges_of(self, position):
+        return list(self.preds[position])
+
+    def edge_count(self):
+        return sum(len(plist) for plist in self.preds)
+
+    def depths(self):
+        """Earliest dataflow completion time per position.
+
+        ``depth[i] = max over producers p of depth[p]`` plus i's own
+        latency — the longest dependence path ending at i.
+        """
+        lat = self.trace.static.lat
+        sidx = self.trace.sidx
+        depths = [0] * len(self.preds)
+        for i, plist in enumerate(self.preds):
+            start = 0
+            for p, _ in plist:
+                if depths[p] > start:
+                    start = depths[p]
+            depths[i] = start + lat[sidx[i]]
+        return depths
+
+    def critical_path(self):
+        """Length of the longest dependence path (completion cycles)."""
+        depths = self.depths()
+        return max(depths) if depths else 0
+
+    def issue_critical_path(self):
+        """Dataflow lower bound on *issue* cycles.
+
+        The simulator reports issue-based cycles (last issue + 1); the
+        matching dataflow bound is the latest earliest-issue time plus
+        one, i.e. ``max(depth[i] - latency[i]) + 1``.
+        """
+        depths = self.depths()
+        if not depths:
+            return 0
+        lat = self.trace.static.lat
+        sidx = self.trace.sidx
+        return max(depth - lat[sidx[i]]
+                   for i, depth in enumerate(depths)) + 1
+
+    def critical_path_members(self):
+        """One longest path, as a list of positions (oldest first)."""
+        depths = self.depths()
+        if not depths:
+            return []
+        position = max(range(len(depths)), key=depths.__getitem__)
+        lat = self.trace.static.lat
+        sidx = self.trace.sidx
+        path = [position]
+        while True:
+            plist = self.preds[position]
+            target = depths[position] - lat[sidx[position]]
+            found = -1
+            for p, _ in plist:
+                if depths[p] == target:
+                    found = p
+                    break
+            if found < 0:
+                break
+            path.append(found)
+            position = found
+        path.reverse()
+        return path
+
+    def dataflow_ipc(self):
+        """Instructions / critical-path cycles: the dataflow limit."""
+        cycles = self.critical_path()
+        if not cycles:
+            return 0.0
+        return len(self.preds) / cycles
+
+
+def collapsed_critical_path(trace, rules):
+    """Critical path when every legal collapse is applied greedily.
+
+    This is the *unwindowed* analogue of the simulator's collapsing: with
+    unlimited lookahead, each instruction merges its still-beneficial
+    producers subject to ``rules`` (group size, operand count, zero
+    detection).  Distance/window restrictions do not apply — the point is
+    the graph-restructuring limit of Figure 1.e.
+    """
+    graph = DependenceGraph(trace)
+    static = trace.static
+    sidx = trace.sidx
+    lat = static.lat
+    sig_col = static.sig
+    leaves_col = static.leaves
+    zeros_col = static.zeros
+    producer_ok = static.producer_ok
+    consumer_ok = static.consumer_ok
+    cls_col = static.cls
+
+    depths = [0] * len(graph)
+    groups = {}
+    for i, plist in enumerate(graph.preds):
+        s = sidx[i]
+        group = Group(i, sig_col[s], leaves_col[s], zeros_col[s])
+        start = 0
+        # Count uses per producer for collapsible expression arcs.
+        uses = {}
+        for p, kind in plist:
+            collapsible = (consumer_ok[s] and producer_ok[sidx[p]]
+                           and kind in ("reg", "cc")
+                           and not (cls_col[s] in (LD, ST)
+                                    and kind == "cc"))
+            if collapsible:
+                uses[p] = uses.get(p, 0) + 1
+            else:
+                if depths[p] > start:
+                    start = depths[p]
+        for p, count in uses.items():
+            merged = group.try_merge(groups[p], count, rules) \
+                if depths[p] > start else None
+            if merged is None:
+                if depths[p] > start:
+                    start = depths[p]
+            else:
+                # Collapsed: wait for the producer's own start time
+                # instead of its completion.
+                producer_start = depths[p] - lat[sidx[p]]
+                if producer_start > start:
+                    start = producer_start
+        depths[i] = start + lat[s]
+        groups[i] = group
+    return max(depths) if depths else 0

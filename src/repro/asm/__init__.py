@@ -1,0 +1,11 @@
+"""Two-pass assembler for the SPARC-v8-like ISA."""
+
+from .assembler import Assembler, assemble
+from .parser import Stmt, parse_lines
+from .program import DATA_BASE, STACK_TOP, TEXT_BASE, Program
+
+__all__ = [
+    "Assembler", "assemble",
+    "Stmt", "parse_lines",
+    "DATA_BASE", "STACK_TOP", "TEXT_BASE", "Program",
+]

@@ -1,0 +1,530 @@
+"""Two-pass assembler for the SPARC-v8-like ISA.
+
+Pass 1 sizes every statement (pseudo-instructions expand to a fixed number
+of machine instructions decided syntactically) and builds the symbol table.
+Pass 2 emits :class:`~repro.isa.instruction.Instruction` objects and the
+data image.
+
+Supported statements
+--------------------
+
+Sections and data::
+
+    .text                    .data
+    .word e1, e2, ...        .half ...      .byte ...
+    .space N                 .align N       .asciz "text"
+    .equ name, expr
+
+Machine instructions::
+
+    add/sub/addcc/subcc/and/or/xor/andn/orn/xnor/andcc/orcc/xorcc
+        %rs1, reg_or_imm, %rd
+    sll/srl/sra  %rs1, reg_or_imm, %rd
+    umul/smul/udiv/sdiv  %rs1, reg_or_imm, %rd
+    sethi imm22, %rd
+    ld/ldub/ldsb/lduh/ldsh  [%base (+ reg|imm)], %rd
+    st/stb/sth  %rs, [%base (+ reg|imm)]
+    be/bne/bl/ble/bg/bge/blu/bleu/bgu/bgeu/bneg/bpos/ba  label
+    call label
+    jmpl %base + imm, %rd
+    halt / nop
+
+Pseudo-instructions::
+
+    mov reg_or_imm, %rd      set expr, %rd (sethi+or when needed)
+    cmp %rs1, reg_or_imm     tst %rs
+    not %rs, %rd             neg %rs, %rd
+    inc %rd   /  inc imm, %rd      dec %rd  /  dec imm, %rd
+    clr %rd                  ret  (jmpl %o7 + 0, %g0)
+    b label  (alias of ba)
+
+Immediate expressions accept decimal/hex literals, symbols, ``sym+const``,
+``sym-const``, ``%hi(expr)`` and ``%lo(expr)``.
+"""
+
+import re
+
+from ..errors import AssemblyError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode, fits_simm13
+from ..isa.registers import G0, LINK_REG, REG_NAMES
+from .parser import is_name, parse_lines
+from .program import DATA_BASE, STACK_TOP, TEXT_BASE, Program
+
+_ALU_OPS = {
+    "add": Opcode.ADD, "sub": Opcode.SUB,
+    "addcc": Opcode.ADDCC, "subcc": Opcode.SUBCC,
+    "and": Opcode.AND, "or": Opcode.OR, "xor": Opcode.XOR,
+    "andn": Opcode.ANDN, "orn": Opcode.ORN, "xnor": Opcode.XNOR,
+    "andcc": Opcode.ANDCC, "orcc": Opcode.ORCC, "xorcc": Opcode.XORCC,
+    "sll": Opcode.SLL, "srl": Opcode.SRL, "sra": Opcode.SRA,
+    "umul": Opcode.UMUL, "smul": Opcode.SMUL,
+    "udiv": Opcode.UDIV, "sdiv": Opcode.SDIV,
+}
+
+_LOAD_OPS = {
+    "ld": Opcode.LD, "ldub": Opcode.LDUB, "ldsb": Opcode.LDSB,
+    "lduh": Opcode.LDUH, "ldsh": Opcode.LDSH,
+}
+
+_STORE_OPS = {"st": Opcode.ST, "stb": Opcode.STB, "sth": Opcode.STH}
+
+_BRANCH_OPS = {
+    "be": Opcode.BE, "bne": Opcode.BNE, "bl": Opcode.BL, "ble": Opcode.BLE,
+    "bg": Opcode.BG, "bge": Opcode.BGE, "blu": Opcode.BLU,
+    "bleu": Opcode.BLEU, "bgu": Opcode.BGU, "bgeu": Opcode.BGEU,
+    "bneg": Opcode.BNEG, "bpos": Opcode.BPOS,
+    "bz": Opcode.BE, "bnz": Opcode.BNE,
+}
+
+_MEM_RE = re.compile(r"^\[(.+)\]$")
+_HILO_RE = re.compile(r"^%(hi|lo)\((.+)\)$")
+
+_SETHI_SHIFT = 10
+_LO_MASK = (1 << _SETHI_SHIFT) - 1
+
+
+class _Item:
+    """Pass-1 record: one statement plus its instruction count."""
+
+    __slots__ = ("stmt", "size", "index")
+
+    def __init__(self, stmt, size, index):
+        self.stmt = stmt
+        self.size = size
+        self.index = index
+
+
+def _parse_int(text):
+    try:
+        return int(text, 0)
+    except ValueError:
+        return None
+
+
+def _is_reg(text):
+    return text.lower() in REG_NAMES
+
+
+def _reg(text, line):
+    try:
+        return REG_NAMES[text.lower()]
+    except KeyError:
+        raise AssemblyError("unknown register %r" % (text,), line)
+
+
+class Assembler:
+    """Assembles one source text into a :class:`Program`."""
+
+    def __init__(self, text_base=TEXT_BASE, data_base=DATA_BASE,
+                 stack_top=STACK_TOP):
+        self.text_base = text_base
+        self.data_base = data_base
+        self.stack_top = stack_top
+        self.symbols = {}
+        self._text_size = 0
+
+    # ------------------------------------------------------------------
+    # Expression evaluation.
+    # ------------------------------------------------------------------
+
+    def eval_expr(self, text, line):
+        """Evaluate an immediate expression to an integer."""
+        text = text.strip()
+        match = _HILO_RE.match(text)
+        if match:
+            inner = self.eval_expr(match.group(2), line)
+            if match.group(1) == "hi":
+                return (inner >> _SETHI_SHIFT) & 0x3FFFFF
+            return inner & _LO_MASK
+        value = _parse_int(text)
+        if value is not None:
+            return value
+        for op in ("+", "-"):
+            pos = text.rfind(op)
+            if pos > 0:
+                left = text[:pos].strip()
+                right = text[pos + 1:].strip()
+                if is_name(left) and _parse_int(right) is not None:
+                    base = self._symbol(left, line)
+                    offset = _parse_int(right)
+                    return base + offset if op == "+" else base - offset
+        if is_name(text):
+            return self._symbol(text, line)
+        raise AssemblyError("cannot evaluate expression %r" % (text,), line)
+
+    def _symbol(self, name, line):
+        if name not in self.symbols:
+            raise AssemblyError("undefined symbol %r" % (name,), line)
+        return self.symbols[name]
+
+    # ------------------------------------------------------------------
+    # Sizing (pass 1).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _size_of(stmt):
+        """Instruction-slot count for a text statement (0 for directives)."""
+        m = stmt.mnemonic
+        if m in ("", ".text", ".data", ".equ"):
+            return 0
+        if m == "nop":
+            return 1
+        if m == "set":
+            if len(stmt.operands) != 2:
+                raise AssemblyError("set needs 2 operands", stmt.line)
+            value = _parse_int(stmt.operands[0])
+            if value is not None and fits_simm13(value):
+                return 1
+            return 2
+        return 1
+
+    # ------------------------------------------------------------------
+    # Data directives (shared by pass 1 sizing and pass 2 emission).
+    # ------------------------------------------------------------------
+
+    def _data_directive(self, stmt, data, emit):
+        """Apply a data directive; ``emit`` False only tracks the offset."""
+        m = stmt.mnemonic
+        line = stmt.line
+        if m == ".word" or m == ".half" or m == ".byte":
+            size = {"word": 4, "half": 2, "byte": 1}[m[1:]]
+            for operand in stmt.operands:
+                value = self.eval_expr(operand, line) if emit else 0
+                value &= (1 << (8 * size)) - 1
+                data.extend(value.to_bytes(size, "little"))
+        elif m == ".space":
+            if len(stmt.operands) != 1:
+                raise AssemblyError(".space needs 1 operand", line)
+            count = self.eval_expr(stmt.operands[0], line)
+            if count < 0:
+                raise AssemblyError(".space size must be >= 0", line)
+            data.extend(b"\x00" * count)
+        elif m == ".align":
+            if len(stmt.operands) != 1:
+                raise AssemblyError(".align needs 1 operand", line)
+            align = self.eval_expr(stmt.operands[0], line)
+            if align <= 0 or align & (align - 1):
+                raise AssemblyError(".align must be a power of two", line)
+            while len(data) % align:
+                data.append(0)
+        elif m == ".asciz":
+            if len(stmt.operands) != 1:
+                raise AssemblyError(".asciz needs 1 operand", line)
+            text = stmt.operands[0]
+            if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+                raise AssemblyError(".asciz needs a quoted string", line)
+            body = text[1:-1].encode("latin-1").decode("unicode_escape")
+            data.extend(body.encode("latin-1"))
+            data.append(0)
+        else:
+            raise AssemblyError("unknown directive %r" % (m,), line)
+
+    # ------------------------------------------------------------------
+    # Main entry.
+    # ------------------------------------------------------------------
+
+    def assemble(self, source):
+        stmts = parse_lines(source)
+        items, data_size = self._pass1(stmts)
+        return self._pass2(stmts, items, data_size)
+
+    def _pass1(self, stmts):
+        section = "text"
+        text_index = 0
+        data = bytearray()
+        items = []
+        pending_labels = []
+        for stmt in stmts:
+            m = stmt.mnemonic
+            if m == ".text":
+                section = "text"
+                continue
+            if m == ".data":
+                section = "data"
+                continue
+            if m == ".equ":
+                if len(stmt.operands) != 2 or not is_name(stmt.operands[0]):
+                    raise AssemblyError(".equ needs name, expr", stmt.line)
+                # .equ values may reference earlier symbols only.
+                self.symbols[stmt.operands[0]] = self.eval_expr(
+                    stmt.operands[1], stmt.line)
+                continue
+            if stmt.label:
+                pending_labels.append((stmt.label, stmt.line))
+            if not m:
+                continue
+            for label, line in pending_labels:
+                if label in self.symbols:
+                    raise AssemblyError("duplicate label %r" % (label,), line)
+                if section == "text":
+                    self.symbols[label] = self.text_base + 4 * text_index
+                else:
+                    self.symbols[label] = self.data_base + len(data)
+            pending_labels = []
+            if section == "text":
+                size = self._size_of(stmt)
+                items.append(_Item(stmt, size, text_index))
+                text_index += size
+            else:
+                if m.startswith("."):
+                    self._data_directive(stmt, data, emit=False)
+                else:
+                    raise AssemblyError(
+                        "instruction %r in .data section" % (m,), stmt.line)
+        for label, line in pending_labels:
+            if label in self.symbols:
+                raise AssemblyError("duplicate label %r" % (label,), line)
+            if section == "text":
+                self.symbols[label] = self.text_base + 4 * text_index
+            else:
+                self.symbols[label] = self.data_base + len(data)
+        self._text_size = text_index
+        return items, len(data)
+
+    def _pass2(self, stmts, items, data_size):
+        instructions = []
+        data = bytearray()
+        section = "text"
+        for stmt in stmts:
+            m = stmt.mnemonic
+            if m == ".text":
+                section = "text"
+                continue
+            if m == ".data":
+                section = "data"
+                continue
+            if m in ("", ".equ"):
+                continue
+            if section == "data":
+                self._data_directive(stmt, data, emit=True)
+                continue
+            emitted = self._emit(stmt)
+            instructions.extend(emitted)
+        if len(data) != data_size:
+            raise AssemblyError(
+                "internal: data size mismatch (%d != %d)"
+                % (len(data), data_size))
+        return Program(instructions, data, self.symbols,
+                       text_base=self.text_base, data_base=self.data_base,
+                       stack_top=self.stack_top)
+
+    # ------------------------------------------------------------------
+    # Instruction emission.
+    # ------------------------------------------------------------------
+
+    def _operand2(self, text, line, allow_reg=True):
+        """Resolve a reg-or-imm operand to ``(rs2, imm)``."""
+        if _is_reg(text):
+            if not allow_reg:
+                raise AssemblyError("register not allowed here", line)
+            return _reg(text, line), None
+        value = self.eval_expr(text, line)
+        if not fits_simm13(value):
+            raise AssemblyError(
+                "immediate %d does not fit simm13 (use set)" % (value,), line)
+        return -1, value
+
+    def _mem_operand(self, text, line):
+        """Resolve ``[%base (+|- reg_or_imm)]`` to ``(rs1, rs2, imm)``."""
+        match = _MEM_RE.match(text.strip())
+        if not match:
+            raise AssemblyError("expected memory operand, got %r" % (text,),
+                                line)
+        body = match.group(1).strip()
+        negative = False
+        if "+" in body:
+            left, right = body.split("+", 1)
+        elif "-" in body:
+            left, right = body.split("-", 1)
+            negative = True
+        else:
+            left, right = body, None
+        base = _reg(left.strip(), line)
+        if right is None:
+            return base, -1, 0
+        right = right.strip()
+        if _is_reg(right):
+            if negative:
+                raise AssemblyError("cannot negate register index", line)
+            return base, _reg(right, line), None
+        value = self.eval_expr(right, line)
+        if negative:
+            value = -value
+        if not fits_simm13(value):
+            raise AssemblyError("displacement %d does not fit simm13"
+                                % (value,), line)
+        return base, -1, value
+
+    def _branch_target(self, text, line):
+        """Resolve a branch/call target label to a text index."""
+        address = self.eval_expr(text, line)
+        offset = address - self.text_base
+        if offset < 0 or offset % 4 or offset // 4 >= self._text_size:
+            raise AssemblyError("branch target %r is not a text label"
+                                % (text,), line)
+        return offset // 4
+
+    def _expect(self, stmt, count):
+        if len(stmt.operands) != count:
+            raise AssemblyError(
+                "%s expects %d operand(s), got %d"
+                % (stmt.mnemonic, count, len(stmt.operands)), stmt.line)
+
+    def _emit(self, stmt):
+        m = stmt.mnemonic
+        line = stmt.line
+        ops = stmt.operands
+
+        if m in _ALU_OPS:
+            self._expect(stmt, 3)
+            rs1 = _reg(ops[0], line)
+            rs2, imm = self._operand2(ops[1], line)
+            rd = _reg(ops[2], line)
+            return [Instruction(_ALU_OPS[m], rd=rd, rs1=rs1, rs2=rs2,
+                                imm=imm, line=line)]
+
+        if m in _LOAD_OPS:
+            self._expect(stmt, 2)
+            rs1, rs2, imm = self._mem_operand(ops[0], line)
+            rd = _reg(ops[1], line)
+            return [Instruction(_LOAD_OPS[m], rd=rd, rs1=rs1, rs2=rs2,
+                                imm=imm, line=line)]
+
+        if m in _STORE_OPS:
+            self._expect(stmt, 2)
+            data_reg = _reg(ops[0], line)
+            rs1, rs2, imm = self._mem_operand(ops[1], line)
+            # For stores ``rd`` holds the *data source* register (mirroring
+            # the SPARC encoding); %g0 data collapses to -1 like elsewhere.
+            return [Instruction(_STORE_OPS[m], rd=data_reg, rs1=rs1,
+                                rs2=rs2, imm=imm, line=line)]
+
+        if m in _BRANCH_OPS or m in ("ba", "b"):
+            self._expect(stmt, 1)
+            target = self._branch_target(ops[0], line)
+            opcode = _BRANCH_OPS.get(m, Opcode.BA)
+            return [Instruction(opcode, target=target, label=ops[0],
+                                line=line)]
+
+        if m == "call":
+            self._expect(stmt, 1)
+            target = self._branch_target(ops[0], line)
+            return [Instruction(Opcode.CALL, rd=LINK_REG, target=target,
+                                label=ops[0], line=line)]
+
+        if m == "jmpl":
+            self._expect(stmt, 2)
+            rs1, rs2, imm = self._jmpl_operand(ops[0], line)
+            rd = _reg(ops[1], line)
+            return [Instruction(Opcode.JMPL, rd=rd, rs1=rs1, rs2=rs2,
+                                imm=imm, line=line)]
+
+        if m == "ret":
+            self._expect(stmt, 0)
+            return [Instruction(Opcode.JMPL, rd=-1, rs1=LINK_REG, imm=0,
+                                line=line)]
+
+        if m == "sethi":
+            self._expect(stmt, 2)
+            imm = self.eval_expr(ops[0], line)
+            if not 0 <= imm <= 0x3FFFFF:
+                raise AssemblyError("sethi immediate out of range", line)
+            rd = _reg(ops[1], line)
+            return [Instruction(Opcode.SETHI, rd=rd, imm=imm, line=line)]
+
+        if m == "mov":
+            self._expect(stmt, 2)
+            rs2, imm = self._operand2(ops[0], line)
+            rd = _reg(ops[1], line)
+            return [Instruction(Opcode.MOV, rd=rd, rs2=rs2, imm=imm,
+                                line=line)]
+
+        if m == "set":
+            self._expect(stmt, 2)
+            value = self.eval_expr(ops[0], line) & 0xFFFFFFFF
+            rd = _reg(ops[1], line)
+            literal = _parse_int(ops[0])
+            if literal is not None and fits_simm13(literal):
+                return [Instruction(Opcode.MOV, rd=rd, imm=literal,
+                                    line=line)]
+            hi = (value >> _SETHI_SHIFT) & 0x3FFFFF
+            lo = value & _LO_MASK
+            return [
+                Instruction(Opcode.SETHI, rd=rd, imm=hi, line=line),
+                Instruction(Opcode.OR, rd=rd, rs1=rd, imm=lo, line=line),
+            ]
+
+        if m == "cmp":
+            self._expect(stmt, 2)
+            rs1 = _reg(ops[0], line)
+            rs2, imm = self._operand2(ops[1], line)
+            return [Instruction(Opcode.SUBCC, rd=-1, rs1=rs1, rs2=rs2,
+                                imm=imm, line=line)]
+
+        if m == "tst":
+            self._expect(stmt, 1)
+            rs1 = _reg(ops[0], line)
+            return [Instruction(Opcode.ORCC, rd=-1, rs1=rs1, rs2=G0,
+                                line=line)]
+
+        if m == "not":
+            self._expect(stmt, 2)
+            rs1 = _reg(ops[0], line)
+            rd = _reg(ops[1], line)
+            return [Instruction(Opcode.XNOR, rd=rd, rs1=rs1, rs2=G0,
+                                line=line)]
+
+        if m == "neg":
+            self._expect(stmt, 2)
+            rs = _reg(ops[0], line)
+            rd = _reg(ops[1], line)
+            return [Instruction(Opcode.SUB, rd=rd, rs1=G0, rs2=rs,
+                                line=line)]
+
+        if m in ("inc", "dec"):
+            opcode = Opcode.ADD if m == "inc" else Opcode.SUB
+            if len(ops) == 1:
+                rd = _reg(ops[0], line)
+                amount = 1
+            elif len(ops) == 2:
+                amount = self.eval_expr(ops[0], line)
+                rd = _reg(ops[1], line)
+            else:
+                raise AssemblyError("%s expects 1 or 2 operands" % m, line)
+            if not fits_simm13(amount):
+                raise AssemblyError("increment does not fit simm13", line)
+            return [Instruction(opcode, rd=rd, rs1=rd, imm=amount,
+                                line=line)]
+
+        if m == "clr":
+            self._expect(stmt, 1)
+            rd = _reg(ops[0], line)
+            return [Instruction(Opcode.MOV, rd=rd, imm=0, line=line)]
+
+        if m == "halt":
+            self._expect(stmt, 0)
+            return [Instruction(Opcode.HALT, line=line)]
+
+        if m == "nop":
+            self._expect(stmt, 0)
+            return [Instruction(Opcode.NOP, line=line)]
+
+        raise AssemblyError("unknown mnemonic %r" % (m,), line)
+
+    def _jmpl_operand(self, text, line):
+        """Resolve ``%base + imm`` (no brackets) for jmpl."""
+        body = text.strip()
+        if "+" in body:
+            left, right = body.split("+", 1)
+            rs1 = _reg(left.strip(), line)
+            value = self.eval_expr(right.strip(), line)
+            if not fits_simm13(value):
+                raise AssemblyError("jmpl offset does not fit simm13", line)
+            return rs1, -1, value
+        return _reg(body, line), -1, 0
+
+
+def assemble(source, **kwargs):
+    """Assemble ``source`` text into a :class:`Program` (convenience)."""
+    return Assembler(**kwargs).assemble(source)

@@ -1,0 +1,131 @@
+"""Line-level parsing for the assembler.
+
+The grammar is deliberately small: one statement per line, optional label,
+mnemonic, comma-separated operands, comments introduced by ``!``, ``;`` or
+``#``.  Memory operands use SPARC bracket syntax ``[%reg + disp]``.
+
+The parser produces :class:`Stmt` records; operand *resolution* (symbols,
+immediates, register names) happens in :mod:`repro.asm.assembler` so that
+forward references work.
+"""
+
+import re
+
+from ..errors import AssemblyError
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):\s*(.*)$")
+_NAME_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+class Stmt:
+    """One parsed statement: an optional label plus mnemonic and operands."""
+
+    __slots__ = ("label", "mnemonic", "operands", "line")
+
+    def __init__(self, label, mnemonic, operands, line):
+        self.label = label
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line = line
+
+    def __repr__(self):
+        return "Stmt(label=%r, mnemonic=%r, operands=%r, line=%d)" % (
+            self.label, self.mnemonic, self.operands, self.line)
+
+
+def strip_comment(text):
+    """Remove trailing comments, honouring double-quoted strings."""
+    out = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            out.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                out.append(text[i + 1])
+                i += 2
+                continue
+            if ch == '"':
+                in_string = False
+        else:
+            if ch in "!;#":
+                break
+            out.append(ch)
+            if ch == '"':
+                in_string = True
+        i += 1
+    return "".join(out)
+
+
+def split_operands(text, line):
+    """Split an operand field on commas at bracket/quote depth zero."""
+    parts = []
+    current = []
+    depth = 0
+    in_string = False
+    for ch in text:
+        if in_string:
+            current.append(ch)
+            if ch == '"':
+                in_string = False
+            continue
+        if ch == '"':
+            in_string = True
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise AssemblyError("unbalanced ']'", line)
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    if in_string:
+        raise AssemblyError("unterminated string", line)
+    if depth != 0:
+        raise AssemblyError("unbalanced '['", line)
+    tail = "".join(current).strip()
+    if tail or parts:
+        parts.append(tail)
+    if any(not p for p in parts):
+        raise AssemblyError("empty operand", line)
+    return parts
+
+
+def parse_lines(source):
+    """Parse assembly ``source`` into a list of :class:`Stmt`.
+
+    Bare labels (a label on a line of its own) produce a statement with an
+    empty mnemonic so the assembler can attach them to the next emitted
+    item.
+    """
+    stmts = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        text = strip_comment(raw).strip()
+        if not text:
+            continue
+        label = None
+        match = _LABEL_RE.match(text)
+        if match:
+            label = match.group(1)
+            text = match.group(2).strip()
+        if not text:
+            stmts.append(Stmt(label, "", [], lineno))
+            continue
+        fields = text.split(None, 1)
+        mnemonic = fields[0].lower()
+        operand_text = fields[1] if len(fields) > 1 else ""
+        operands = split_operands(operand_text, lineno) if operand_text else []
+        stmts.append(Stmt(label, mnemonic, operands, lineno))
+    return stmts
+
+
+def is_name(text):
+    """True when ``text`` is a valid symbol name."""
+    return bool(_NAME_RE.match(text))

@@ -1,0 +1,69 @@
+"""Assembled program image.
+
+A :class:`Program` couples the instruction list (the text segment) with the
+initialised data image and the symbol table.  Addresses follow a simple
+fixed layout:
+
+- text starts at :data:`TEXT_BASE`, one instruction per 4 bytes;
+- data starts at :data:`DATA_BASE`;
+- the stack grows down from :data:`STACK_TOP` (set up by the emulator).
+
+The layout is configurable per program for tests that want tight address
+spaces.
+"""
+
+TEXT_BASE = 0x0000_1000
+DATA_BASE = 0x0002_0000
+STACK_TOP = 0x0070_0000
+
+
+class Program:
+    """An assembled program ready for emulation."""
+
+    def __init__(self, instructions, data, symbols, text_base=TEXT_BASE,
+                 data_base=DATA_BASE, stack_top=STACK_TOP, entry=None):
+        self.instructions = list(instructions)
+        self.data = bytes(data)
+        self.symbols = dict(symbols)
+        self.text_base = text_base
+        self.data_base = data_base
+        self.stack_top = stack_top
+        if entry is None:
+            entry = self.symbols.get("main", text_base)
+        self.entry = entry
+
+    # ------------------------------------------------------------------
+
+    def address_of_index(self, index):
+        """Byte address of instruction number ``index``."""
+        return self.text_base + 4 * index
+
+    def index_of_address(self, address):
+        """Instruction number for byte address ``address``.
+
+        Raises ``ValueError`` when the address is not a valid, aligned text
+        address.
+        """
+        offset = address - self.text_base
+        if offset < 0 or offset % 4 != 0:
+            raise ValueError("not a text address: 0x%x" % (address,))
+        index = offset // 4
+        if index >= len(self.instructions):
+            raise ValueError("text address out of range: 0x%x" % (address,))
+        return index
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def disassemble(self):
+        """Return the full text segment as readable lines (for debugging)."""
+        lines = []
+        addr_to_label = {}
+        for name, value in self.symbols.items():
+            addr_to_label.setdefault(value, name)
+        for i, instr in enumerate(self.instructions):
+            addr = self.address_of_index(i)
+            label = addr_to_label.get(addr, "")
+            prefix = ("%s:" % label).ljust(12) if label else " " * 12
+            lines.append("%s0x%06x  %s" % (prefix, addr, instr.disassemble()))
+        return lines

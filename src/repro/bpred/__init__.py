@@ -1,0 +1,15 @@
+"""Branch prediction: bimodal, gshare and the McFarling combining scheme."""
+
+from .bimodal import BimodalPredictor
+from .combining import CombiningPredictor, PerfectPredictor
+from .counters import CounterTable
+from .gshare import GsharePredictor
+from .local import LocalHistoryPredictor, StaticPredictor
+from .runner import BranchRunResult, run_branch_predictor
+
+__all__ = [
+    "BimodalPredictor", "CombiningPredictor", "PerfectPredictor",
+    "CounterTable", "GsharePredictor",
+    "LocalHistoryPredictor", "StaticPredictor",
+    "BranchRunResult", "run_branch_predictor",
+]

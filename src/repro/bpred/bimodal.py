@@ -1,0 +1,30 @@
+"""Bimodal (per-PC 2-bit counter) branch predictor [McFarling, DEC WRL
+TN-36]."""
+
+from .counters import CounterTable
+
+
+class BimodalPredictor:
+    """Classic per-address two-bit counter predictor.
+
+    Indexed by the instruction-word address (PC shifted right by two,
+    since instructions are 4-byte aligned).
+    """
+
+    name = "bimodal"
+
+    def __init__(self, entries=8192, bits=2):
+        self.table = CounterTable(entries, bits=bits)
+
+    def _index(self, pc):
+        return (pc >> 2) & (self.table.size - 1)
+
+    def predict(self, pc):
+        return self.table.is_set(self._index(pc))
+
+    def update(self, pc, taken):
+        self.table.train(self._index(pc), taken)
+
+    @property
+    def cost_bytes(self):
+        return self.table.cost_bytes

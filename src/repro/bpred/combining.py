@@ -1,0 +1,68 @@
+"""McFarling combining predictor: bimodalN / gshareN+1 with a chooser.
+
+The paper (Section 4) predicts conditional branches with "the
+bimodalN/gshareN+1 scheme proposed in [11] with 8kByte cost".  With 2-bit
+counters, 8 kB buys 32 K counters; the canonical split is a 2^N-entry
+bimodal table, a 2^(N+1)-entry gshare table and a 2^N-entry chooser.
+N = 13 gives 8192 + 16384 + 8192 = 32768 counters = exactly 8 kB.
+
+The chooser counter semantics follow McFarling: it is trained only when
+the two component predictions *disagree*, moving toward the component that
+was correct; its upper half selects gshare.
+"""
+
+from .bimodal import BimodalPredictor
+from .counters import CounterTable
+from .gshare import GsharePredictor
+
+
+class CombiningPredictor:
+    name = "bimodal/gshare"
+
+    def __init__(self, n=13, bits=2):
+        self.bimodal = BimodalPredictor(entries=1 << n, bits=bits)
+        self.gshare = GsharePredictor(entries=1 << (n + 1), bits=bits)
+        self.chooser = CounterTable(1 << n, bits=bits)
+
+    def _chooser_index(self, pc):
+        return (pc >> 2) & (self.chooser.size - 1)
+
+    def predict(self, pc):
+        if self.chooser.is_set(self._chooser_index(pc)):
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc, taken):
+        """Train chooser (on disagreement) and both components."""
+        bimodal_prediction = self.bimodal.predict(pc)
+        gshare_prediction = self.gshare.predict(pc)
+        if bimodal_prediction != gshare_prediction:
+            index = self._chooser_index(pc)
+            if gshare_prediction == taken:
+                self.chooser.increment(index)
+            else:
+                self.chooser.decrement(index)
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+    @property
+    def cost_bytes(self):
+        return (self.bimodal.cost_bytes + self.gshare.cost_bytes
+                + self.chooser.cost_bytes)
+
+
+class PerfectPredictor:
+    """Always right — used for the ideal-control ablations."""
+
+    name = "perfect"
+    cost_bytes = 0
+
+    def __init__(self):
+        self._next = None
+
+    def predict(self, pc):
+        raise NotImplementedError(
+            "PerfectPredictor is handled specially by the runner")
+
+    def update(self, pc, taken):
+        pass

@@ -1,0 +1,59 @@
+"""Saturating-counter tables, the building block of all predictors here."""
+
+
+class CounterTable:
+    """A table of n-bit saturating counters.
+
+    Counters start at ``initial`` and move up on ``increment`` / down on
+    ``decrement``, saturating at 0 and ``2**bits - 1``.  The *taken*
+    convention for branch prediction is "predict taken when counter is in
+    the upper half".
+    """
+
+    __slots__ = ("bits", "size", "maximum", "threshold", "_table")
+
+    def __init__(self, size, bits=2, initial=None):
+        if size <= 0 or size & (size - 1):
+            raise ValueError("table size must be a power of two: %r"
+                             % (size,))
+        if bits < 1:
+            raise ValueError("counters need at least one bit")
+        self.bits = bits
+        self.size = size
+        self.maximum = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        if initial is None:
+            initial = self.threshold - 1     # weakly not-taken
+        self._table = [initial] * size
+
+    def __len__(self):
+        return self.size
+
+    def value(self, index):
+        return self._table[index & (self.size - 1)]
+
+    def is_set(self, index):
+        """True when the counter predicts "taken" (upper half)."""
+        return self._table[index & (self.size - 1)] >= self.threshold
+
+    def increment(self, index, amount=1):
+        slot = index & (self.size - 1)
+        value = self._table[slot] + amount
+        self._table[slot] = self.maximum if value > self.maximum else value
+
+    def decrement(self, index, amount=1):
+        slot = index & (self.size - 1)
+        value = self._table[slot] - amount
+        self._table[slot] = 0 if value < 0 else value
+
+    def train(self, index, taken):
+        """Conventional 2-bit branch training."""
+        if taken:
+            self.increment(index)
+        else:
+            self.decrement(index)
+
+    @property
+    def cost_bytes(self):
+        """Storage cost in bytes (counters are packed)."""
+        return (self.size * self.bits + 7) // 8

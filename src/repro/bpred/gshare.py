@@ -1,0 +1,35 @@
+"""Gshare branch predictor [McFarling, DEC WRL TN-36].
+
+The pattern-history table is indexed by the XOR of the branch PC and a
+global branch-history register as wide as the table index.
+"""
+
+from .counters import CounterTable
+
+
+class GsharePredictor:
+    name = "gshare"
+
+    def __init__(self, entries=16384, bits=2, history_bits=None):
+        self.table = CounterTable(entries, bits=bits)
+        index_bits = entries.bit_length() - 1
+        self.history_bits = (index_bits if history_bits is None
+                             else history_bits)
+        self.history_mask = (1 << self.history_bits) - 1
+        self.history = 0
+
+    def _index(self, pc):
+        return ((pc >> 2) ^ self.history) & (self.table.size - 1)
+
+    def predict(self, pc):
+        return self.table.is_set(self._index(pc))
+
+    def update(self, pc, taken):
+        """Train the counter *and* shift the outcome into global history."""
+        self.table.train(self._index(pc), taken)
+        self.history = ((self.history << 1) | (1 if taken else 0)) \
+            & self.history_mask
+
+    @property
+    def cost_bytes(self):
+        return self.table.cost_bytes

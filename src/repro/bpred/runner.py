@@ -1,0 +1,83 @@
+"""Run a branch predictor over a dynamic trace (program order).
+
+Trace-driven limit studies train predictors in program order: the
+prediction for each conditional branch is recorded and the predictor is
+updated with the actual outcome before moving on.  The timing simulator
+then consumes the per-branch misprediction flags.
+"""
+
+from ..trace.records import BRC
+from .combining import CombiningPredictor, PerfectPredictor
+
+
+class BranchRunResult:
+    """Per-trace branch prediction outcome.
+
+    Attributes
+    ----------
+    mispredicted:
+        dict mapping trace position -> True for mispredicted conditional
+        branches (positions absent for correct predictions keep lookups
+        cheap in the scheduler).
+    conditional:
+        number of conditional branches in the trace.
+    correct:
+        number predicted correctly.
+    """
+
+    __slots__ = ("mispredicted", "conditional", "correct", "trace_length")
+
+    def __init__(self, mispredicted, conditional, correct, trace_length):
+        self.mispredicted = mispredicted
+        self.conditional = conditional
+        self.correct = correct
+        self.trace_length = trace_length
+
+    @property
+    def accuracy(self):
+        """Fraction of conditional branches predicted correctly
+        (Table 2, column 3)."""
+        if not self.conditional:
+            return 1.0
+        return self.correct / self.conditional
+
+    @property
+    def cond_branch_fraction(self):
+        """Conditional branches as a fraction of all instructions
+        (Table 2, column 2)."""
+        if not self.trace_length:
+            return 0.0
+        return self.conditional / self.trace_length
+
+
+def run_branch_predictor(trace, predictor=None):
+    """Predict every conditional branch of ``trace`` in program order."""
+    if predictor is None:
+        predictor = CombiningPredictor()
+    static = trace.static
+    cls = static.cls
+    pcs = static.pc
+    taken_col = trace.taken
+    mispredicted = {}
+    conditional = 0
+    correct = 0
+    if isinstance(predictor, PerfectPredictor):
+        for position, sidx in enumerate(trace.sidx):
+            if cls[sidx] == BRC:
+                conditional += 1
+                correct += 1
+        return BranchRunResult({}, conditional, correct, len(trace))
+    predict = predictor.predict
+    update = predictor.update
+    for position, sidx in enumerate(trace.sidx):
+        if cls[sidx] != BRC:
+            continue
+        conditional += 1
+        pc = pcs[sidx]
+        actual = taken_col[position]
+        if predict(pc) == actual:
+            correct += 1
+        else:
+            mispredicted[position] = True
+        update(pc, actual)
+    return BranchRunResult(mispredicted, conditional, correct, len(trace))

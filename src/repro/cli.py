@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+list
+    Show the workload suite with characteristics.
+trace WORKLOAD -o FILE
+    Generate (and self-validate) a workload trace, save it in the binary
+    trace format.
+stats TARGET
+    Print trace statistics and the dynamic signature mix for a workload
+    name or a saved trace file.
+disasm WORKLOAD
+    Print the assembled kernel.
+simulate WORKLOAD
+    Run one machine configuration and print the full result breakdown.
+sweep WORKLOAD
+    Run configurations A-E across issue widths and print the IPC table.
+report
+    Regenerate EXPERIMENTS.md (all paper exhibits).
+"""
+
+import argparse
+import os
+import sys
+
+from .collapse import CollapseRules
+from .core import MachineConfig, paper_config, simulate_many, \
+    simulate_trace
+from .metrics import render_table
+from .trace import TraceStats, load_trace, save_trace, signature_mix
+from .workloads import SUITE, get_workload
+
+
+def _load_target(target, scale):
+    """A workload name or a path to a saved trace."""
+    if os.path.exists(target):
+        return load_trace(target)
+    return get_workload(target).trace(scale=scale)
+
+
+def cmd_list(args):
+    rows = []
+    for workload in SUITE:
+        rows.append([workload.name,
+                     "yes" if workload.pointer_chasing else "no",
+                     workload.nominal_length,
+                     workload.description])
+    print(render_table(
+        ["name", "pointer chasing", "~dyn length @1.0", "description"],
+        rows, title="workload suite (paper Table 1 selection)"))
+    return 0
+
+
+def cmd_trace(args):
+    workload = get_workload(args.workload)
+    trace = workload.trace(scale=args.scale)
+    save_trace(trace, args.output)
+    print("wrote %s (%d instructions, validated)"
+          % (args.output, len(trace)))
+    return 0
+
+
+def cmd_stats(args):
+    trace = _load_target(args.target, args.scale)
+    stats = TraceStats(trace)
+    rows = [[key, value] for key, value in stats.summary_row().items()]
+    print(render_table(["property", "value"], rows,
+                       title="trace statistics: %s" % (trace.name,)))
+    print()
+    mix_rows = [[sig, 100.0 * share]
+                for sig, share in signature_mix(trace, top=12)]
+    print(render_table(["signature", "share (%)"], mix_rows,
+                       title="dynamic signature mix"))
+    return 0
+
+
+def cmd_disasm(args):
+    program = get_workload(args.workload).build(scale=args.scale)
+    lines = program.disassemble()
+    limit = args.limit or len(lines)
+    for line in lines[:limit]:
+        print(line)
+    if limit < len(lines):
+        print("... (%d more instructions)" % (len(lines) - limit,))
+    return 0
+
+
+def _build_config(args):
+    if args.config:
+        config = paper_config(args.config, args.width)
+        if args.elim or args.vspec:
+            rules = config.collapse_rules
+            config = MachineConfig(
+                args.width, collapse_rules=rules,
+                load_spec=config.load_spec,
+                node_elimination=args.elim, value_spec=args.vspec,
+                name=config.name + ("+elim" if args.elim else "")
+                + ("+vspec" if args.vspec else ""))
+        return config
+    rules = CollapseRules.paper() if args.collapse or args.elim else None
+    return MachineConfig(args.width, collapse_rules=rules,
+                         load_spec=args.load_spec,
+                         node_elimination=args.elim,
+                         value_spec=args.vspec)
+
+
+def cmd_simulate(args):
+    trace = _load_target(args.workload, args.scale)
+    config = _build_config(args)
+    result = simulate_trace(trace, config)
+    print("%s on %s" % (config.name, trace.name))
+    print("  instructions : %d" % result.instructions)
+    print("  cycles       : %d" % result.cycles)
+    print("  IPC          : %.3f" % result.ipc)
+    if result.branch is not None and result.branch.conditional:
+        print("  branch acc.  : %.1f%%" % (100 * result.branch.accuracy))
+    if result.loads.total:
+        fractions = result.loads.fractions()
+        print("  loads        : " + "  ".join(
+            "%s %.1f%%" % (cat, 100 * frac)
+            for cat, frac in fractions.items()))
+    if config.collapsing:
+        stats = result.collapse
+        print("  collapses    : %d events, %.1f%% of instructions"
+              % (stats.events, 100 * stats.collapsed_fraction))
+        if config.node_elimination:
+            print("  eliminated   : %d instructions" % stats.eliminated)
+    return 0
+
+
+def cmd_sweep(args):
+    trace = _load_target(args.workload, args.scale)
+    widths = [int(w) for w in args.widths.split(",")]
+    headers = ["width"] + list("ABCDE")
+    rows = []
+    for width in widths:
+        configs = [paper_config(letter, width) for letter in "ABCDE"]
+        results = simulate_many(trace, configs)
+        rows.append([width] + [result.ipc for result in results])
+    print(render_table(headers, rows,
+                       title="IPC sweep on %s" % (trace.name,)))
+    return 0
+
+
+def cmd_report(args):
+    from .experiments.report import main as report_main
+    report_main([str(args.scale), args.output])
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data dependence speculation & collapsing (MICRO-29 "
+                    "1996) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the workload suite")
+
+    p_trace = sub.add_parser("trace", help="generate and save a trace")
+    p_trace.add_argument("workload")
+    p_trace.add_argument("-o", "--output", required=True)
+    p_trace.add_argument("--scale", type=float, default=1.0)
+
+    p_stats = sub.add_parser("stats", help="trace statistics")
+    p_stats.add_argument("target", help="workload name or trace file")
+    p_stats.add_argument("--scale", type=float, default=0.2)
+
+    p_dis = sub.add_parser("disasm", help="print the assembled kernel")
+    p_dis.add_argument("workload")
+    p_dis.add_argument("--scale", type=float, default=0.05)
+    p_dis.add_argument("--limit", type=int, default=80)
+
+    p_sim = sub.add_parser("simulate", help="simulate one configuration")
+    p_sim.add_argument("workload", help="workload name or trace file")
+    p_sim.add_argument("--scale", type=float, default=0.2)
+    p_sim.add_argument("--width", type=int, default=8)
+    p_sim.add_argument("--config", choices=list("ABCDE"),
+                       help="paper configuration letter")
+    p_sim.add_argument("--collapse", action="store_true",
+                       help="enable paper collapsing rules")
+    p_sim.add_argument("--load-spec", choices=["none", "real", "ideal"],
+                       default="none")
+    p_sim.add_argument("--elim", action="store_true",
+                       help="node-elimination extension (Figure 1.f)")
+    p_sim.add_argument("--vspec", action="store_true",
+                       help="load-value speculation extension (Fig 1.d)")
+
+    p_sweep = sub.add_parser("sweep", help="A-E x width IPC table")
+    p_sweep.add_argument("workload")
+    p_sweep.add_argument("--scale", type=float, default=0.2)
+    p_sweep.add_argument("--widths", default="4,8,16,32")
+
+    p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_report.add_argument("--scale", type=float, default=1.0)
+    p_report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "trace": cmd_trace,
+    "stats": cmd_stats,
+    "disasm": cmd_disasm,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "report": cmd_report,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Data-dependence collapsing: rules, expression groups and statistics."""
+
+from .classify import Group, merge_category
+from .rules import CollapseRules
+from .stats import (
+    CAT_0OP,
+    CAT_3_1,
+    CAT_4_1,
+    CollapseStats,
+    DISTANCE_BUCKETS,
+    distance_bucket,
+)
+
+__all__ = [
+    "Group", "merge_category",
+    "CollapseRules",
+    "CAT_0OP", "CAT_3_1", "CAT_4_1",
+    "CollapseStats", "DISTANCE_BUCKETS", "distance_bucket",
+]

@@ -1,0 +1,150 @@
+"""Statistics gathered from collapse events.
+
+One *event* is the merging of a single producer into a consumer's
+expression.  The category accounting follows Section 5.3:
+
+- ``3-1``: the merged expression has at most 3 non-zero operands;
+- ``4-1``: it has exactly 4;
+- ``0-op``: zero-operand detection was *required* for the collapse to be
+  legal (the raw operand count exceeded the limit, the zero-free count did
+  not).
+
+Pair signatures (Table 5) are recorded when an event produces a 2-wide
+group; triple signatures (Table 6) when it produces a 3-wide group.
+Distances (Figure 10) are dynamic-instruction distances between the
+producer and the consumer of each event.  The "instructions collapsed"
+measure (Figure 8) counts distinct dynamic instructions participating in
+at least one event.
+"""
+
+from collections import Counter
+
+CAT_3_1 = "3-1"
+CAT_4_1 = "4-1"
+CAT_0OP = "0-op"
+
+#: Distance histogram buckets used by the Figure 10 reproduction.
+DISTANCE_BUCKETS = (1, 2, 3, 4, 7, 15, None)
+
+
+def distance_bucket(distance):
+    """Bucket label for a producer→consumer dynamic distance."""
+    previous = 0
+    for bound in DISTANCE_BUCKETS:
+        if bound is None:
+            return ">%d" % previous
+        if distance <= bound:
+            if bound == previous + 1 or bound == 1:
+                return str(bound)
+            return "%d-%d" % (previous + 1, bound)
+        previous = bound
+    raise AssertionError("unreachable")
+
+
+class CollapseStats:
+    """Mutable collector; the scheduler calls :meth:`record_event`."""
+
+    __slots__ = ("events", "category_counts", "pair_signatures",
+                 "triple_signatures", "collapsed_positions",
+                 "distance_counts", "trace_length", "_merged_collapsed",
+                 "eliminated")
+
+    def __init__(self):
+        self.events = 0
+        self.category_counts = Counter()
+        self.pair_signatures = Counter()
+        self.triple_signatures = Counter()
+        self.collapsed_positions = set()
+        self.distance_counts = Counter()
+        self.trace_length = 0
+        self._merged_collapsed = 0
+        #: producers removed entirely by node elimination (Figure 1.f
+        #: extension; zero under the paper's own model)
+        self.eliminated = 0
+
+    def record_event(self, category, distance, chain_sigs, positions):
+        """Record one collapse event.
+
+        Parameters
+        ----------
+        category: one of CAT_3_1 / CAT_4_1 / CAT_0OP
+        distance: dynamic distance between the merged producer and consumer
+        chain_sigs: tuple of signature strings for the *resulting* group,
+            in program order
+        positions: trace positions of all group members
+        """
+        self.events += 1
+        self.category_counts[category] += 1
+        self.distance_counts[distance] += 1
+        self.collapsed_positions.update(positions)
+        if len(chain_sigs) == 2:
+            self.pair_signatures[tuple(chain_sigs)] += 1
+        elif len(chain_sigs) >= 3:
+            self.triple_signatures[tuple(chain_sigs)] += 1
+
+    # ------------------------------------------------------------------
+    # Derived measures.
+    # ------------------------------------------------------------------
+
+    @property
+    def instructions_collapsed(self):
+        return len(self.collapsed_positions) + self._merged_collapsed
+
+    @property
+    def collapsed_fraction(self):
+        """Figure 8: fraction of dynamic instructions collapsed."""
+        if not self.trace_length:
+            return 0.0
+        return self.instructions_collapsed / self.trace_length
+
+    def category_fractions(self):
+        """Figure 9: contribution of each category among all events."""
+        total = max(1, self.events)
+        return {
+            CAT_3_1: self.category_counts[CAT_3_1] / total,
+            CAT_4_1: self.category_counts[CAT_4_1] / total,
+            CAT_0OP: self.category_counts[CAT_0OP] / total,
+        }
+
+    def distance_histogram(self):
+        """Figure 10: distance distribution, bucketed, as fractions."""
+        total = max(1, self.events)
+        histogram = {}
+        for distance, count in self.distance_counts.items():
+            bucket = distance_bucket(distance)
+            histogram[bucket] = histogram.get(bucket, 0.0) + count / total
+        return histogram
+
+    def fraction_within(self, limit):
+        """Fraction of events with distance <= ``limit``."""
+        total = sum(self.distance_counts.values())
+        if not total:
+            return 0.0
+        near = sum(count for distance, count in self.distance_counts.items()
+                   if distance <= limit)
+        return near / total
+
+    def top_pairs(self, count=12):
+        """Table 5: most frequent pair signatures as (sigs, fraction)."""
+        total = max(1, sum(self.pair_signatures.values()))
+        return [(sigs, n / total)
+                for sigs, n in self.pair_signatures.most_common(count)]
+
+    def top_triples(self, count=13):
+        """Table 6: most frequent triple signatures as (sigs, fraction)."""
+        total = max(1, sum(self.triple_signatures.values()))
+        return [(sigs, n / total)
+                for sigs, n in self.triple_signatures.most_common(count)]
+
+    def merge(self, other):
+        """Accumulate another stats object (for cross-benchmark averages)."""
+        self.events += other.events
+        self.category_counts.update(other.category_counts)
+        self.pair_signatures.update(other.pair_signatures)
+        self.triple_signatures.update(other.triple_signatures)
+        self.distance_counts.update(other.distance_counts)
+        # Positions are per-trace, so a merged object keeps only counts.
+        self.trace_length += other.trace_length
+        self._merged_collapsed += other.instructions_collapsed
+        self.eliminated += other.eliminated
+        return self

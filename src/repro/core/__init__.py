@@ -1,0 +1,48 @@
+"""The paper's core contribution: the windowed timing model with
+dependence speculation and collapsing."""
+
+from .config import (
+    CONFIG_LETTERS,
+    LOAD_SPEC_IDEAL,
+    LOAD_SPEC_NONE,
+    LOAD_SPEC_REAL,
+    PAPER_ISSUE_WIDTHS,
+    WIDTH_LABELS,
+    MachineConfig,
+    config_a,
+    config_b,
+    config_c,
+    config_d,
+    config_e,
+    paper_config,
+)
+from .results import (
+    LOAD_CATEGORIES,
+    LOAD_NOT_PREDICTED,
+    LOAD_PRED_CORRECT,
+    LOAD_PRED_INCORRECT,
+    LOAD_READY,
+    LoadStats,
+    SimResult,
+)
+from .elimination import compute_sole_readers
+from .scheduler import WindowScheduler
+from .simulator import (
+    branch_outcomes,
+    load_outcomes,
+    simulate_many,
+    simulate_trace,
+    value_outcomes,
+)
+
+__all__ = [
+    "CONFIG_LETTERS", "LOAD_SPEC_IDEAL", "LOAD_SPEC_NONE", "LOAD_SPEC_REAL",
+    "PAPER_ISSUE_WIDTHS", "WIDTH_LABELS", "MachineConfig",
+    "config_a", "config_b", "config_c", "config_d", "config_e",
+    "paper_config",
+    "LOAD_CATEGORIES", "LOAD_NOT_PREDICTED", "LOAD_PRED_CORRECT",
+    "LOAD_PRED_INCORRECT", "LOAD_READY", "LoadStats", "SimResult",
+    "WindowScheduler", "compute_sole_readers",
+    "branch_outcomes", "load_outcomes", "simulate_many", "simulate_trace",
+    "value_outcomes",
+]

@@ -1,0 +1,141 @@
+"""Machine configurations (paper Section 4).
+
+Five configurations are studied:
+
+- **A**: base superscalar (windowed issue, real branch prediction, ideal
+  renaming, perfect disambiguation);
+- **B**: A + real (stride/confidence) load-speculation;
+- **C**: A + dependence collapsing;
+- **D**: A + collapsing + real load-speculation;
+- **E**: A + collapsing + ideal load-speculation.
+
+For every configuration the window is twice the issue width unless
+overridden.  Issue widths studied: 4, 8, 16, 32 and 2048 ("2k").
+"""
+
+from ..collapse.rules import CollapseRules
+from ..errors import ConfigError
+
+LOAD_SPEC_NONE = "none"
+LOAD_SPEC_REAL = "real"
+LOAD_SPEC_IDEAL = "ideal"
+
+#: Issue widths used throughout the paper's evaluation.
+PAPER_ISSUE_WIDTHS = (4, 8, 16, 32, 2048)
+
+#: Labels the paper uses for the widths in figures.
+WIDTH_LABELS = {4: "4", 8: "8", 16: "16", 32: "32", 2048: "2k"}
+
+CONFIG_LETTERS = ("A", "B", "C", "D", "E")
+
+
+class MachineConfig:
+    """One simulated machine."""
+
+    __slots__ = ("name", "issue_width", "window_size", "collapse_rules",
+                 "load_spec", "perfect_branches", "node_elimination",
+                 "value_spec", "fetch_taken_break")
+
+    def __init__(self, issue_width, window_size=None, collapse_rules=None,
+                 load_spec=LOAD_SPEC_NONE, perfect_branches=False,
+                 node_elimination=False, value_spec=False,
+                 fetch_taken_break=False, name=None):
+        if issue_width < 1:
+            raise ConfigError("issue width must be positive")
+        if window_size is None:
+            window_size = 2 * issue_width
+        if window_size < issue_width:
+            raise ConfigError("window smaller than issue width")
+        if load_spec not in (LOAD_SPEC_NONE, LOAD_SPEC_REAL,
+                             LOAD_SPEC_IDEAL):
+            raise ConfigError("unknown load_spec %r" % (load_spec,))
+        if node_elimination and collapse_rules is None:
+            raise ConfigError(
+                "node elimination is a collapsing extension: it needs "
+                "collapse_rules (Figure 1.f eliminates collapsed "
+                "producers)")
+        self.issue_width = issue_width
+        self.window_size = window_size
+        self.collapse_rules = collapse_rules
+        self.load_spec = load_spec
+        self.perfect_branches = perfect_branches
+        self.node_elimination = node_elimination
+        self.value_spec = value_spec
+        #: When set, fetch stops at each *taken* control transfer for the
+        #: rest of the cycle (single-fetch-block front end), an
+        #: infrastructure-realism ablation; the paper's model fetches
+        #: across taken branches freely.
+        self.fetch_taken_break = fetch_taken_break
+        self.name = name or self._default_name()
+
+    def _default_name(self):
+        parts = ["w%d" % self.issue_width]
+        if self.collapse_rules is not None:
+            parts.append("collapse")
+        if self.load_spec != LOAD_SPEC_NONE:
+            parts.append("lspec-%s" % self.load_spec)
+        if self.node_elimination:
+            parts.append("elim")
+        if self.value_spec:
+            parts.append("vspec")
+        return "+".join(parts)
+
+    @property
+    def collapsing(self):
+        return self.collapse_rules is not None
+
+    def width_label(self):
+        return WIDTH_LABELS.get(self.issue_width, str(self.issue_width))
+
+    def __repr__(self):
+        return ("MachineConfig(%s: width=%d, window=%d, collapse=%r, "
+                "load_spec=%s)") % (self.name, self.issue_width,
+                                    self.window_size, self.collapse_rules,
+                                    self.load_spec)
+
+
+def config_a(issue_width, **kwargs):
+    """Base superscalar machine."""
+    return MachineConfig(issue_width, name="A/w%d" % issue_width, **kwargs)
+
+
+def config_b(issue_width, **kwargs):
+    """Base + real load-speculation."""
+    return MachineConfig(issue_width, load_spec=LOAD_SPEC_REAL,
+                         name="B/w%d" % issue_width, **kwargs)
+
+
+def config_c(issue_width, rules=None, **kwargs):
+    """Base + dependence collapsing."""
+    return MachineConfig(issue_width,
+                         collapse_rules=rules or CollapseRules.paper(),
+                         name="C/w%d" % issue_width, **kwargs)
+
+
+def config_d(issue_width, rules=None, **kwargs):
+    """Base + collapsing + real load-speculation."""
+    return MachineConfig(issue_width,
+                         collapse_rules=rules or CollapseRules.paper(),
+                         load_spec=LOAD_SPEC_REAL,
+                         name="D/w%d" % issue_width, **kwargs)
+
+
+def config_e(issue_width, rules=None, **kwargs):
+    """Base + collapsing + ideal load-speculation."""
+    return MachineConfig(issue_width,
+                         collapse_rules=rules or CollapseRules.paper(),
+                         load_spec=LOAD_SPEC_IDEAL,
+                         name="E/w%d" % issue_width, **kwargs)
+
+
+_FACTORIES = {"A": config_a, "B": config_b, "C": config_c,
+              "D": config_d, "E": config_e}
+
+
+def paper_config(letter, issue_width, **kwargs):
+    """Build configuration ``letter`` (A-E) at ``issue_width``."""
+    try:
+        factory = _FACTORIES[letter.upper()]
+    except KeyError:
+        raise ConfigError("unknown configuration letter %r" % (letter,))
+    return factory(issue_width, **kwargs)

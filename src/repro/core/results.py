@@ -1,0 +1,81 @@
+"""Result records produced by the timing simulator."""
+
+#: Load categories (Section 3 / Tables 3-4).
+LOAD_READY = "ready"
+LOAD_PRED_CORRECT = "predicted_correctly"
+LOAD_PRED_INCORRECT = "predicted_incorrectly"
+LOAD_NOT_PREDICTED = "not_predicted"
+
+LOAD_CATEGORIES = (LOAD_READY, LOAD_PRED_CORRECT, LOAD_PRED_INCORRECT,
+                   LOAD_NOT_PREDICTED)
+
+
+class LoadStats:
+    """Per-run load-speculation behaviour."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self):
+        self.counts = {category: 0 for category in LOAD_CATEGORIES}
+
+    def record(self, category):
+        self.counts[category] += 1
+
+    @property
+    def total(self):
+        return sum(self.counts.values())
+
+    def fractions(self):
+        """Category fractions over all loads (Tables 3-4 rows)."""
+        total = max(1, self.total)
+        return {category: count / total
+                for category, count in self.counts.items()}
+
+    def merge(self, other):
+        for category, count in other.counts.items():
+            self.counts[category] += count
+        return self
+
+
+class SimResult:
+    """Outcome of simulating one trace on one machine configuration."""
+
+    __slots__ = ("config_name", "trace_name", "instructions", "cycles",
+                 "loads", "collapse", "branch", "issue_width",
+                 "window_size", "issue_cycles")
+
+    def __init__(self, config, trace_name, instructions, cycles, loads,
+                 collapse, branch, issue_cycles=None):
+        self.config_name = config.name
+        self.issue_width = config.issue_width
+        self.window_size = config.window_size
+        self.trace_name = trace_name
+        self.instructions = instructions
+        self.cycles = cycles
+        self.loads = loads
+        self.collapse = collapse
+        self.branch = branch
+        #: per-position issue cycle (eliminated instructions carry the
+        #: cycle at which they were folded away); mainly for verification
+        self.issue_cycles = issue_cycles
+
+    @property
+    def ipc(self):
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def speedup_over(self, baseline):
+        """Speedup of this run versus ``baseline`` on the same trace."""
+        if baseline.trace_name != self.trace_name:
+            raise ValueError(
+                "speedup compares runs of the same trace (%r vs %r)"
+                % (self.trace_name, baseline.trace_name))
+        if self.cycles == 0:
+            return 1.0
+        return baseline.cycles / self.cycles
+
+    def __repr__(self):
+        return ("SimResult(%s on %s: ipc=%.3f, cycles=%d)"
+                % (self.config_name, self.trace_name, self.ipc,
+                   self.cycles))

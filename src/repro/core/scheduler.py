@@ -1,0 +1,451 @@
+"""Windowed out-of-order issue scheduler (Wall-style limit model).
+
+Semantics (paper Section 4):
+
+- Instructions are fetched in program order into a window of fixed size;
+  the window is kept full — an instruction enters as soon as a slot frees.
+- Each cycle, up to ``issue_width`` ready instructions issue, oldest
+  first.  An instruction is ready when every true dependence (register,
+  condition-code, memory through same-address stores) has its value
+  available: producers complete ``latency`` cycles after issue.
+- Renaming is ideal (no false dependences) and memory disambiguation
+  perfect (a load depends only on the most recent prior store to the same
+  word).
+- Conditional branches use precomputed prediction outcomes; after a
+  *mispredicted* branch enters the window, fetch stalls until the branch
+  issues, which enforces "instructions following a branch can not issue
+  before or during the cycle the branch instruction issues".
+- Load-speculation: a load whose address dependences are all resolved by
+  the time it enters the window is *ready*.  A not-ready load may use a
+  predicted address (per the precomputed two-delta outcomes): a correct
+  prediction removes its address-generation dependences; a wrong or
+  unavailable prediction leaves timing unchanged but is tallied.
+- Collapsing: when an instruction enters the window, each still-unissued
+  producer of a collapsible expression operand may be merged into the
+  consumer's dependence expression (subject to
+  :class:`~repro.collapse.rules.CollapseRules`); the consumer then inherits
+  the producer's own unresolved sources instead of waiting for the
+  producer.
+
+The engine is event-driven: idle stretches are skipped by jumping to the
+next dependence-resolution event, which keeps the 2048-wide/4096-window
+configuration tractable in pure Python.
+"""
+
+import heapq
+
+from ..collapse.classify import Group
+from ..collapse.stats import CollapseStats
+from ..trace.records import BRC, CTI, LD, ST
+from .config import LOAD_SPEC_IDEAL, LOAD_SPEC_NONE, LOAD_SPEC_REAL
+from .elimination import compute_sole_readers
+from .results import (
+    LOAD_NOT_PREDICTED,
+    LOAD_PRED_CORRECT,
+    LOAD_PRED_INCORRECT,
+    LOAD_READY,
+    LoadStats,
+    SimResult,
+)
+
+_KIND_ADDR = 0
+_KIND_OTHER = 1
+
+
+class WindowScheduler:
+    """Schedules one trace on one machine configuration.
+
+    Parameters
+    ----------
+    trace: DynTrace
+    config: MachineConfig
+    branch_result: BranchRunResult
+        Precomputed conditional-branch outcomes (program order).
+    load_prediction: LoadPredictionResult or None
+        Precomputed two-delta outcomes; required when
+        ``config.load_spec == "real"``.
+    """
+
+    def __init__(self, trace, config, branch_result, load_prediction=None,
+                 value_prediction=None):
+        if config.load_spec == LOAD_SPEC_REAL and load_prediction is None:
+            raise ValueError("real load-speculation needs predictor output")
+        if config.value_spec and value_prediction is None:
+            raise ValueError("value speculation needs a value-prediction "
+                             "pass (repro.vpred)")
+        self.trace = trace
+        self.config = config
+        self.branch_result = branch_result
+        self.load_prediction = load_prediction
+        self.value_prediction = value_prediction
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        trace = self.trace
+        config = self.config
+        static = trace.static
+        n = len(trace)
+
+        # Static columns (localised for speed).
+        sidx = trace.sidx
+        eff_addr = trace.eff_addr
+        cls_col = static.cls
+        lat_col = static.lat
+        dest_col = static.dest
+        src1_col = static.src1
+        src2_col = static.src2
+        datasrc_col = static.datasrc
+        writes_cc_col = static.writes_cc
+        reads_cc_col = static.reads_cc
+        sig_col = static.sig
+        leaves_col = static.leaves
+        zeros_col = static.zeros
+        producer_ok_col = static.producer_ok
+        consumer_ok_col = static.consumer_ok
+
+        mispredicted = self.branch_result.mispredicted if self.branch_result \
+            else {}
+        load_spec = config.load_spec
+        if load_spec == LOAD_SPEC_REAL:
+            lp_attempted = self.load_prediction.attempted
+            lp_correct = self.load_prediction.correct
+        else:
+            lp_attempted = lp_correct = None
+
+        rules = config.collapse_rules
+        collapsing = rules is not None
+        collapse_stats = CollapseStats()
+        load_stats = LoadStats()
+
+        node_elim = collapsing and config.node_elimination
+        sole_reader = compute_sole_readers(trace) if node_elim else None
+        eliminated = set()
+
+        value_spec = config.value_spec
+        if value_spec:
+            vp_attempted = self.value_prediction.attempted
+            vp_correct = self.value_prediction.correct
+        else:
+            vp_attempted = vp_correct = None
+
+        width = config.issue_width
+        window_limit = config.window_size
+        fetch_break = config.fetch_taken_break
+        taken_col = trace.taken
+
+        # Per-position simulation state.
+        issue_cycle = [-1] * n
+        completion = [0] * n
+        pend_addr = {}          # pos -> set of unissued producer positions
+        pend_other = {}
+        bound_addr = {}         # pos -> max completion over resolved deps
+        bound_other = {}
+        consumers = {}          # producer pos -> list of (consumer, kind)
+        groups = {}             # pos -> collapse Group (while in window)
+        block_of = {}           # pos -> dynamic basic-block id
+
+        reg_writer = [-1] * 33  # 32 registers + condition codes (index 32)
+        mem_writer = {}         # word address -> last store position
+
+        ready_heap = []         # positions ready to issue now
+        future_heap = []        # (cycle value becomes available, position)
+
+        fetched = 0
+        window_count = 0
+        issued = 0
+        block_fetch = False
+        block_counter = 0
+        cycle = 0
+        last_issue = 0
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        # --------------------------------------------------------------
+        def enter(i, now):
+            nonlocal block_fetch, block_counter, issued, window_count
+            s = sidx[i]
+            cls = cls_col[s]
+            is_mem = cls == LD or cls == ST
+
+            # ---- gather producer arcs: (producer, kind, collapsible, uses)
+            arcs = []
+            src1 = src1_col[s]
+            src2 = src2_col[s]
+            expr_kind = _KIND_ADDR if is_mem else _KIND_OTHER
+            expr_collapsible = consumer_ok_col[s]
+            if src1 >= 0:
+                p = reg_writer[src1]
+                if p >= 0:
+                    if src2 == src1:
+                        arcs.append((p, expr_kind, expr_collapsible, 2))
+                    else:
+                        arcs.append((p, expr_kind, expr_collapsible, 1))
+            if src2 >= 0 and src2 != src1:
+                p = reg_writer[src2]
+                if p >= 0:
+                    arcs.append((p, expr_kind, expr_collapsible, 1))
+            if cls == ST:
+                data_reg = datasrc_col[s]
+                if data_reg >= 0:
+                    p = reg_writer[data_reg]
+                    if p >= 0:
+                        arcs.append((p, _KIND_OTHER, False, 1))
+            if reads_cc_col[s]:
+                p = reg_writer[32]
+                if p >= 0:
+                    arcs.append((p, _KIND_OTHER, consumer_ok_col[s], 1))
+            if cls == LD:
+                p = mem_writer.get(eff_addr[i] >> 2, -1)
+                if p >= 0:
+                    arcs.append((p, _KIND_OTHER, False, 1))
+
+            b_addr = 0
+            b_other = 0
+            pending = []        # (producer, kind) arcs kept as dependences
+            elim_candidates = []
+            group = Group(i, sig_col[s], leaves_col[s], zeros_col[s])
+
+            for p, kind, arc_collapsible, uses in arcs:
+                if value_spec and cls_col[sidx[p]] == LD \
+                        and vp_attempted.get(p, False) \
+                        and vp_correct.get(p, False):
+                    # Value speculation (Figure 1.d extension): the
+                    # consumer uses the predicted load value and does not
+                    # wait for the load at all.  The load itself still
+                    # executes to verify the prediction.
+                    continue
+                if issue_cycle[p] >= 0:
+                    comp = completion[p]
+                    if kind == _KIND_ADDR:
+                        if comp > b_addr:
+                            b_addr = comp
+                    elif comp > b_other:
+                        b_other = comp
+                    continue
+                # Producer still pending in the window.
+                merged = False
+                if collapsing and arc_collapsible and producer_ok_col[sidx[p]]:
+                    distance = i - p
+                    legal = True
+                    if not rules.allow_nonconsecutive and distance != 1:
+                        legal = False
+                    if legal and rules.max_distance is not None \
+                            and distance > rules.max_distance:
+                        legal = False
+                    if legal and not rules.allow_cross_block \
+                            and block_of.get(p) != block_counter:
+                        legal = False
+                    if legal:
+                        category = group.try_merge(groups[p], uses, rules)
+                        if category is not None:
+                            collapse_stats.record_event(
+                                category, distance, tuple(group.sigs),
+                                tuple(group.positions))
+                            # Inherit the producer's unresolved state.
+                            pb = bound_other.get(p, 0)
+                            if kind == _KIND_ADDR:
+                                if pb > b_addr:
+                                    b_addr = pb
+                            elif pb > b_other:
+                                b_other = pb
+                            for q in pend_other.get(p, ()):
+                                pending.append((q, kind))
+                            merged = True
+                            if node_elim and sole_reader[p] == i:
+                                elim_candidates.append(p)
+                if not merged:
+                    pending.append((p, kind))
+
+            # ---- load classification / speculation
+            if cls == LD:
+                has_pending_addr = any(kind == _KIND_ADDR
+                                       for _, kind in pending)
+                if not has_pending_addr and b_addr <= now:
+                    load_stats.record(LOAD_READY)
+                elif load_spec == LOAD_SPEC_IDEAL:
+                    load_stats.record(LOAD_PRED_CORRECT)
+                    pending = [arc for arc in pending
+                               if arc[1] != _KIND_ADDR]
+                    b_addr = 0
+                elif load_spec == LOAD_SPEC_REAL:
+                    if lp_attempted.get(i, False):
+                        if lp_correct.get(i, False):
+                            load_stats.record(LOAD_PRED_CORRECT)
+                            pending = [arc for arc in pending
+                                       if arc[1] != _KIND_ADDR]
+                            b_addr = 0
+                        else:
+                            load_stats.record(LOAD_PRED_INCORRECT)
+                    else:
+                        load_stats.record(LOAD_NOT_PREDICTED)
+                else:
+                    load_stats.record(LOAD_NOT_PREDICTED)
+
+            # ---- node elimination (Figure 1.f extension): a collapsed
+            # producer whose sole reader is this consumer never executes.
+            # It must have no remaining arc to this consumer (e.g. a
+            # store that collapsed the address register but still needs
+            # the same register as data) and no registered consumers.
+            if elim_candidates:
+                still_needed = {p for p, _ in pending}
+                for p in elim_candidates:
+                    if p in eliminated or p in still_needed \
+                            or consumers.get(p):
+                        continue
+                    eliminated.add(p)
+                    collapse_stats.eliminated += 1
+                    issue_cycle[p] = now
+                    completion[p] = now
+                    pend_addr.pop(p, None)
+                    pend_other.pop(p, None)
+                    bound_addr.pop(p, None)
+                    bound_other.pop(p, None)
+                    groups.pop(p, None)
+                    block_of.pop(p, None)
+                    issued += 1
+                    window_count -= 1
+
+            # ---- register remaining arcs; bounds are kept for every
+            # unissued instruction because a later consumer may collapse
+            # this one and must inherit its value-availability bound.
+            bound_addr[i] = b_addr
+            bound_other[i] = b_other
+            if pending:
+                p_addr = set()
+                p_other = set()
+                for p, kind in pending:
+                    target = p_addr if kind == _KIND_ADDR else p_other
+                    if p in target:
+                        continue
+                    target.add(p)
+                    consumers.setdefault(p, []).append((i, kind))
+                if p_addr:
+                    pend_addr[i] = p_addr
+                if p_other:
+                    pend_other[i] = p_other
+            else:
+                ready_at = b_addr if b_addr > b_other else b_other
+                if ready_at <= now:
+                    heappush(ready_heap, i)
+                else:
+                    heappush(future_heap, (ready_at, i))
+
+            if collapsing:
+                groups[i] = group
+                block_of[i] = block_counter
+
+            # ---- architectural update (program order)
+            dest = dest_col[s]
+            if dest >= 0:
+                reg_writer[dest] = i
+            if writes_cc_col[s]:
+                reg_writer[32] = i
+            if cls == ST:
+                mem_writer[eff_addr[i] >> 2] = i
+            if cls == BRC or cls == CTI:
+                block_counter += 1
+                if i in mispredicted:
+                    block_fetch = True
+
+        # --------------------------------------------------------------
+        def notify(p, now):
+            comp = completion[p]
+            plist = consumers.pop(p, None)
+            if not plist:
+                return
+            for c, kind in plist:
+                if kind == _KIND_ADDR:
+                    wait = pend_addr.get(c)
+                    if wait is None or p not in wait:
+                        continue
+                    wait.discard(p)
+                    if not wait:
+                        del pend_addr[c]
+                    if comp > bound_addr[c]:
+                        bound_addr[c] = comp
+                else:
+                    wait = pend_other.get(c)
+                    if wait is None or p not in wait:
+                        continue
+                    wait.discard(p)
+                    if not wait:
+                        del pend_other[c]
+                    if comp > bound_other[c]:
+                        bound_other[c] = comp
+                if c not in pend_addr and c not in pend_other:
+                    ba = bound_addr[c]
+                    bo = bound_other[c]
+                    ready_at = ba if ba > bo else bo
+                    heappush(future_heap, (ready_at, c))
+
+        # --------------------------------------------------------------
+        while issued < n:
+            # Fill the window (kept full except behind a mispredicted,
+            # still-unissued conditional branch; with fetch_taken_break,
+            # at most one taken control transfer enters per cycle).
+            while fetched < n and window_count < window_limit \
+                    and not block_fetch:
+                position = fetched
+                enter(position, cycle)
+                fetched += 1
+                window_count += 1
+                if fetch_break and taken_col[position]:
+                    cls = cls_col[sidx[position]]
+                    if cls == BRC or cls == CTI:
+                        break
+
+            # Mature future events.
+            while future_heap and future_heap[0][0] <= cycle:
+                heappush(ready_heap, heappop(future_heap)[1])
+
+            # Issue up to ``width`` oldest-ready instructions.
+            issued_now = 0
+            while issued_now < width and ready_heap:
+                pos = heappop(ready_heap)
+                if pos in eliminated:
+                    # Eliminated after being scheduled: consumes nothing.
+                    continue
+                issue_cycle[pos] = cycle
+                completion[pos] = cycle + lat_col[sidx[pos]]
+                issued += 1
+                issued_now += 1
+                window_count -= 1
+                last_issue = cycle
+                if block_fetch and pos in mispredicted:
+                    # The blocking branch issued; resume fetch next cycle.
+                    block_fetch = False
+                bound_addr.pop(pos, None)
+                bound_other.pop(pos, None)
+                if collapsing:
+                    groups.pop(pos, None)
+                    block_of.pop(pos, None)
+                notify(pos, cycle)
+
+            if issued_now:
+                cycle += 1
+            elif future_heap:
+                next_cycle = future_heap[0][0]
+                if fetch_break and fetched < n and not block_fetch \
+                        and window_count < window_limit:
+                    # Fetch proceeds one taken-branch block per cycle, so
+                    # idle stretches cannot be skipped wholesale.
+                    cycle += 1
+                else:
+                    cycle = next_cycle if next_cycle > cycle \
+                        else cycle + 1
+            else:
+                cycle += 1
+
+        collapse_stats.trace_length = n
+        return SimResult(
+            config=config,
+            trace_name=trace.name,
+            instructions=n,
+            cycles=last_issue + 1 if n else 0,
+            loads=load_stats,
+            collapse=collapse_stats,
+            branch=self.branch_result,
+            issue_cycles=issue_cycle,
+        )

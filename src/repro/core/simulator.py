@@ -1,0 +1,75 @@
+"""High-level simulation entry points.
+
+:func:`simulate_trace` runs one (trace, configuration) pair, computing the
+program-order predictor passes on demand; :func:`simulate_many` amortises
+those passes across several configurations of the same trace — branch
+prediction and address prediction are configuration-independent (they run
+in program order), so one pass each feeds every machine.
+"""
+
+from ..addrpred.runner import run_address_predictor
+from ..bpred.combining import CombiningPredictor, PerfectPredictor
+from ..bpred.runner import run_branch_predictor
+from ..vpred.runner import run_value_predictor
+from .config import LOAD_SPEC_REAL
+from .scheduler import WindowScheduler
+
+
+def branch_outcomes(trace, perfect=False):
+    """Program-order branch-prediction pass for ``trace``."""
+    predictor = PerfectPredictor() if perfect else CombiningPredictor()
+    return run_branch_predictor(trace, predictor)
+
+
+def load_outcomes(trace, table=None):
+    """Program-order address-prediction pass for ``trace``."""
+    return run_address_predictor(trace, table)
+
+
+def value_outcomes(trace, table=None):
+    """Program-order value-prediction pass (extension)."""
+    return run_value_predictor(trace, table)
+
+
+def simulate_trace(trace, config, branch_result=None, load_prediction=None,
+                   value_prediction=None):
+    """Simulate ``trace`` on ``config`` and return a ``SimResult``."""
+    if branch_result is None:
+        branch_result = branch_outcomes(trace,
+                                        perfect=config.perfect_branches)
+    if load_prediction is None and config.load_spec == LOAD_SPEC_REAL:
+        load_prediction = load_outcomes(trace)
+    if value_prediction is None and config.value_spec:
+        value_prediction = value_outcomes(trace)
+    scheduler = WindowScheduler(trace, config, branch_result,
+                                load_prediction, value_prediction)
+    return scheduler.run()
+
+
+def simulate_many(trace, configs):
+    """Simulate ``trace`` on several configurations, sharing predictor
+    passes.  Returns a list of ``SimResult`` in the order of ``configs``.
+    """
+    configs = list(configs)
+    real_branch = None
+    perfect_branch = None
+    load_prediction = None
+    results = []
+    for config in configs:
+        if config.perfect_branches:
+            if perfect_branch is None:
+                perfect_branch = branch_outcomes(trace, perfect=True)
+            branch_result = perfect_branch
+        else:
+            if real_branch is None:
+                real_branch = branch_outcomes(trace)
+            branch_result = real_branch
+        prediction = None
+        if config.load_spec == LOAD_SPEC_REAL:
+            if load_prediction is None:
+                load_prediction = load_outcomes(trace)
+            prediction = load_prediction
+        results.append(simulate_trace(trace, config,
+                                      branch_result=branch_result,
+                                      load_prediction=prediction))
+    return results

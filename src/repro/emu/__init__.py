@@ -1,0 +1,7 @@
+"""Functional emulator for the SPARC-v8-like ISA."""
+
+from .machine import ExecResult, Machine
+from .memory import Memory
+from .tracer import trace_program
+
+__all__ = ["ExecResult", "Machine", "Memory", "trace_program"]

@@ -1,0 +1,384 @@
+"""Functional emulator for assembled programs.
+
+The emulator interprets :class:`~repro.asm.program.Program` instructions
+directly, maintaining a 32-entry register file, integer condition codes and
+sparse memory.  When given a trace sink it records every executed
+instruction (except ``nop``, which the paper excludes, and the final
+``halt``) for the trace-driven timing simulator.
+
+The interpreter is written as one dispatch loop over pre-decoded tuples:
+this is the hot path for workload generation and runs at roughly a million
+instructions per second in CPython.
+"""
+
+from ..errors import EmulationError
+from ..isa.opcodes import Opcode
+from .memory import Memory
+
+_MASK32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+_OP_ADD = int(Opcode.ADD)
+_OP_SUB = int(Opcode.SUB)
+_OP_ADDCC = int(Opcode.ADDCC)
+_OP_SUBCC = int(Opcode.SUBCC)
+_OP_AND = int(Opcode.AND)
+_OP_OR = int(Opcode.OR)
+_OP_XOR = int(Opcode.XOR)
+_OP_ANDN = int(Opcode.ANDN)
+_OP_ORN = int(Opcode.ORN)
+_OP_XNOR = int(Opcode.XNOR)
+_OP_ANDCC = int(Opcode.ANDCC)
+_OP_ORCC = int(Opcode.ORCC)
+_OP_XORCC = int(Opcode.XORCC)
+_OP_SLL = int(Opcode.SLL)
+_OP_SRL = int(Opcode.SRL)
+_OP_SRA = int(Opcode.SRA)
+_OP_MOV = int(Opcode.MOV)
+_OP_SETHI = int(Opcode.SETHI)
+_OP_UMUL = int(Opcode.UMUL)
+_OP_SMUL = int(Opcode.SMUL)
+_OP_UDIV = int(Opcode.UDIV)
+_OP_SDIV = int(Opcode.SDIV)
+_OP_LD = int(Opcode.LD)
+_OP_LDUB = int(Opcode.LDUB)
+_OP_LDSB = int(Opcode.LDSB)
+_OP_LDUH = int(Opcode.LDUH)
+_OP_LDSH = int(Opcode.LDSH)
+_OP_ST = int(Opcode.ST)
+_OP_STB = int(Opcode.STB)
+_OP_STH = int(Opcode.STH)
+_OP_BA = int(Opcode.BA)
+_OP_CALL = int(Opcode.CALL)
+_OP_JMPL = int(Opcode.JMPL)
+_OP_HALT = int(Opcode.HALT)
+_OP_NOP = int(Opcode.NOP)
+
+_BRANCH_LO = int(Opcode.BE)
+_BRANCH_HI = int(Opcode.BPOS)
+
+
+def _signed(value):
+    return value - 0x100000000 if value & _SIGN else value
+
+
+class ExecResult:
+    """Outcome of an emulator run."""
+
+    __slots__ = ("executed", "traced", "halted")
+
+    def __init__(self, executed, traced, halted):
+        self.executed = executed
+        self.traced = traced
+        self.halted = halted
+
+    def __repr__(self):
+        return ("ExecResult(executed=%d, traced=%d, halted=%r)"
+                % (self.executed, self.traced, self.halted))
+
+
+class Machine:
+    """Interprets a program; optionally records a dynamic trace.
+
+    Parameters
+    ----------
+    program:
+        The assembled :class:`~repro.asm.program.Program`.
+    trace:
+        Optional trace sink exposing ``sidx``, ``eff_addr`` and ``taken``
+        list attributes (see :class:`repro.trace.records.DynTrace`).
+    max_instructions:
+        Hard budget; exceeding it raises :class:`EmulationError` so broken
+        workloads fail loudly instead of spinning.
+    """
+
+    def __init__(self, program, trace=None, max_instructions=50_000_000):
+        self.program = program
+        self.memory = Memory()
+        self.regs = [0] * 32
+        self.regs[14] = program.stack_top          # %sp
+        self.trace = trace
+        self.max_instructions = max_instructions
+        self.cc_n = False
+        self.cc_z = True
+        self.cc_v = False
+        self.cc_c = False
+        if program.data:
+            self.memory.load_bytes(program.data_base, program.data)
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Execute from the program entry point until ``halt``."""
+        program = self.program
+        instrs = program.instructions
+        n_instr = len(instrs)
+        decoded = [
+            (int(i.opcode), i.rd, i.rs1, i.rs2, i.imm, i.target)
+            for i in instrs
+        ]
+        regs = self.regs
+        mem = self.memory
+        text_base = program.text_base
+
+        trace = self.trace
+        if trace is not None:
+            t_sidx = trace.sidx
+            t_addr = trace.eff_addr
+            t_taken = trace.taken
+            t_val = trace.mem_value
+        else:
+            t_sidx = t_addr = t_taken = t_val = None
+
+        try:
+            pc = program.index_of_address(program.entry)
+        except ValueError as exc:
+            raise EmulationError(str(exc))
+
+        n = self.cc_n
+        z = self.cc_z
+        v = self.cc_v
+        c = self.cc_c
+        executed = 0
+        traced = 0
+        budget = self.max_instructions
+
+        while True:
+            if pc < 0 or pc >= n_instr:
+                raise EmulationError("pc ran off the text segment",
+                                     pc=text_base + 4 * pc)
+            op, rd, rs1, rs2, imm, target = decoded[pc]
+            executed += 1
+            if executed > budget:
+                raise EmulationError(
+                    "instruction budget (%d) exceeded" % (budget,),
+                    pc=text_base + 4 * pc)
+
+            # ---------------- ALU ----------------
+            if op <= _OP_SRA or op == _OP_UMUL or op == _OP_SMUL \
+                    or op == _OP_UDIV or op == _OP_SDIV:
+                a = regs[rs1]
+                b = imm & _MASK32 if imm is not None else regs[rs2]
+                if op == _OP_ADD:
+                    result = (a + b) & _MASK32
+                elif op == _OP_SUB:
+                    result = (a - b) & _MASK32
+                elif op == _OP_ADDCC:
+                    result = (a + b) & _MASK32
+                    n = bool(result & _SIGN)
+                    z = result == 0
+                    c = (a + b) > _MASK32
+                    v = bool((~(a ^ b)) & (a ^ result) & _SIGN)
+                elif op == _OP_SUBCC:
+                    result = (a - b) & _MASK32
+                    n = bool(result & _SIGN)
+                    z = result == 0
+                    c = a < b
+                    v = bool((a ^ b) & (a ^ result) & _SIGN)
+                elif op == _OP_AND:
+                    result = a & b
+                elif op == _OP_OR:
+                    result = a | b
+                elif op == _OP_XOR:
+                    result = a ^ b
+                elif op == _OP_ANDN:
+                    result = a & ~b & _MASK32
+                elif op == _OP_ORN:
+                    result = (a | (~b & _MASK32)) & _MASK32
+                elif op == _OP_XNOR:
+                    result = (~(a ^ b)) & _MASK32
+                elif op == _OP_ANDCC:
+                    result = a & b
+                    n = bool(result & _SIGN)
+                    z = result == 0
+                    v = c = False
+                elif op == _OP_ORCC:
+                    result = a | b
+                    n = bool(result & _SIGN)
+                    z = result == 0
+                    v = c = False
+                elif op == _OP_XORCC:
+                    result = a ^ b
+                    n = bool(result & _SIGN)
+                    z = result == 0
+                    v = c = False
+                elif op == _OP_SLL:
+                    result = (a << (b & 31)) & _MASK32
+                elif op == _OP_SRL:
+                    result = a >> (b & 31)
+                elif op == _OP_SRA:
+                    result = (_signed(a) >> (b & 31)) & _MASK32
+                elif op == _OP_UMUL:
+                    result = (a * b) & _MASK32
+                elif op == _OP_SMUL:
+                    result = (_signed(a) * _signed(b)) & _MASK32
+                elif op == _OP_UDIV:
+                    if b == 0:
+                        raise EmulationError("division by zero",
+                                             pc=text_base + 4 * pc)
+                    result = (a // b) & _MASK32
+                else:  # _OP_SDIV
+                    sb = _signed(b)
+                    if sb == 0:
+                        raise EmulationError("division by zero",
+                                             pc=text_base + 4 * pc)
+                    sa = _signed(a)
+                    quotient = abs(sa) // abs(sb)
+                    if (sa < 0) != (sb < 0):
+                        quotient = -quotient
+                    result = quotient & _MASK32
+                if rd >= 0:
+                    regs[rd] = result
+                if t_sidx is not None:
+                    t_sidx.append(pc)
+                    t_addr.append(0)
+                    t_taken.append(False)
+                    t_val.append(0)
+                    traced += 1
+                pc += 1
+                continue
+
+            # ---------------- moves ----------------
+            if op == _OP_MOV:
+                value = imm & _MASK32 if imm is not None else regs[rs2]
+                if rd >= 0:
+                    regs[rd] = value
+                if t_sidx is not None:
+                    t_sidx.append(pc)
+                    t_addr.append(0)
+                    t_taken.append(False)
+                    t_val.append(0)
+                    traced += 1
+                pc += 1
+                continue
+            if op == _OP_SETHI:
+                if rd >= 0:
+                    regs[rd] = (imm << 10) & _MASK32
+                if t_sidx is not None:
+                    t_sidx.append(pc)
+                    t_addr.append(0)
+                    t_taken.append(False)
+                    t_val.append(0)
+                    traced += 1
+                pc += 1
+                continue
+
+            # ---------------- memory ----------------
+            if _OP_LD <= op <= _OP_STH:
+                address = regs[rs1] + (imm if imm is not None else regs[rs2])
+                address &= _MASK32
+                if op == _OP_LD:
+                    value = mem.read_u32(address)
+                elif op == _OP_LDUB:
+                    value = mem.read_u8(address)
+                elif op == _OP_LDSB:
+                    value = mem.read_s8(address) & _MASK32
+                elif op == _OP_LDUH:
+                    value = mem.read_u16(address)
+                elif op == _OP_LDSH:
+                    value = mem.read_s16(address) & _MASK32
+                elif op == _OP_ST:
+                    mem.write_u32(address, regs[rd] if rd >= 0 else 0)
+                    value = None
+                elif op == _OP_STB:
+                    mem.write_u8(address, regs[rd] if rd >= 0 else 0)
+                    value = None
+                else:  # _OP_STH
+                    mem.write_u16(address, regs[rd] if rd >= 0 else 0)
+                    value = None
+                if value is not None and rd >= 0:
+                    regs[rd] = value
+                if t_sidx is not None:
+                    t_sidx.append(pc)
+                    t_addr.append(address)
+                    t_taken.append(False)
+                    t_val.append(value if value is not None else 0)
+                    traced += 1
+                pc += 1
+                continue
+
+            # ---------------- conditional branches ----------------
+            if _BRANCH_LO <= op <= _BRANCH_HI:
+                if op == 70:      # be
+                    taken = z
+                elif op == 71:    # bne
+                    taken = not z
+                elif op == 72:    # bl
+                    taken = n != v
+                elif op == 73:    # ble
+                    taken = z or (n != v)
+                elif op == 74:    # bg
+                    taken = not (z or (n != v))
+                elif op == 75:    # bge
+                    taken = n == v
+                elif op == 76:    # blu
+                    taken = c
+                elif op == 77:    # bleu
+                    taken = c or z
+                elif op == 78:    # bgu
+                    taken = not (c or z)
+                elif op == 79:    # bgeu
+                    taken = not c
+                elif op == 80:    # bneg
+                    taken = n
+                else:             # bpos
+                    taken = not n
+                if t_sidx is not None:
+                    t_sidx.append(pc)
+                    t_addr.append(0)
+                    t_taken.append(taken)
+                    t_val.append(0)
+                    traced += 1
+                pc = target if taken else pc + 1
+                continue
+
+            # ---------------- other control ----------------
+            if op == _OP_BA:
+                if t_sidx is not None:
+                    t_sidx.append(pc)
+                    t_addr.append(0)
+                    t_taken.append(True)
+                    t_val.append(0)
+                    traced += 1
+                pc = target
+                continue
+            if op == _OP_CALL:
+                regs[rd] = (text_base + 4 * pc + 4) & _MASK32
+                if t_sidx is not None:
+                    t_sidx.append(pc)
+                    t_addr.append(0)
+                    t_taken.append(True)
+                    t_val.append(0)
+                    traced += 1
+                pc = target
+                continue
+            if op == _OP_JMPL:
+                address = (regs[rs1] + (imm if imm is not None else 0))
+                address &= _MASK32
+                return_address = (text_base + 4 * pc + 4) & _MASK32
+                if rd >= 0:
+                    regs[rd] = return_address
+                offset = address - text_base
+                if offset < 0 or offset % 4:
+                    raise EmulationError(
+                        "jmpl to non-text address 0x%x" % (address,),
+                        pc=text_base + 4 * pc)
+                if t_sidx is not None:
+                    t_sidx.append(pc)
+                    t_addr.append(0)
+                    t_taken.append(True)
+                    t_val.append(0)
+                    traced += 1
+                pc = offset // 4
+                continue
+
+            if op == _OP_NOP:
+                pc += 1
+                continue
+            if op == _OP_HALT:
+                break
+            raise EmulationError("unhandled opcode %r" % (op,),
+                                 pc=text_base + 4 * pc)
+
+        self.cc_n, self.cc_z, self.cc_v, self.cc_c = n, z, v, c
+        return ExecResult(executed=executed, traced=traced, halted=True)

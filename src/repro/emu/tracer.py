@@ -1,0 +1,26 @@
+"""Glue between the emulator and the trace layer.
+
+:func:`trace_program` is the one-stop helper: assemble state is already in
+a :class:`~repro.asm.program.Program`; this runs it on a fresh
+:class:`~repro.emu.machine.Machine` with a :class:`DynTrace` sink attached
+and returns the populated trace.
+"""
+
+from ..trace.records import DynTrace, StaticTable
+from .machine import Machine
+
+
+def trace_program(program, name="", max_instructions=50_000_000):
+    """Execute ``program`` and return ``(trace, machine, exec_result)``.
+
+    The machine is returned so callers (workload checkers in particular)
+    can inspect final memory/registers to validate that the program
+    computed the right answer — a wrong workload would silently skew every
+    downstream experiment.
+    """
+    static = StaticTable.from_program(program)
+    trace = DynTrace(static, name=name)
+    machine = Machine(program, trace=trace,
+                      max_instructions=max_instructions)
+    result = machine.run()
+    return trace, machine, result

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish assembly-time, execution-time, and configuration errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AssemblyError(ReproError):
+    """Raised when assembly source cannot be parsed or resolved.
+
+    Carries the source line number (1-based) when known so tools can point
+    users at the offending line.
+    """
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+
+
+class EmulationError(ReproError):
+    """Raised when the functional emulator hits an illegal state.
+
+    Examples: unmapped memory access outside the sparse image, executing past
+    the end of the text segment, division by zero, or exceeding the
+    instruction budget without reaching ``halt``.
+    """
+
+    def __init__(self, message, pc=None):
+        self.pc = pc
+        if pc is not None:
+            message = "pc=0x%x: %s" % (pc, message)
+        super().__init__(message)
+
+
+class ConfigError(ReproError):
+    """Raised for invalid machine or experiment configurations."""
+
+
+class TraceFormatError(ReproError):
+    """Raised when a binary trace file is malformed or version-mismatched."""

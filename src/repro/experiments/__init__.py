@@ -1,0 +1,34 @@
+"""Per-exhibit experiment drivers (one per paper table/figure)."""
+
+from .exhibit import Exhibit
+from .figures import (
+    ALL_FIGURES,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+)
+from .extensions import (
+    dataflow_limits,
+    elimination_counts,
+    extension_figure,
+    predictor_comparison,
+)
+from .runner import ExperimentRunner
+from .tables import ALL_TABLES, table1, table2, table3, table4, table5, \
+    table6
+
+__all__ = [
+    "Exhibit", "ExperimentRunner",
+    "ALL_FIGURES", "ALL_TABLES",
+    "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
+    "figure8", "figure9", "figure10",
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "dataflow_limits", "elimination_counts", "extension_figure",
+    "predictor_comparison",
+]

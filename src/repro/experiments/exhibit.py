@@ -1,0 +1,40 @@
+"""Common container for reproduced tables/figures.
+
+Each exhibit keeps structured data (headers + rows) for tests and the
+EXPERIMENTS.md generator, and renders to monospace text like the paper's
+tables / figure series.
+"""
+
+from ..metrics.tables import render_table
+
+
+class Exhibit:
+    """One reproduced table or figure."""
+
+    def __init__(self, key, title, headers, rows, note="", precision=2):
+        self.key = key
+        self.title = title
+        self.headers = list(headers)
+        self.rows = [list(row) for row in rows]
+        self.note = note
+        self.precision = precision
+
+    def column(self, header):
+        """All values of one column, by header name."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_map(self):
+        """Mapping first-column value -> row (for tests)."""
+        return {row[0]: row for row in self.rows}
+
+    def render(self):
+        text = render_table(self.headers, self.rows,
+                            title="%s — %s" % (self.key, self.title),
+                            precision=self.precision)
+        if self.note:
+            text += "\n(%s)" % (self.note,)
+        return text
+
+    def __repr__(self):
+        return "<Exhibit %s: %d rows>" % (self.key, len(self.rows))

@@ -1,0 +1,156 @@
+"""Beyond-paper extension experiments.
+
+The paper sketches two ideas it does not simulate:
+
+- **node elimination** (Figure 1.f): a collapsed producer whose result is
+  not needed elsewhere need not execute;
+- **load-value speculation** (Figure 1.d, citing Lipasti et al. [9]):
+  predict the value a load returns, not just its address.
+
+This driver quantifies both on top of configuration D, bounded above by
+configuration E (ideal address speculation).
+"""
+
+from ..collapse.rules import CollapseRules
+from ..core.config import LOAD_SPEC_REAL, WIDTH_LABELS, MachineConfig
+from ..core.scheduler import WindowScheduler
+from ..core.simulator import value_outcomes
+from ..metrics.means import harmonic_mean
+from .exhibit import Exhibit
+
+_VARIANTS = (
+    ("D", False, False),
+    ("D+elim", True, False),
+    ("D+vspec", False, True),
+    ("D+both", True, True),
+)
+
+
+def _variant_config(width, elim, vspec):
+    return MachineConfig(width, collapse_rules=CollapseRules.paper(),
+                         load_spec=LOAD_SPEC_REAL,
+                         node_elimination=elim, value_spec=vspec)
+
+
+def extension_figure(runner):
+    """Harmonic-mean speedup over A of D and its extensions, plus E."""
+    value_passes = {name: None for name in runner.names}
+    headers = ["width"] + [label for label, _, _ in _VARIANTS] + ["E"]
+    rows = []
+    for width in runner.widths:
+        row = [WIDTH_LABELS.get(width, str(width))]
+        baselines = {name: runner.result(name, "A", width)
+                     for name in runner.names}
+        for label, elim, vspec in _VARIANTS:
+            config = _variant_config(width, elim, vspec)
+            ratios = []
+            for name in runner.names:
+                trace = runner.trace(name)
+                value_prediction = None
+                if vspec:
+                    if value_passes[name] is None:
+                        value_passes[name] = value_outcomes(trace)
+                    value_prediction = value_passes[name]
+                scheduler = WindowScheduler(
+                    trace, config, runner.branch(name),
+                    runner.load_prediction(name), value_prediction)
+                result = scheduler.run()
+                ratios.append(result.speedup_over(baselines[name]))
+            row.append(harmonic_mean(ratios))
+        e_ratios = [runner.result(name, "E", width)
+                    .speedup_over(baselines[name])
+                    for name in runner.names]
+        row.append(harmonic_mean(e_ratios))
+        rows.append(row)
+    return Exhibit(
+        "Extension", "Node elimination and value speculation on top of D",
+        headers, rows,
+        note="harmonic-mean speedup over A; E bounds address speculation")
+
+
+def dataflow_limits(runner):
+    """Section 1's theoretical minimum vs. the simulated machines.
+
+    Per workload: the dataflow-limit IPC (critical path of the true
+    dependence graph, unbounded resources, perfect control), the same
+    limit with greedy collapsing applied to the graph (Figure 1.e), and
+    the simulated IPC of configurations A and C at the widest machine.
+    """
+    from ..analysis import DependenceGraph, collapsed_critical_path
+    width = runner.widths[-1]
+    headers = ["workload", "dataflow IPC", "collapsed-dataflow IPC",
+               "A @ widest", "C @ widest"]
+    rows = []
+    for name in runner.names:
+        trace = runner.trace(name)
+        graph = DependenceGraph(trace)
+        plain = graph.critical_path()
+        collapsed = collapsed_critical_path(trace, CollapseRules.paper())
+        rows.append([
+            name,
+            len(trace) / plain if plain else 0.0,
+            len(trace) / collapsed if collapsed else 0.0,
+            runner.result(name, "A", width).ipc,
+            runner.result(name, "C", width).ipc,
+        ])
+    return Exhibit(
+        "Dataflow", "Critical-path limits vs. simulated machines "
+        "(widest width: %d)" % width, headers, rows,
+        note="dataflow limits assume unbounded resources and perfect "
+             "control; simulated machines add windows and real branch "
+             "prediction")
+
+
+def predictor_comparison(runner, width=16):
+    """The paper's future-work question: better load-address predictors.
+
+    Configuration D speedup over A per workload, with the load table
+    swapped between the paper's two-delta, a Markov correlation table, a
+    two-delta+Markov hybrid, and the ideal predictor (configuration E's
+    bound).
+    """
+    from ..addrpred import HybridTable, MarkovTable, TwoDeltaTable
+    from ..addrpred.runner import run_address_predictor
+    tables = (("two-delta", TwoDeltaTable),
+              ("markov", MarkovTable),
+              ("hybrid", HybridTable))
+    headers = (["workload"] + [label for label, _ in tables]
+               + ["ideal (E)"])
+    rows = []
+    config = MachineConfig(width, collapse_rules=CollapseRules.paper(),
+                           load_spec=LOAD_SPEC_REAL)
+    for name in runner.names:
+        trace = runner.trace(name)
+        baseline = runner.result(name, "A", width)
+        row = [name]
+        for _, factory in tables:
+            prediction = run_address_predictor(trace, factory())
+            result = WindowScheduler(trace, config, runner.branch(name),
+                                     prediction).run()
+            row.append(result.speedup_over(baseline))
+        row.append(runner.result(name, "E", width)
+                   .speedup_over(baseline))
+        rows.append(row)
+    return Exhibit(
+        "Future work", "Load-address predictor comparison "
+        "(configuration D, width %d)" % width, headers, rows,
+        note="speedup over configuration A; 'ideal' is configuration E")
+
+
+def elimination_counts(runner, width=16):
+    """Per-workload eliminated-instruction fractions at one width."""
+    rows = []
+    config = _variant_config(width, elim=True, vspec=False)
+    for name in runner.names:
+        trace = runner.trace(name)
+        scheduler = WindowScheduler(trace, config, runner.branch(name),
+                                    runner.load_prediction(name))
+        result = scheduler.run()
+        rows.append([name,
+                     result.collapse.eliminated,
+                     100.0 * result.collapse.eliminated / max(1, len(trace)),
+                     result.ipc])
+    return Exhibit(
+        "Extension", "Eliminated instructions (Figure 1.f) at width %d"
+        % width,
+        ["workload", "eliminated", "% of trace", "IPC"], rows)

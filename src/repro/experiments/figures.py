@@ -1,0 +1,146 @@
+"""Reproductions of the paper's figures (as numeric series).
+
+Figures 2-7: harmonic-mean IPC and speedup-over-A curves for
+configurations A-E across issue widths, for the full suite and the two
+benchmark subsets.  Figures 8-10: collapsing behaviour under
+configuration D.
+"""
+
+from ..collapse.stats import CAT_0OP, CAT_3_1, CAT_4_1, CollapseStats
+from ..core.config import CONFIG_LETTERS, WIDTH_LABELS
+from ..metrics.means import harmonic_mean, mean_ipc, mean_speedup
+from ..workloads.registry import NON_POINTER_CHASING, POINTER_CHASING
+from .exhibit import Exhibit
+
+
+def _width_labels(runner):
+    return [WIDTH_LABELS.get(w, str(w)) for w in runner.widths]
+
+
+def _ipc_exhibit(runner, key, title, names):
+    headers = ["width"] + list(CONFIG_LETTERS)
+    rows = []
+    for width in runner.widths:
+        row = [WIDTH_LABELS.get(width, str(width))]
+        for letter in CONFIG_LETTERS:
+            row.append(mean_ipc(runner.results(letter, width, names)))
+        rows.append(row)
+    return Exhibit(key, title, headers, rows,
+                   note="harmonic-mean IPC over %s" % (", ".join(names),))
+
+
+def _speedup_exhibit(runner, key, title, names):
+    headers = ["width"] + [letter for letter in CONFIG_LETTERS
+                           if letter != "A"]
+    rows = []
+    for width in runner.widths:
+        baselines = runner.results("A", width, names)
+        row = [WIDTH_LABELS.get(width, str(width))]
+        for letter in CONFIG_LETTERS:
+            if letter == "A":
+                continue
+            row.append(mean_speedup(runner.results(letter, width, names),
+                                    baselines))
+        rows.append(row)
+    return Exhibit(key, title, headers, rows,
+                   note="harmonic-mean speedup over configuration A")
+
+
+def figure2(runner):
+    """IPC for the different configurations and issue widths."""
+    return _ipc_exhibit(runner, "Figure 2",
+                        "IPC for configurations A-E", runner.names)
+
+
+def figure3(runner):
+    """Speedup over the superscalar base machine (A)."""
+    return _speedup_exhibit(runner, "Figure 3",
+                            "Speedup over base machine", runner.names)
+
+
+def figure4(runner):
+    return _ipc_exhibit(runner, "Figure 4",
+                        "IPC, pointer-chasing benchmarks",
+                        list(POINTER_CHASING))
+
+
+def figure5(runner):
+    return _speedup_exhibit(runner, "Figure 5",
+                            "Speedup, pointer-chasing benchmarks",
+                            list(POINTER_CHASING))
+
+
+def figure6(runner):
+    return _ipc_exhibit(runner, "Figure 6",
+                        "IPC, non pointer-chasing benchmarks",
+                        list(NON_POINTER_CHASING))
+
+
+def figure7(runner):
+    return _speedup_exhibit(runner, "Figure 7",
+                            "Speedup, non pointer-chasing benchmarks",
+                            list(NON_POINTER_CHASING))
+
+
+def figure8(runner):
+    """Percentage of instructions d-collapsed (configuration D)."""
+    headers = ["width"] + list(runner.names) + ["hmean"]
+    rows = []
+    for width in runner.widths:
+        row = [WIDTH_LABELS.get(width, str(width))]
+        fractions = []
+        for name in runner.names:
+            result = runner.result(name, "D", width)
+            fraction = result.collapse.collapsed_fraction
+            fractions.append(fraction)
+            row.append(100.0 * fraction)
+        row.append(100.0 * harmonic_mean(f if f > 0 else 1e-9
+                                         for f in fractions))
+        rows.append(row)
+    return Exhibit("Figure 8", "Instructions d-collapsed (%)",
+                   headers, rows, precision=1)
+
+
+def _merged_collapse(runner, width):
+    merged = CollapseStats()
+    for name in runner.names:
+        merged.merge(runner.result(name, "D", width).collapse)
+    return merged
+
+
+def figure9(runner):
+    """Contribution of the 3-1 / 4-1 / 0-op mechanisms (config D)."""
+    headers = ["width", CAT_3_1, CAT_4_1, CAT_0OP]
+    rows = []
+    for width in runner.widths:
+        fractions = _merged_collapse(runner, width).category_fractions()
+        rows.append([WIDTH_LABELS.get(width, str(width)),
+                     100.0 * fractions[CAT_3_1],
+                     100.0 * fractions[CAT_4_1],
+                     100.0 * fractions[CAT_0OP]])
+    return Exhibit("Figure 9", "Collapsing mechanism contributions (%)",
+                   headers, rows, precision=1)
+
+
+def figure10(runner):
+    """Distance between d-collapsed instructions (config D)."""
+    buckets = ["1", "2", "3", "4", "5-7", "8-15", ">15"]
+    headers = ["width"] + buckets + ["<=8 (%)"]
+    rows = []
+    for width in runner.widths:
+        stats = _merged_collapse(runner, width)
+        histogram = stats.distance_histogram()
+        row = [WIDTH_LABELS.get(width, str(width))]
+        row.extend(100.0 * histogram.get(bucket, 0.0)
+                   for bucket in buckets)
+        row.append(100.0 * stats.fraction_within(8))
+        rows.append(row)
+    return Exhibit("Figure 10", "Distance between collapsed instructions "
+                   "(% of collapse events)", headers, rows, precision=1)
+
+
+ALL_FIGURES = {
+    "figure2": figure2, "figure3": figure3, "figure4": figure4,
+    "figure5": figure5, "figure6": figure6, "figure7": figure7,
+    "figure8": figure8, "figure9": figure9, "figure10": figure10,
+}

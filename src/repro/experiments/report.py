@@ -1,0 +1,226 @@
+"""EXPERIMENTS.md generator: run every exhibit, compare to the paper.
+
+Usage::
+
+    python -m repro.experiments.report [scale] [output]
+
+``scale`` defaults to 1.0 (a few minutes of pure-Python simulation);
+``output`` defaults to ``EXPERIMENTS.md`` in the current directory.
+"""
+
+import sys
+import time
+
+from ..core.config import PAPER_ISSUE_WIDTHS
+from .figures import ALL_FIGURES
+from .runner import ExperimentRunner
+from .tables import ALL_TABLES
+
+#: Headline numbers from the paper, for the paper-vs-measured summary.
+PAPER_REFERENCE = {
+    # Figure 3, configuration D speedups at widths 4/8/16/32.
+    "speedup_D": {4: 1.20, 8: 1.35, 16: 1.51, 32: 1.66},
+    # Figure 3, configuration E range across widths 4..2k.
+    "speedup_E_range": (1.25, 2.95),
+    # Figure 8: instructions collapsed, rising with width.
+    "collapsed_range": (29.0, 47.0),
+    # Figure 9: 3-1 dominates (65-82% at widths <= 32).
+    "cat31_range": (65.0, 82.0),
+    # Figure 10: distance nearly always < 8.
+    "distance_within_8": 0.9,
+}
+
+_EXHIBIT_ORDER = (
+    "table1", "table2",
+    "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
+    "table3", "table4",
+    "figure8", "figure9", "figure10",
+    "table5", "table6",
+)
+
+_SHAPE_NOTES = {
+    "table1": "Paper: 88-250M-instruction qpt2 traces; here: emulator "
+              "traces of the analog kernels (see DESIGN.md substitutions).",
+    "table2": "Paper: 8.97-27.5% conditional branches, 83.7-96.8% "
+              "predicted. Shape check: go worst-predicted, li best.",
+    "figure2": "Paper shape: E > D > C > B > A at every width; IPC grows "
+               "with width and saturates for realistic configs.",
+    "figure3": "Paper: D speedups 1.20/1.35/1.51/1.66 at widths "
+               "4/8/16/32; E up to 2.95 at 2k; B+C roughly additive to D.",
+    "figure4": "Paper: pointer-chasing ideal-speculation potential "
+               "similar to the full set.",
+    "figure5": "Paper: B alone gives only 5-9% for pointer chasers; "
+               "C gains smaller than the all-benchmark mean.",
+    "figure6": "Paper: non-pointer benchmarks keep most of the ideal "
+               "gain with realistic speculation.",
+    "figure7": "Paper: D reaches 1.23-1.8 for widths 4-32.",
+    "table3": "Paper: 12.4-26.7% predicted correctly, ~38-44% not "
+              "predicted, very few mispredictions.",
+    "table4": "Paper: 28-57% predicted correctly, ~20% not predicted, "
+              "~2% mispredicted.",
+    "figure8": "Paper: 29-47% of instructions collapse, growing with "
+               "width. Our fractions run higher because the analog "
+               "kernels are hand-written inner loops — denser in "
+               "collapsible shift/arith/addr-gen chains than whole "
+               "compiled SPEC binaries (no prologue/epilogue, libc, or "
+               "register-spill filler). The orderings (li lowest, "
+               "growth with width) carry over.",
+    "figure9": "Paper: 3-1 contributes 65-82% (widths <= 32), 4-1 "
+               "13-30%, 0-op 5-10%.",
+    "figure10": "Paper: for widths > 8 most collapsed pairs are "
+                "non-consecutive, yet distance is nearly always < 8.",
+    "table5": "Paper's top pairs: arrr-brc, arri-brc, arri-arri, "
+              "shri-ldrr, mvi-lgri ... (compare rows).",
+    "table6": "Paper's top triples: arri-arri-arri, lgr0-lgr0-arrr, "
+              "arrr-arrr-arrr ... (compare rows).",
+}
+
+
+def shape_checks(runner):
+    """Programmatic paper-shape assertions, reported as pass/fail lines.
+
+    These are the same invariants the test suite enforces at small scale;
+    here they run on the report's scale so the generated document records
+    whether the reproduction holds where it was generated.
+    """
+    lines = []
+
+    def check(label, condition):
+        lines.append("- [%s] %s" % ("x" if condition else " ", label))
+
+    from .figures import figure3, figure5, figure8, figure9, figure10
+    fig3 = figure3(runner)
+    by_width = fig3.row_map()
+    d_values = [row[3] for row in fig3.rows]
+    e_values = [row[4] for row in fig3.rows]
+    b_values = [row[1] for row in fig3.rows]
+    c_values = [row[2] for row in fig3.rows]
+    check("E >= D >= C >= B at every width (harmonic means)",
+          all(e >= d >= c >= b - 1e-9 for b, c, d, e in
+              zip(b_values, c_values, d_values, e_values)))
+    check("collapsing (C) contributes more than speculation (B)",
+          all(c > b for b, c in zip(b_values, c_values)))
+    check("D speedups grow with width",
+          all(x <= y + 0.05 for x, y in zip(d_values, d_values[1:])))
+
+    fig5 = figure5(runner)
+    b_chase = [row[1] for row in fig5.rows]
+    check("pointer chasers gain little from B alone (paper: 5-9%)",
+          all(b < 1.15 for b in b_chase))
+
+    fig8 = figure8(runner)
+    mean_col = [row[-1] for row in fig8.rows]
+    li_col = fig8.column("li") if "li" in fig8.headers else mean_col
+    check("collapsed fraction rises with width",
+          mean_col[0] <= mean_col[-1] + 1.0)
+    check("a large fraction of instructions collapses (paper: 29-47%; "
+          "our hand-written kernels are denser, see note)",
+          all(v >= 25.0 for v in mean_col))
+    check("li (call/pointer-heavy analog) collapses least",
+          all(li <= m for li, m in zip(li_col, mean_col)))
+
+    fig9 = figure9(runner)
+    check("3-1 is the dominant collapsing category",
+          all(row[1] > row[2] and row[1] > row[3] for row in fig9.rows))
+
+    fig10 = figure10(runner)
+    within8 = [row[-1] for row in fig10.rows]
+    check("distance <= 8 for the vast majority of collapses",
+          all(v >= 80.0 for v in within8))
+    return "\n".join(lines)
+
+
+def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
+             include_extensions=True):
+    """Build the full EXPERIMENTS.md text."""
+    runner = ExperimentRunner(scale=scale, widths=widths)
+    started = time.time()
+    parts = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        "Reproduction of every table and figure of Sazeides, Vassiliadis "
+        "& Smith, *The Performance Potential of Data Dependence "
+        "Speculation & Collapsing* (MICRO-29, 1996).",
+        "",
+        "- Workload scale: %.2f (see DESIGN.md on trace-size "
+        "substitution)" % (scale,),
+        "- Issue widths: %s (window = 2x width)"
+        % (", ".join(str(w) for w in widths),),
+        "- Regenerate with: `python -m repro.experiments.report %s`"
+        % (scale,),
+        "",
+        "Absolute numbers differ from the paper (different compiler, "
+        "ISA subset, kernel-scale traces); the claims below are about "
+        "*shape* — orderings, contribution splits, and trends.",
+        "",
+        "## Shape checks",
+        "",
+    ]
+    exhibits = {}
+    for key in _EXHIBIT_ORDER:
+        factory = ALL_TABLES.get(key) or ALL_FIGURES.get(key)
+        exhibits[key] = factory(runner)
+    parts.append(shape_checks(runner))
+    parts.append("")
+    for key in _EXHIBIT_ORDER:
+        exhibit = exhibits[key]
+        parts.append("## %s — %s" % (exhibit.key, exhibit.title))
+        parts.append("")
+        if key in _SHAPE_NOTES:
+            parts.append("*%s*" % (_SHAPE_NOTES[key],))
+            parts.append("")
+        parts.append("```")
+        parts.append(exhibit.render())
+        parts.append("```")
+        parts.append("")
+    if include_extensions:
+        parts.extend(_extension_sections(runner))
+    parts.append("_Generated in %.0f s._" % (time.time() - started,))
+    parts.append("")
+    return "\n".join(parts)
+
+
+def _extension_sections(runner):
+    """Beyond-paper exhibits (DESIGN.md Section 7)."""
+    from .extensions import (
+        dataflow_limits,
+        elimination_counts,
+        extension_figure,
+        predictor_comparison,
+    )
+    mid_width = runner.widths[min(2, len(runner.widths) - 1)]
+    sections = [
+        ("Paper Figure 1.f sketches node elimination and Figure 1.d "
+         "value speculation; neither is simulated in the paper.",
+         extension_figure(runner)),
+        ("Eliminated (never-executed) instructions per workload.",
+         elimination_counts(runner, width=mid_width)),
+        ("The paper's closing future-work question: a predictor that "
+         "serves both pointer-chasing and regular codes.",
+         predictor_comparison(runner, width=mid_width)),
+        ("Section 1's dependence-graph limits, for context.",
+         dataflow_limits(runner)),
+    ]
+    parts = ["## Extensions beyond the paper", ""]
+    for note, exhibit in sections:
+        parts.append("*%s*" % (note,))
+        parts.append("")
+        parts.append("```")
+        parts.append(exhibit.render())
+        parts.append("```")
+        parts.append("")
+    return parts
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    scale = float(argv[0]) if argv else 1.0
+    output = argv[1] if len(argv) > 1 else "EXPERIMENTS.md"
+    text = generate(scale=scale)
+    with open(output, "w") as handle:
+        handle.write(text)
+    print("wrote %s (scale %.2f)" % (output, scale))
+
+
+if __name__ == "__main__":
+    main()

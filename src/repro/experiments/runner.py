@@ -1,0 +1,84 @@
+"""Experiment runner with per-trace memoisation.
+
+All paper exhibits share (trace, configuration) simulation results; the
+runner caches them so regenerating every figure and table costs each
+simulation once.  Branch- and address-prediction passes are likewise
+cached per trace (they are configuration independent).
+"""
+
+from ..core.config import PAPER_ISSUE_WIDTHS, paper_config
+from ..core.scheduler import WindowScheduler
+from ..core.simulator import branch_outcomes, load_outcomes
+from ..workloads.registry import SUITE, cached_trace
+
+
+class ExperimentRunner:
+    """Runs (workload, configuration letter, width) cells on demand.
+
+    Parameters
+    ----------
+    scale:
+        Workload scale passed to trace generation (1.0 = full-size
+        reproduction runs; tests and benches use smaller values).
+    widths:
+        Issue widths to sweep; defaults to the paper's 4/8/16/32/2048.
+    names:
+        Workload subset; defaults to the whole suite.
+    """
+
+    def __init__(self, scale=1.0, widths=PAPER_ISSUE_WIDTHS, names=None,
+                 keep_schedules=False):
+        self.scale = scale
+        self.widths = tuple(widths)
+        self.names = tuple(names) if names is not None \
+            else tuple(w.name for w in SUITE)
+        #: keep per-instruction issue cycles on cached results (they are
+        #: only needed for schedule-level verification and cost O(trace)
+        #: memory per cached cell)
+        self.keep_schedules = keep_schedules
+        self._results = {}
+        self._branch = {}
+        self._loads = {}
+
+    # ------------------------------------------------------------------
+
+    def trace(self, name):
+        return cached_trace(name, self.scale)
+
+    def branch(self, name):
+        if name not in self._branch:
+            self._branch[name] = branch_outcomes(self.trace(name))
+        return self._branch[name]
+
+    def load_prediction(self, name):
+        if name not in self._loads:
+            self._loads[name] = load_outcomes(self.trace(name))
+        return self._loads[name]
+
+    def result(self, name, letter, width):
+        """Simulation result for one cell, memoised."""
+        key = (name, letter, width)
+        if key not in self._results:
+            config = paper_config(letter, width)
+            prediction = (self.load_prediction(name)
+                          if config.load_spec == "real" else None)
+            scheduler = WindowScheduler(self.trace(name), config,
+                                        self.branch(name), prediction)
+            result = scheduler.run()
+            if not self.keep_schedules:
+                result.issue_cycles = None
+            self._results[key] = result
+        return self._results[key]
+
+    def results(self, letter, width, names=None):
+        """Results for each workload at one (configuration, width)."""
+        return [self.result(name, letter, width)
+                for name in (names or self.names)]
+
+    def sweep(self, letters, names=None):
+        """Mapping (letter, width) -> list of per-workload results."""
+        out = {}
+        for letter in letters:
+            for width in self.widths:
+                out[(letter, width)] = self.results(letter, width, names)
+        return out

@@ -1,0 +1,35 @@
+"""SPARC-v8-like instruction set definition.
+
+Public surface:
+
+- :class:`~repro.isa.opcodes.Opcode` / :class:`~repro.isa.opcodes.OpClass`
+- :class:`~repro.isa.instruction.Instruction`
+- register conventions in :mod:`repro.isa.registers`
+- condition-code semantics in :mod:`repro.isa.condcodes`
+"""
+
+from .condcodes import MASK32, CondCodes, branch_taken, to_signed, to_unsigned
+from .instruction import Instruction
+from .opcodes import (
+    CC_READERS,
+    CC_WRITERS,
+    CLASS_CODE,
+    CLASS_LATENCY,
+    COLLAPSIBLE_CONSUMERS,
+    COLLAPSIBLE_PRODUCERS,
+    MEM_SIZE,
+    Opcode,
+    OpClass,
+    fits_simm13,
+    opclass_of,
+)
+from .registers import CC_INDEX, G0, LINK_REG, NUM_REGS, parse_reg, reg_name
+
+__all__ = [
+    "MASK32", "CondCodes", "branch_taken", "to_signed", "to_unsigned",
+    "Instruction",
+    "CC_READERS", "CC_WRITERS", "CLASS_CODE", "CLASS_LATENCY",
+    "COLLAPSIBLE_CONSUMERS", "COLLAPSIBLE_PRODUCERS", "MEM_SIZE",
+    "Opcode", "OpClass", "fits_simm13", "opclass_of",
+    "CC_INDEX", "G0", "LINK_REG", "NUM_REGS", "parse_reg", "reg_name",
+]

@@ -1,0 +1,100 @@
+"""Integer condition-code semantics (SPARC v8 icc: N, Z, V, C).
+
+All arithmetic is 32-bit two's complement.  The helpers here are shared by
+the functional emulator (which needs real flag values) and by the ISA tests
+(which check the branch-condition truth tables against a reference).
+"""
+
+MASK32 = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+
+def to_signed(value):
+    """Interpret a 32-bit pattern as a signed integer."""
+    value &= MASK32
+    return value - 0x100000000 if value & SIGN_BIT else value
+
+
+def to_unsigned(value):
+    """Mask an integer to its 32-bit two's-complement pattern."""
+    return value & MASK32
+
+
+class CondCodes:
+    """Mutable N/Z/V/C flag state."""
+
+    __slots__ = ("n", "z", "v", "c")
+
+    def __init__(self, n=False, z=True, v=False, c=False):
+        self.n = n
+        self.z = z
+        self.v = v
+        self.c = c
+
+    def set_logic(self, result):
+        """Update flags for a logical operation (V and C cleared)."""
+        result &= MASK32
+        self.n = bool(result & SIGN_BIT)
+        self.z = result == 0
+        self.v = False
+        self.c = False
+
+    def set_add(self, a, b, result):
+        """Update flags for ``result = a + b`` (32-bit)."""
+        a &= MASK32
+        b &= MASK32
+        r = result & MASK32
+        self.n = bool(r & SIGN_BIT)
+        self.z = r == 0
+        self.c = (a + b) > MASK32
+        self.v = bool((~(a ^ b)) & (a ^ r) & SIGN_BIT)
+
+    def set_sub(self, a, b, result):
+        """Update flags for ``result = a - b`` (32-bit; C is borrow)."""
+        a &= MASK32
+        b &= MASK32
+        r = result & MASK32
+        self.n = bool(r & SIGN_BIT)
+        self.z = r == 0
+        self.c = a < b
+        self.v = bool((a ^ b) & (a ^ r) & SIGN_BIT)
+
+    def as_tuple(self):
+        return (self.n, self.z, self.v, self.c)
+
+    def __repr__(self):
+        return "CondCodes(n=%r, z=%r, v=%r, c=%r)" % self.as_tuple()
+
+
+def branch_taken(mnemonic, cc):
+    """Evaluate a conditional-branch mnemonic against flag state ``cc``.
+
+    ``mnemonic`` is the lower-case branch name without the leading ``b``
+    (``"e"``, ``"ne"``, ``"l"``, ...), matching SPARC v8 semantics.
+    """
+    n, z, v, c = cc.n, cc.z, cc.v, cc.c
+    if mnemonic == "e":
+        return z
+    if mnemonic == "ne":
+        return not z
+    if mnemonic == "l":
+        return n != v
+    if mnemonic == "le":
+        return z or (n != v)
+    if mnemonic == "g":
+        return not (z or (n != v))
+    if mnemonic == "ge":
+        return n == v
+    if mnemonic == "lu":
+        return c
+    if mnemonic == "leu":
+        return c or z
+    if mnemonic == "gu":
+        return not (c or z)
+    if mnemonic == "geu":
+        return not c
+    if mnemonic == "neg":
+        return n
+    if mnemonic == "pos":
+        return not n
+    raise ValueError("unknown branch condition: %r" % (mnemonic,))

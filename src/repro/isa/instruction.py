@@ -1,0 +1,191 @@
+"""Static instruction representation.
+
+The assembler produces a list of :class:`Instruction` objects; the emulator
+interprets them directly (there is no binary encoding step — the study needs
+dynamic dependence structure, not bit patterns).  Each instruction knows how
+to describe its *expression operands*: the source operands that form the
+value expression the collapsing hardware would combine (ALU operands for
+computational ops, address operands for loads/stores).  That description
+feeds the paper-style operand typing (``r`` register, ``i`` immediate,
+``0`` zero operand).
+"""
+
+from .opcodes import (
+    CC_READERS,
+    CC_WRITERS,
+    CLASS_CODE,
+    MEM_SIZE,
+    Opcode,
+    OpClass,
+    opclass_of,
+)
+from .registers import G0, reg_name
+
+
+class Instruction:
+    """One static instruction.
+
+    Attributes
+    ----------
+    opcode: Opcode
+    rd: int
+        Destination register index, or ``-1`` when the instruction has no
+        register destination (stores, branches, ``cmp``-style ops writing
+        ``%g0``).
+    rs1: int
+        First source register, or ``-1`` when absent (e.g. ``mov``/``sethi``).
+    rs2: int
+        Second source register, or ``-1`` when the second operand is an
+        immediate or absent.
+    imm: int or None
+        Immediate second operand (``None`` when ``rs2`` is used).
+    target: int or None
+        Branch/call target expressed as a *text index* (instruction number),
+        resolved by the assembler.
+    label: str or None
+        Original label text of the target, kept for disassembly.
+    """
+
+    __slots__ = ("opcode", "rd", "rs1", "rs2", "imm", "target", "label",
+                 "opclass", "writes_cc", "reads_cc", "mem_size", "line")
+
+    def __init__(self, opcode, rd=-1, rs1=-1, rs2=-1, imm=None, target=None,
+                 label=None, line=None):
+        if rd == G0:
+            rd = -1
+        self.opcode = opcode
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+        self.label = label
+        self.line = line
+        self.opclass = opclass_of(opcode)
+        self.writes_cc = opcode in CC_WRITERS
+        self.reads_cc = opcode in CC_READERS
+        self.mem_size = MEM_SIZE.get(opcode, 0)
+
+    # ------------------------------------------------------------------
+    # Structural queries used by the tracer / collapsing classifier.
+    # ------------------------------------------------------------------
+
+    @property
+    def is_load(self):
+        return self.opclass is OpClass.LD
+
+    @property
+    def is_store(self):
+        return self.opclass is OpClass.ST
+
+    @property
+    def is_cond_branch(self):
+        return self.opclass is OpClass.BRC
+
+    @property
+    def is_control(self):
+        return self.opclass in (OpClass.BRC, OpClass.CTI)
+
+    def expression_operands(self):
+        """Yield ``(kind, value)`` pairs for the value-expression operands.
+
+        ``kind`` is ``"r"`` for a register operand (value = register index)
+        or ``"i"`` for an immediate (value = immediate).  For loads and
+        stores these are the *address* operands.  Conditional branches have
+        no expression operands of their own (their single input is the
+        condition-code value, handled separately).
+        """
+        ops = []
+        if self.opclass is OpClass.BRC:
+            return ops
+        if self.opcode is Opcode.SETHI:
+            ops.append(("i", self.imm))
+            return ops
+        if self.opcode is Opcode.MOV:
+            if self.imm is not None:
+                ops.append(("i", self.imm))
+            else:
+                ops.append(("r", self.rs2))
+            return ops
+        if self.rs1 >= 0:
+            ops.append(("r", self.rs1))
+        if self.imm is not None:
+            ops.append(("i", self.imm))
+        elif self.rs2 >= 0:
+            ops.append(("r", self.rs2))
+        return ops
+
+    def operand_type_string(self):
+        """Paper-style operand typing: ``r``/``i``/``0`` per source operand.
+
+        A register operand is ``0`` when it is ``%g0``; an immediate operand
+        is ``0`` when its value is zero (zero-operand detection, Section 3).
+        """
+        chars = []
+        for kind, value in self.expression_operands():
+            if kind == "r":
+                chars.append("0" if value == G0 else "r")
+            else:
+                chars.append("0" if value == 0 else "i")
+        return "".join(chars)
+
+    def signature(self):
+        """Collapse signature, e.g. ``arri``, ``ldrr``, ``mvi``, ``brc``."""
+        if self.opclass is OpClass.BRC:
+            return "brc"
+        return CLASS_CODE[self.opclass] + self.operand_type_string()
+
+    def leaf_count(self):
+        """Number of non-zero expression operands (paper's operand count).
+
+        A conditional branch counts as one leaf (the condition-code value it
+        consumes) so that un-collapsed instructions have a well-defined
+        expression size.
+        """
+        if self.opclass is OpClass.BRC:
+            return 1
+        return sum(1 for ch in self.operand_type_string() if ch != "0")
+
+    # ------------------------------------------------------------------
+    # Disassembly.
+    # ------------------------------------------------------------------
+
+    def _operand2_text(self):
+        if self.imm is not None:
+            return str(self.imm)
+        if self.rs2 >= 0:
+            return reg_name(self.rs2)
+        return ""
+
+    def disassemble(self):
+        """Human-readable text for diagnostics and tests."""
+        name = self.opcode.name.lower()
+        dest = reg_name(self.rd) if self.rd >= 0 else "%g0"
+        if self.opclass in (OpClass.AR, OpClass.LG, OpClass.SH,
+                            OpClass.MUL, OpClass.DIV):
+            return "%s %s, %s, %s" % (
+                name, reg_name(self.rs1), self._operand2_text(), dest)
+        if self.opcode is Opcode.MOV:
+            return "mov %s, %s" % (self._operand2_text(), dest)
+        if self.opcode is Opcode.SETHI:
+            return "sethi %d, %s" % (self.imm, dest)
+        if self.is_load:
+            return "%s [%s + %s], %s" % (
+                name, reg_name(self.rs1), self._operand2_text(), dest)
+        if self.is_store:
+            return "%s %s, [%s + %s]" % (
+                name, reg_name(self.rd) if self.rd >= 0 else "%g0",
+                reg_name(self.rs1), self._operand2_text())
+        if self.opclass is OpClass.BRC or self.opcode is Opcode.BA:
+            where = self.label if self.label else "#%s" % (self.target,)
+            return "%s %s" % (name, where)
+        if self.opcode is Opcode.CALL:
+            where = self.label if self.label else "#%s" % (self.target,)
+            return "call %s" % (where,)
+        if self.opcode is Opcode.JMPL:
+            return "jmpl %s + %s, %s" % (
+                reg_name(self.rs1), self._operand2_text(), dest)
+        return name
+
+    def __repr__(self):
+        return "<Instruction %s>" % (self.disassemble(),)

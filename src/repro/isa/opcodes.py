@@ -1,0 +1,201 @@
+"""Opcode and operation-class definitions for the SPARC-v8-like ISA.
+
+Operation classes mirror the categories the paper uses for collapsing
+(Section 3): shift (``sh``), arithmetic excluding multiply/divide (``ar``),
+logical (``lg``), move (``mv``), loads (``ld``), stores (``st``) and
+condition-code-consuming conditional branches (``brc``).  Multiplies,
+divides and non-conditional control transfers get their own classes because
+they are *not* collapsible and have distinct latencies.
+"""
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Dynamic operation class, the unit of classification in the paper."""
+
+    AR = 0    # add/sub (collapsible arithmetic)
+    LG = 1    # and/or/xor/andn/orn/xnor (collapsible logical)
+    SH = 2    # sll/srl/sra (collapsible shift)
+    MV = 3    # mov/sethi (collapsible move)
+    LD = 4    # memory loads (collapsible via address generation)
+    ST = 5    # memory stores (collapsible via address generation)
+    BRC = 6   # conditional branch (collapsible via condition-code use)
+    CTI = 7   # unconditional branch, call, jmpl/ret (not collapsible)
+    MUL = 8   # multiply (not collapsible, latency 2)
+    DIV = 9   # divide (not collapsible, latency 12)
+    HALT = 10
+    NOP = 11
+
+
+#: Paper-style two-letter mnemonic per class, used in collapse signatures
+#: (Tables 5 and 6 of the paper use ``ar``, ``lg``, ``sh``, ``mv``, ``ld``,
+#: ``st`` and ``brc``).
+CLASS_CODE = {
+    OpClass.AR: "ar",
+    OpClass.LG: "lg",
+    OpClass.SH: "sh",
+    OpClass.MV: "mv",
+    OpClass.LD: "ld",
+    OpClass.ST: "st",
+    OpClass.BRC: "brc",
+    OpClass.CTI: "cti",
+    OpClass.MUL: "mul",
+    OpClass.DIV: "div",
+    OpClass.HALT: "hlt",
+    OpClass.NOP: "nop",
+}
+
+#: Execution latency in cycles per class (paper Section 4: one cycle except
+#: loads and multiplies at 2 and divides at 12).
+CLASS_LATENCY = {
+    OpClass.AR: 1,
+    OpClass.LG: 1,
+    OpClass.SH: 1,
+    OpClass.MV: 1,
+    OpClass.LD: 2,
+    OpClass.ST: 1,
+    OpClass.BRC: 1,
+    OpClass.CTI: 1,
+    OpClass.MUL: 2,
+    OpClass.DIV: 12,
+    OpClass.HALT: 1,
+    OpClass.NOP: 1,
+}
+
+#: Classes whose result may act as the *producer* side of a collapse.
+COLLAPSIBLE_PRODUCERS = frozenset(
+    (OpClass.AR, OpClass.LG, OpClass.SH, OpClass.MV)
+)
+
+#: Classes that may act as the *consumer* side of a collapse.  Loads and
+#: stores participate only through their address-generation operands and
+#: conditional branches only through their condition-code operand.
+COLLAPSIBLE_CONSUMERS = frozenset(
+    (OpClass.AR, OpClass.LG, OpClass.SH, OpClass.MV,
+     OpClass.LD, OpClass.ST, OpClass.BRC)
+)
+
+
+class Opcode(enum.IntEnum):
+    """Static opcodes recognised by the assembler and emulator."""
+
+    # Arithmetic (AR); *CC variants also set the integer condition codes.
+    ADD = 0
+    SUB = 1
+    ADDCC = 2
+    SUBCC = 3
+    # Logical (LG).
+    AND = 10
+    OR = 11
+    XOR = 12
+    ANDN = 13
+    ORN = 14
+    XNOR = 15
+    ANDCC = 16
+    ORCC = 17
+    XORCC = 18
+    # Shift (SH).
+    SLL = 20
+    SRL = 21
+    SRA = 22
+    # Moves (MV).
+    MOV = 30
+    SETHI = 31
+    # Multiply / divide.
+    UMUL = 40
+    SMUL = 41
+    UDIV = 42
+    SDIV = 43
+    # Memory.
+    LD = 50
+    LDUB = 51
+    LDSB = 52
+    LDUH = 53
+    LDSH = 54
+    ST = 60
+    STB = 61
+    STH = 62
+    # Conditional branches (read icc).
+    BE = 70
+    BNE = 71
+    BL = 72
+    BLE = 73
+    BG = 74
+    BGE = 75
+    BLU = 76
+    BLEU = 77
+    BGU = 78
+    BGEU = 79
+    BNEG = 80
+    BPOS = 81
+    # Other control transfers.
+    BA = 90
+    CALL = 91
+    JMPL = 92
+    # Misc.
+    HALT = 100
+    NOP = 101
+
+
+_OPCLASS = {}
+for _op in (Opcode.ADD, Opcode.SUB, Opcode.ADDCC, Opcode.SUBCC):
+    _OPCLASS[_op] = OpClass.AR
+for _op in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.ANDN, Opcode.ORN,
+            Opcode.XNOR, Opcode.ANDCC, Opcode.ORCC, Opcode.XORCC):
+    _OPCLASS[_op] = OpClass.LG
+for _op in (Opcode.SLL, Opcode.SRL, Opcode.SRA):
+    _OPCLASS[_op] = OpClass.SH
+for _op in (Opcode.MOV, Opcode.SETHI):
+    _OPCLASS[_op] = OpClass.MV
+for _op in (Opcode.UMUL, Opcode.SMUL):
+    _OPCLASS[_op] = OpClass.MUL
+for _op in (Opcode.UDIV, Opcode.SDIV):
+    _OPCLASS[_op] = OpClass.DIV
+for _op in (Opcode.LD, Opcode.LDUB, Opcode.LDSB, Opcode.LDUH, Opcode.LDSH):
+    _OPCLASS[_op] = OpClass.LD
+for _op in (Opcode.ST, Opcode.STB, Opcode.STH):
+    _OPCLASS[_op] = OpClass.ST
+for _op in (Opcode.BE, Opcode.BNE, Opcode.BL, Opcode.BLE, Opcode.BG,
+            Opcode.BGE, Opcode.BLU, Opcode.BLEU, Opcode.BGU, Opcode.BGEU,
+            Opcode.BNEG, Opcode.BPOS):
+    _OPCLASS[_op] = OpClass.BRC
+for _op in (Opcode.BA, Opcode.CALL, Opcode.JMPL):
+    _OPCLASS[_op] = OpClass.CTI
+_OPCLASS[Opcode.HALT] = OpClass.HALT
+_OPCLASS[Opcode.NOP] = OpClass.NOP
+
+
+def opclass_of(opcode):
+    """Return the :class:`OpClass` for a static :class:`Opcode`."""
+    return _OPCLASS[opcode]
+
+
+#: Opcodes that write the integer condition codes.
+CC_WRITERS = frozenset(
+    (Opcode.ADDCC, Opcode.SUBCC, Opcode.ANDCC, Opcode.ORCC, Opcode.XORCC)
+)
+
+#: Opcodes that read the integer condition codes.
+CC_READERS = frozenset(
+    (Opcode.BE, Opcode.BNE, Opcode.BL, Opcode.BLE, Opcode.BG, Opcode.BGE,
+     Opcode.BLU, Opcode.BLEU, Opcode.BGU, Opcode.BGEU, Opcode.BNEG,
+     Opcode.BPOS)
+)
+
+#: Sizes, in bytes, of each memory opcode's access.
+MEM_SIZE = {
+    Opcode.LD: 4, Opcode.LDUB: 1, Opcode.LDSB: 1,
+    Opcode.LDUH: 2, Opcode.LDSH: 2,
+    Opcode.ST: 4, Opcode.STB: 1, Opcode.STH: 2,
+}
+
+#: Signed 13-bit immediate range accepted by ALU and memory instructions
+#: (matching the SPARC simm13 field).
+SIMM13_MIN = -4096
+SIMM13_MAX = 4095
+
+
+def fits_simm13(value):
+    """True if ``value`` fits the signed 13-bit immediate field."""
+    return SIMM13_MIN <= value <= SIMM13_MAX

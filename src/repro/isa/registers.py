@@ -1,0 +1,77 @@
+"""Register conventions for the SPARC-v8-like ISA.
+
+The ISA exposes 32 integer registers following SPARC naming: ``%g0``-``%g7``
+(globals, with ``%g0`` hard-wired to zero), ``%o0``-``%o7`` (outgoing
+arguments), ``%l0``-``%l7`` (locals) and ``%i0``-``%i7`` (incoming
+arguments).  Unlike real SPARC there are *no register windows*: ``save`` /
+``restore`` do not exist and procedures manage the stack explicitly.  This
+matches the paper's use of the trace only for its data-dependence structure;
+register windows would merely rename architectural registers, which the
+simulated machines undo anyway via ideal renaming.
+
+The integer condition codes are modelled as one extra architectural resource
+with index :data:`CC_INDEX` so the dependence tracker can treat "writes icc"
+/ "reads icc" uniformly with register dependences.
+"""
+
+NUM_REGS = 32
+
+#: Index of the hard-wired zero register (%g0).
+G0 = 0
+
+#: Pseudo-register index used by dependence tracking for the integer
+#: condition codes.  It is *not* a real register file entry.
+CC_INDEX = 32
+
+#: Link register written by ``call`` (%o7).
+LINK_REG = 15
+
+#: Stack pointer alias (%sp == %o6).
+SP = 14
+
+#: Frame pointer alias (%fp == %i6).
+FP = 30
+
+
+def _build_name_table():
+    names = {}
+    for group_index, prefix in enumerate(("g", "o", "l", "i")):
+        for k in range(8):
+            names["%%%s%d" % (prefix, k)] = group_index * 8 + k
+    for k in range(NUM_REGS):
+        names["%%r%d" % k] = k
+    names["%sp"] = SP
+    names["%fp"] = FP
+    return names
+
+
+#: Mapping of register name (including the leading ``%``) to index.
+REG_NAMES = _build_name_table()
+
+_CANONICAL = [f"%{prefix}{k}"
+              for prefix in ("g", "o", "l", "i")
+              for k in range(8)]
+
+
+def reg_name(index):
+    """Return the canonical name for register ``index``.
+
+    >>> reg_name(0)
+    '%g0'
+    >>> reg_name(14)
+    '%o6'
+    """
+    if index == CC_INDEX:
+        return "%icc"
+    if not 0 <= index < NUM_REGS:
+        raise ValueError("register index out of range: %r" % (index,))
+    return _CANONICAL[index]
+
+
+def parse_reg(name):
+    """Parse a register name (``%g0`` ... ``%i7``, ``%rN``, ``%sp``, ``%fp``).
+
+    Raises ``KeyError`` for unknown names; callers in the assembler convert
+    that to an :class:`repro.errors.AssemblyError` with line context.
+    """
+    return REG_NAMES[name.lower()]

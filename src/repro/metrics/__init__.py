@@ -1,0 +1,17 @@
+"""Aggregation and plain-text reporting."""
+
+from .means import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    issue_distribution,
+    mean_ipc,
+    mean_speedup,
+)
+from .tables import render_bar_chart, render_series, render_table
+
+__all__ = [
+    "arithmetic_mean", "geometric_mean", "harmonic_mean",
+    "issue_distribution", "mean_ipc", "mean_speedup",
+    "render_bar_chart", "render_series", "render_table",
+]

@@ -1,0 +1,83 @@
+"""Aggregation helpers.
+
+The paper summarises per-benchmark results with the *harmonic mean*
+(Section 5: "we summarize results by taking the harmonic mean over the
+benchmark set"), which is the right mean for rates like IPC and for
+speedups expressed as cycle-count ratios.
+"""
+
+from ..errors import ReproError
+
+
+def harmonic_mean(values):
+    """Harmonic mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ReproError("harmonic mean of no values")
+    if any(v <= 0 for v in values):
+        raise ReproError("harmonic mean needs positive values: %r"
+                         % (values,))
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def arithmetic_mean(values):
+    values = list(values)
+    if not values:
+        raise ReproError("mean of no values")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values):
+    values = list(values)
+    if not values:
+        raise ReproError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean needs positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def mean_ipc(results):
+    """Harmonic-mean IPC over a list of SimResults (Figure 2 style)."""
+    return harmonic_mean(r.ipc for r in results)
+
+
+def issue_distribution(result):
+    """Per-cycle issue-count distribution of a simulation.
+
+    Returns a mapping ``instructions issued in a cycle -> fraction of
+    cycles`` (including idle cycles as 0).  Requires the result to carry
+    ``issue_cycles`` (the default for direct simulations; the experiment
+    runner drops them unless ``keep_schedules=True``).
+    """
+    from collections import Counter
+    if result.issue_cycles is None:
+        raise ReproError("result carries no schedule; simulate with "
+                         "keep_schedules or use simulate_trace directly")
+    per_cycle = Counter(c for c in result.issue_cycles if c >= 0)
+    total_cycles = max(1, result.cycles)
+    distribution = Counter(per_cycle.values())
+    busy = sum(distribution.values())
+    out = {count: cycles / total_cycles
+           for count, cycles in sorted(distribution.items())}
+    idle = total_cycles - busy
+    if idle > 0:
+        out[0] = idle / total_cycles
+    return out
+
+
+def mean_speedup(results, baselines):
+    """Harmonic-mean speedup of ``results`` over per-trace ``baselines``
+    (Figure 3 style).  Baselines are matched by trace name."""
+    by_trace = {b.trace_name: b for b in baselines}
+    ratios = []
+    for result in results:
+        try:
+            baseline = by_trace[result.trace_name]
+        except KeyError:
+            raise ReproError("no baseline for trace %r"
+                             % (result.trace_name,))
+        ratios.append(result.speedup_over(baseline))
+    return harmonic_mean(ratios)

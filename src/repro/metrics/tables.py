@@ -1,0 +1,67 @@
+"""Plain-text rendering of tables and figure series.
+
+Every exhibit in :mod:`repro.experiments` renders through these helpers so
+the benchmark harness prints rows directly comparable to the paper's
+tables and figure series.
+"""
+
+
+def format_cell(value, precision=2):
+    if isinstance(value, float):
+        return "%.*f" % (precision, value)
+    return str(value)
+
+
+def render_table(headers, rows, title=None, precision=2):
+    """Monospace table: auto-sized columns, one header row."""
+    text_rows = [[format_cell(cell, precision) for cell in row]
+                 for row in rows]
+    header_cells = [str(h) for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w)
+                            for h, w in zip(header_cells, widths)))
+    lines.append(rule)
+    for row in text_rows:
+        lines.append(" | ".join(cell.rjust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(series, x_labels, title=None, precision=2,
+                  x_header="width"):
+    """Render named series over a shared x-axis (the figure analogue).
+
+    ``series`` is an ordered mapping name -> list of values aligned with
+    ``x_labels``.
+    """
+    headers = [x_header] + list(series.keys())
+    rows = []
+    for index, label in enumerate(x_labels):
+        row = [label]
+        for values in series.values():
+            row.append(values[index])
+        rows.append(row)
+    return render_table(headers, rows, title=title, precision=precision)
+
+
+def render_bar_chart(values, title=None, width=50, precision=2):
+    """Simple horizontal ASCII bars for one series (quick visuals)."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(empty)"])
+    peak = max(v for _, v in values) or 1.0
+    label_width = max(len(str(label)) for label, _ in values)
+    for label, value in values:
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append("%s  %s %s" % (str(label).ljust(label_width), bar,
+                                    format_cell(value, precision)))
+    return "\n".join(lines)

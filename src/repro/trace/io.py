@@ -1,0 +1,111 @@
+"""Binary save/load for dynamic traces.
+
+Format (version 1), all little-endian:
+
+- 8-byte magic ``b"REPROTR1"``;
+- a JSON header (length-prefixed, u32) with trace name and column counts;
+- the static table: fixed-width numeric columns as ``array`` dumps and the
+  signature strings as a length-prefixed UTF-8 blob;
+- the dynamic columns: ``sidx`` (u32), ``eff_addr`` (u64), ``taken``
+  (packed bytes).
+
+Traces regenerate quickly from workloads, so this exists mainly to let the
+benchmark harness cache expensive traces across processes and to make
+traces portable artifacts.
+"""
+
+import json
+import struct
+from array import array
+
+from ..errors import TraceFormatError
+from .records import DynTrace, StaticTable
+
+MAGIC = b"REPROTR1"
+
+_STATIC_NUMERIC = ("cls", "lat", "dest", "src1", "src2", "datasrc",
+                   "leaves", "zeros", "pc")
+_STATIC_BOOL = ("writes_cc", "reads_cc", "producer_ok", "consumer_ok")
+
+
+def _write_block(handle, payload):
+    handle.write(struct.pack("<I", len(payload)))
+    handle.write(payload)
+
+
+def _read_block(handle):
+    raw = handle.read(4)
+    if len(raw) != 4:
+        raise TraceFormatError("truncated trace file (block header)")
+    (length,) = struct.unpack("<I", raw)
+    payload = handle.read(length)
+    if len(payload) != length:
+        raise TraceFormatError("truncated trace file (block payload)")
+    return payload
+
+
+def save_trace(trace, path):
+    """Serialise ``trace`` to ``path``."""
+    static = trace.static
+    header = {
+        "name": trace.name,
+        "static_len": len(static),
+        "dyn_len": len(trace),
+        "version": 1,
+    }
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        _write_block(handle, json.dumps(header).encode("utf-8"))
+        for column in _STATIC_NUMERIC:
+            values = array("q", getattr(static, column))
+            _write_block(handle, values.tobytes())
+        for column in _STATIC_BOOL:
+            values = bytes(1 if flag else 0
+                           for flag in getattr(static, column))
+            _write_block(handle, values)
+        _write_block(handle, "\n".join(static.sig).encode("utf-8"))
+        _write_block(handle, array("q", trace.sidx).tobytes())
+        _write_block(handle, array("q", trace.eff_addr).tobytes())
+        _write_block(handle, bytes(1 if flag else 0 for flag in trace.taken))
+        _write_block(handle, array("q", trace.mem_value).tobytes())
+
+
+def load_trace(path):
+    """Load a trace previously written by :func:`save_trace`."""
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if magic != MAGIC:
+            raise TraceFormatError("bad magic: %r" % (magic,))
+        header = json.loads(_read_block(handle).decode("utf-8"))
+        if header.get("version") != 1:
+            raise TraceFormatError(
+                "unsupported version: %r" % (header.get("version"),))
+        static = StaticTable()
+        for column in _STATIC_NUMERIC:
+            values = array("q")
+            values.frombytes(_read_block(handle))
+            setattr(static, column, list(values))
+        for column in _STATIC_BOOL:
+            setattr(static, column,
+                    [byte != 0 for byte in _read_block(handle)])
+        sig_blob = _read_block(handle).decode("utf-8")
+        static.sig = sig_blob.split("\n") if sig_blob else []
+        lengths = {len(getattr(static, col))
+                   for col in _STATIC_NUMERIC + _STATIC_BOOL + ("sig",)}
+        if lengths != {header["static_len"]}:
+            raise TraceFormatError("static column length mismatch")
+        trace = DynTrace(static, name=header.get("name", ""))
+        sidx = array("q")
+        sidx.frombytes(_read_block(handle))
+        trace.sidx = list(sidx)
+        eff = array("q")
+        eff.frombytes(_read_block(handle))
+        trace.eff_addr = list(eff)
+        trace.taken = [byte != 0 for byte in _read_block(handle)]
+        values = array("q")
+        values.frombytes(_read_block(handle))
+        trace.mem_value = list(values)
+        if not (len(trace.sidx) == len(trace.eff_addr) == len(trace.taken)
+                == len(trace.mem_value) == header["dyn_len"]):
+            raise TraceFormatError("dynamic column length mismatch")
+        return trace

@@ -1,0 +1,125 @@
+"""Synthetic trace generators.
+
+Used by unit/property tests (known dependence structure, no assembler in
+the loop) and by micro-benchmarks that need traces with one controlled
+property: a serial dependence chain, an embarrassingly parallel stream,
+strided loads, or pointer-chasing loads.
+"""
+
+import random
+
+from .records import AR, LG, MV, SH, TraceBuilder
+
+
+def dependent_chain(length, cls=AR):
+    """A pure serial chain: every instruction consumes its predecessor.
+
+    The base machine can never issue more than one of these per cycle, so
+    the trace pins down scheduler serialisation and collapse speedups.
+    """
+    builder = TraceBuilder(name="chain")
+    builder.alu(cls, dest=1, src1=2, imm=True)
+    for _ in range(length - 1):
+        builder.alu(cls, dest=1, src1=1, imm=True)
+    return builder.build()
+
+
+def independent_stream(length, regs=16):
+    """Fully parallel instructions: register i only ever depends on itself
+    being written by a move, so IPC is limited purely by issue width."""
+    builder = TraceBuilder(name="independent")
+    for i in range(length):
+        builder.move(dest=1 + (i % regs), imm=True)
+    return builder.build()
+
+
+def strided_load_loop(iterations, stride=4, base=0x10000):
+    """The classic stride pattern: ``p += stride; x = [p]; acc += x``.
+
+    Every load address is perfectly predictable by a two-delta table, and
+    the address-generation add is collapsible into the load.
+    """
+    builder = TraceBuilder(name="strided")
+    builder.move(dest=1, imm=True)           # p = base
+    builder.move(dest=2, imm=True)           # acc = 0
+    address = base + stride
+    # First iteration creates the static loop body; later iterations
+    # replay the same static instructions (same PCs) so the stride table
+    # trains exactly like it would on a real loop.
+    bump = builder.add(dest=1, src1=1, imm=True)        # p += stride
+    load = builder.load(dest=3, addr_reg=1, addr=address)
+    accum = builder.add(dest=2, src1=2, src2=3)         # acc += x
+    for _ in range(iterations - 1):
+        address += stride
+        builder.repeat(bump)
+        builder.repeat(load, eff_addr=address)
+        builder.repeat(accum)
+    return builder.build()
+
+
+def pointer_chase_loop(iterations, seed=7, heap=0x40000, nodes=1024):
+    """Linked-list walk: each load address is the value of the previous
+    load, so a stride predictor fails almost always."""
+    rng = random.Random(seed)
+    addresses = [heap + 16 * rng.randrange(nodes) for _ in range(iterations)]
+    builder = TraceBuilder(name="pointer-chase")
+    builder.move(dest=1, imm=True)          # p = head
+    builder.move(dest=2, imm=True)          # acc
+    load = builder.load(dest=1, addr_reg=1, addr=addresses[0])
+    accum = builder.add(dest=2, src1=2, src2=1)
+    for address in addresses[1:]:
+        builder.repeat(load, eff_addr=address)  # p = p->next
+        builder.repeat(accum)                   # acc += p
+    return builder.build()
+
+
+def collapsible_pairs(pairs):
+    """``pairs`` repetitions of an (add, dependent add) couple; the pairs
+    themselves are independent of each other."""
+    builder = TraceBuilder(name="pairs")
+    for i in range(pairs):
+        lo = 1 + 2 * (i % 8)
+        builder.add(dest=lo, src1=31, imm=True)
+        builder.add(dest=lo + 1, src1=lo, imm=True)
+    return builder.build()
+
+
+def random_trace(length, seed=0, regs=24, load_frac=0.2, store_frac=0.08,
+                 branch_frac=0.12, name="random"):
+    """A randomised but well-formed trace for property-based tests.
+
+    Every register read is preceded (eventually) by a write because the
+    builder seeds all registers via moves; branch outcomes are random.
+    """
+    rng = random.Random(seed)
+    builder = TraceBuilder(name=name)
+    for reg in range(1, min(regs, 31) + 1):
+        builder.move(dest=reg, imm=True)
+    live = list(range(1, min(regs, 31) + 1))
+    compare_pending = False
+    for _ in range(length):
+        roll = rng.random()
+        dest = rng.choice(live)
+        if roll < load_frac:
+            builder.load(dest=dest, addr_reg=rng.choice(live),
+                         addr=0x10000 + 4 * rng.randrange(4096))
+        elif roll < load_frac + store_frac:
+            builder.store(datasrc=rng.choice(live),
+                          addr_reg=rng.choice(live),
+                          addr=0x10000 + 4 * rng.randrange(4096))
+        elif roll < load_frac + store_frac + branch_frac:
+            if not compare_pending:
+                builder.cmp(src1=rng.choice(live), imm=True)
+                compare_pending = True
+            builder.branch(taken=rng.random() < 0.6)
+            compare_pending = False
+        else:
+            cls = rng.choice((AR, AR, AR, LG, SH, MV))
+            if cls == MV:
+                builder.move(dest=dest, imm=True)
+            elif rng.random() < 0.5:
+                builder.alu(cls, dest=dest, src1=rng.choice(live), imm=True)
+            else:
+                builder.alu(cls, dest=dest, src1=rng.choice(live),
+                            src2=rng.choice(live))
+    return builder.build()

@@ -1,0 +1,61 @@
+"""Trace transformations: slicing and concatenation.
+
+The paper truncated long traces ("only the first 250 million instructions
+of each benchmark trace were simulated"); these helpers give the same
+control over our traces, plus concatenation for building repeated-phase
+traces in tests and predictor studies.
+
+Slices share the original static table (they are views of the same
+program), so predictor state keyed by PC behaves exactly as it would on
+the full trace's corresponding region.
+"""
+
+from ..errors import ReproError
+from .records import DynTrace
+
+
+def trace_slice(trace, start=0, stop=None, name=None):
+    """The dynamic instructions ``[start:stop)`` as a new trace.
+
+    Note that predictor and dependence state *before* ``start`` is lost,
+    exactly as with the paper's truncation; use a warmup-aware experiment
+    if that matters.
+    """
+    length = len(trace)
+    if stop is None:
+        stop = length
+    if start < 0 or stop < start or stop > length:
+        raise ReproError("bad slice [%r:%r) of a %d-instruction trace"
+                         % (start, stop, length))
+    out = DynTrace(trace.static,
+                   name=name or "%s[%d:%d]" % (trace.name, start, stop))
+    out.sidx = trace.sidx[start:stop]
+    out.eff_addr = trace.eff_addr[start:stop]
+    out.taken = trace.taken[start:stop]
+    out.mem_value = trace.mem_value[start:stop]
+    return out
+
+
+def trace_concat(traces, name=None):
+    """Concatenate traces that share one static table."""
+    traces = list(traces)
+    if not traces:
+        raise ReproError("nothing to concatenate")
+    static = traces[0].static
+    for other in traces[1:]:
+        if other.static is not static:
+            raise ReproError(
+                "traces must share a static table to concatenate "
+                "(they come from the same program)")
+    out = DynTrace(static, name=name or traces[0].name + "*")
+    for piece in traces:
+        out.sidx.extend(piece.sidx)
+        out.eff_addr.extend(piece.eff_addr)
+        out.taken.extend(piece.taken)
+        out.mem_value.extend(piece.mem_value)
+    return out
+
+
+def truncate(trace, limit, name=None):
+    """First ``limit`` dynamic instructions (paper-style truncation)."""
+    return trace_slice(trace, 0, min(limit, len(trace)), name=name)

@@ -1,0 +1,7 @@
+"""Load-value prediction (extension; paper Figure 1.d, citing [9])."""
+
+from .last_value import LastValueEntry, LastValueTable
+from .runner import ValuePredictionResult, run_value_predictor
+
+__all__ = ["LastValueEntry", "LastValueTable",
+           "ValuePredictionResult", "run_value_predictor"]

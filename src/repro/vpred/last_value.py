@@ -1,0 +1,67 @@
+"""Last-value prediction for load results (extension).
+
+The paper's introduction points at value prediction for data loaded from
+memory (Figure 1.d, citing Lipasti, Wilkerson & Shen [9]) as the other
+form of d-speculation, but evaluates only address prediction.  This
+module supplies that missing mechanism so the extension configuration
+(``MachineConfig(value_spec=True)``) can quantify it:
+
+- direct-mapped table indexed like the address table (14 LSBs of the
+  load PC);
+- each entry stores the last value loaded by that static load;
+- the same 2-bit confidence policy as the paper's address table (+1 on a
+  correct value, -2 on a wrong one, use when the counter exceeds 1).
+"""
+
+_MASK32 = 0xFFFFFFFF
+
+
+class LastValueEntry:
+    __slots__ = ("value", "confidence")
+
+    def __init__(self):
+        self.value = 0
+        self.confidence = 0
+
+
+class LastValueTable:
+    """Last-value predictor with confidence (value locality [9])."""
+
+    def __init__(self, entries=4096, counter_bits=2,
+                 confidence_threshold=2, correct_reward=1,
+                 wrong_penalty=2):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.index_mask = entries - 1
+        self.counter_max = (1 << counter_bits) - 1
+        self.confidence_threshold = confidence_threshold
+        self.correct_reward = correct_reward
+        self.wrong_penalty = wrong_penalty
+        self._table = [LastValueEntry() for _ in range(entries)]
+
+    def index_of(self, pc):
+        return (pc >> 2) & self.index_mask
+
+    def observe(self, pc, value):
+        """One dynamic load in program order.
+
+        Returns ``(would_use, correct, predicted)`` for the pre-update
+        state, then trains the entry.
+        """
+        value &= _MASK32
+        entry = self._table[self.index_of(pc)]
+        predicted = entry.value
+        would_use = entry.confidence >= self.confidence_threshold
+        correct = predicted == value
+        if correct:
+            entry.confidence = min(entry.confidence + self.correct_reward,
+                                   self.counter_max)
+        else:
+            entry.confidence = max(entry.confidence - self.wrong_penalty,
+                                   0)
+        entry.value = value
+        return would_use, correct, predicted
+
+    def entry(self, pc):
+        return self._table[self.index_of(pc)]

@@ -1,0 +1,50 @@
+"""Program-order value-prediction pass over a trace.
+
+Mirrors :mod:`repro.addrpred.runner`: all loads train the table in
+program order, producing timing-independent per-load outcomes the
+scheduler consumes for the ``value_spec`` extension.
+"""
+
+from ..trace.records import LD
+from .last_value import LastValueTable
+
+
+class ValuePredictionResult:
+    """Per-load value-prediction outcomes (keyed by trace position)."""
+
+    __slots__ = ("attempted", "correct", "loads", "would_correct")
+
+    def __init__(self):
+        self.attempted = {}
+        self.correct = {}
+        self.loads = 0
+        self.would_correct = 0
+
+    @property
+    def raw_accuracy(self):
+        """Value locality: fraction of loads returning the same value as
+        the previous execution of the same static load."""
+        if not self.loads:
+            return 0.0
+        return self.would_correct / self.loads
+
+
+def run_value_predictor(trace, table=None):
+    if table is None:
+        table = LastValueTable()
+    static = trace.static
+    cls = static.cls
+    pcs = static.pc
+    values = trace.mem_value
+    result = ValuePredictionResult()
+    observe = table.observe
+    for position, sidx in enumerate(trace.sidx):
+        if cls[sidx] != LD:
+            continue
+        would_use, correct, _ = observe(pcs[sidx], values[position])
+        result.loads += 1
+        if correct:
+            result.would_correct += 1
+        result.attempted[position] = would_use
+        result.correct[position] = correct
+    return result

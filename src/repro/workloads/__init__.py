@@ -1,0 +1,26 @@
+"""Six benchmark kernels mirroring the paper's SPECINT selection."""
+
+from .base import LCG, Workload, WorkloadError
+from .compress import CompressWorkload
+from .espresso import EspressoWorkload
+from .eqntott import EqntottWorkload
+from .go import GoWorkload
+from .ijpeg import IjpegWorkload
+from .li import LiWorkload
+from .registry import (
+    NON_POINTER_CHASING,
+    POINTER_CHASING,
+    SUITE,
+    WORKLOADS,
+    cached_trace,
+    get_workload,
+    suite_traces,
+)
+
+__all__ = [
+    "LCG", "Workload", "WorkloadError",
+    "CompressWorkload", "EspressoWorkload", "EqntottWorkload",
+    "GoWorkload", "IjpegWorkload", "LiWorkload",
+    "NON_POINTER_CHASING", "POINTER_CHASING", "SUITE", "WORKLOADS",
+    "cached_trace", "get_workload", "suite_traces",
+]

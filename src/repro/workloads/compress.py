@@ -1,0 +1,168 @@
+"""compress analog: LZW compression with a probing hash dictionary.
+
+SPEC 026.compress is LZW: for each input byte, look up (prefix, char) in a
+hash table, extend the match or emit a code and insert.  The hot path is
+byte loads, shift/xor hash computation, and *data-dependent* table loads —
+addresses that defeat a stride predictor even though the benchmark is not
+pointer-chasing in the paper's classification.
+
+The dictionary: open-addressing table of {key = (prefix << 8) | char + 1,
+code}; code space saturates at 4096 (12-bit compress) after which no new
+entries are made.  Output codes are written to a buffer and the count
+stored, both validated against a Python LZW reference (output is
+implementation-independent given the same policy).
+"""
+
+from .base import LCG, Workload, expect_equal, read_word_array
+
+_BASE_INPUT = 5200
+_HSIZE = 8192
+_MAX_CODE = 4096
+_SEED = 0xC0FFEE
+
+_SOURCE = """
+        .equ INLEN, {inlen}
+        .text
+main:
+        set     input, %i0
+        set     hkey, %i1
+        set     hcode, %i2
+        set     outbuf, %i3
+        mov     0, %i4              ! output count
+        set     256, %i5            ! next free code
+        set     {hmask}, %g4        ! hash mask
+        set     {max_code}, %g5
+        set     INLEN, %g6
+        ldub    [%i0], %l0          ! prefix = first byte
+        mov     1, %l1              ! input index
+byte_loop:
+        add     %i0, %l1, %o0
+        ldub    [%o0], %l2          ! c = input[idx]
+        sll     %l0, 8, %o1
+        or      %o1, %l2, %o1
+        add     %o1, 1, %o2         ! stored key (0 means empty)
+        sll     %l2, 8, %o3
+        xor     %o3, %l0, %o3
+        and     %o3, %g4, %o3       ! h
+probe:
+        sll     %o3, 2, %o5
+        add     %o5, %i1, %o5
+        ld      [%o5], %l3          ! hkey[h]
+        cmp     %l3, %o2
+        be      match
+        cmp     %l3, 0
+        be      miss
+        add     %o3, 1, %o3
+        and     %o3, %g4, %o3
+        ba      probe
+match:
+        sll     %o3, 2, %o5
+        add     %o5, %i2, %o5
+        ld      [%o5], %l0          ! prefix = dictionary code
+        ba      next
+miss:
+        sll     %i4, 2, %o5         ! emit prefix code
+        add     %o5, %i3, %o5
+        st      %l0, [%o5]
+        inc     %i4
+        cmp     %i5, %g5            ! dictionary full?
+        bge     no_add
+        sll     %o3, 2, %o5
+        add     %o5, %i1, %o5
+        st      %o2, [%o5]          ! hkey[h] = key
+        sll     %o3, 2, %o5
+        add     %o5, %i2, %o5
+        st      %i5, [%o5]          ! hcode[h] = next code
+        inc     %i5
+no_add:
+        mov     %l2, %l0            ! prefix = c
+next:
+        inc     %l1
+        cmp     %l1, %g6
+        bl      byte_loop
+        ! flush final prefix
+        sll     %i4, 2, %o5
+        add     %o5, %i3, %o5
+        st      %l0, [%o5]
+        inc     %i4
+        set     outcount, %o0
+        st      %i4, [%o0]
+        halt
+
+        .data
+input:
+{input_bytes}
+        .align  4
+hkey:   .space  {hash_bytes}
+hcode:  .space  {hash_bytes}
+outbuf: .space  {out_bytes}
+outcount: .word 0
+"""
+
+
+def _input_bytes(length, seed=_SEED):
+    """Compressible pseudo-text: a 16-symbol alphabet with short runs."""
+    rng = LCG(seed)
+    data = []
+    while len(data) < length:
+        symbol = rng.next() & 0x0F
+        run = 1 + (rng.next() & 0x3)
+        data.extend([symbol + 0x41] * run)
+    return data[:length]
+
+
+def _reference(data):
+    """Plain-Python LZW with the same 4096-entry policy."""
+    table = {(-1, byte): byte for byte in range(256)}
+    next_code = 256
+    output = []
+    prefix = data[0]
+    for char in data[1:]:
+        key = (prefix, char)
+        if key in table:
+            prefix = table[key]
+        else:
+            output.append(prefix)
+            if next_code < _MAX_CODE:
+                table[key] = next_code
+                next_code += 1
+            prefix = char
+    output.append(prefix)
+    return output
+
+
+def _byte_directives(values):
+    lines = []
+    for start in range(0, len(values), 16):
+        chunk = values[start:start + 16]
+        lines.append("        .byte   " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+class CompressWorkload(Workload):
+    name = "compress"
+    pointer_chasing = False
+    description = "LZW compression with hash dictionary (026.compress)"
+    nominal_length = 160_000
+
+    def input_length(self, scale):
+        return max(8, round(_BASE_INPUT * scale))
+
+    def source(self, scale):
+        length = self.input_length(scale)
+        return _SOURCE.format(
+            inlen=length,
+            hmask=_HSIZE - 1,
+            max_code=_MAX_CODE,
+            input_bytes=_byte_directives(_input_bytes(length)),
+            hash_bytes=4 * _HSIZE,
+            out_bytes=4 * (length + 2),
+        )
+
+    def validate(self, machine, program, scale):
+        length = self.input_length(scale)
+        expected = _reference(_input_bytes(length))
+        count = read_word_array(machine, program, "outcount", 1)[0]
+        expect_equal(count, len(expected), "compress output count")
+        actual = read_word_array(machine, program, "outbuf", count)
+        expect_equal(actual, expected, "compress output codes")

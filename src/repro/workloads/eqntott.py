@@ -1,0 +1,131 @@
+"""eqntott analog: truth-table sorting (iterative quicksort).
+
+SPEC 023.eqntott spends most of its cycles in ``cmppt``/``qsort`` sorting
+truth-table rows: tight compare loops and data-dependent branches (the
+paper's Table 2 shows eqntott with the highest conditional-branch fraction
+of the suite, 27.5%).  This kernel reproduces that: an in-assembly LCG
+fills the table (mimicking PTE generation), then an iterative Lomuto
+quicksort with an explicit spill stack sorts it.
+"""
+
+from .base import LCG, Workload, expect_equal, read_word_array
+
+_BASE_N = 1100
+_SEED = 0x2468A
+
+_SOURCE = """
+        .equ N, {n}
+        .text
+main:
+        set     arr, %i0
+        set     1103515245, %i4     ! LCG multiplier
+        set     12345, %i5          ! LCG increment
+        set     0x7fff, %i3         ! output mask
+        set     {seed}, %o5         ! LCG state
+        mov     0, %l0
+fill:
+        smul    %o5, %i4, %o5
+        add     %o5, %i5, %o5
+        srl     %o5, 16, %o0
+        and     %o0, %i3, %o0
+        sll     %l0, 2, %o2
+        st      %o0, [%i0 + %o2]
+        inc     %l0
+        cmp     %l0, N
+        bl      fill
+
+        ! ---- iterative quicksort over arr[0..N-1]
+        set     qstack, %i1
+        st      %g0, [%i1]          ! push lo=0
+        set     {n_minus_1}, %o0
+        st      %o0, [%i1 + 4]      ! push hi=N-1
+        mov     2, %l7              ! stack pointer (words)
+qloop:
+        cmp     %l7, 0
+        ble     qdone
+        dec     2, %l7
+        sll     %l7, 2, %o0
+        add     %o0, %i1, %o1
+        ld      [%o1], %l0          ! lo
+        ld      [%o1 + 4], %l1      ! hi
+        cmp     %l0, %l1
+        bge     qloop
+        ! partition around pivot = arr[hi]
+        sll     %l1, 2, %o0
+        add     %o0, %i0, %o0
+        ld      [%o0], %l4          ! pivot
+        sub     %l0, 1, %l2         ! i = lo - 1
+        mov     %l0, %l3            ! j = lo
+part:
+        sll     %l3, 2, %o0
+        add     %o0, %i0, %o0
+        ld      [%o0], %o1          ! arr[j]
+        cmp     %o1, %l4
+        bg      noswap
+        inc     %l2
+        sll     %l2, 2, %o2
+        add     %o2, %i0, %o2
+        ld      [%o2], %o3
+        st      %o3, [%o0]          ! swap arr[i] <-> arr[j]
+        st      %o1, [%o2]
+noswap:
+        inc     %l3
+        cmp     %l3, %l1
+        bl      part
+        ! place pivot
+        inc     %l2
+        sll     %l2, 2, %o2
+        add     %o2, %i0, %o2
+        ld      [%o2], %o3
+        sll     %l1, 2, %o0
+        add     %o0, %i0, %o0
+        ld      [%o0], %o1
+        st      %o3, [%o0]
+        st      %o1, [%o2]
+        ! push (lo, i-1), (i+1, hi)
+        sll     %l7, 2, %o0
+        add     %o0, %i1, %o0
+        st      %l0, [%o0]
+        sub     %l2, 1, %o1
+        st      %o1, [%o0 + 4]
+        add     %l2, 1, %o1
+        st      %o1, [%o0 + 8]
+        st      %l1, [%o0 + 12]
+        add     %l7, 4, %l7
+        ba      qloop
+qdone:
+        halt
+
+        .data
+arr:    .space  {arr_bytes}
+qstack: .space  {stack_bytes}
+"""
+
+
+def _values(n, seed=_SEED):
+    rng = LCG(seed)
+    return [rng.next() for _ in range(n)]
+
+
+class EqntottWorkload(Workload):
+    name = "eqntott"
+    pointer_chasing = False
+    description = "truth-table quicksort (023.eqntott analog)"
+    nominal_length = 190_000
+
+    def size(self, scale):
+        return max(4, round(_BASE_N * scale))
+
+    def source(self, scale):
+        n = self.size(scale)
+        return _SOURCE.format(
+            n=n, n_minus_1=n - 1, seed=_SEED,
+            arr_bytes=4 * n,
+            stack_bytes=4 * 2 * (n + 4),
+        )
+
+    def validate(self, machine, program, scale):
+        n = self.size(scale)
+        expected = sorted(_values(n))
+        actual = read_word_array(machine, program, "arr", n)
+        expect_equal(actual, expected, "eqntott sorted table")

@@ -1,0 +1,176 @@
+"""espresso analog: pairwise cube-distance scan over a boolean cover.
+
+SPEC 008.espresso minimises boolean functions represented as covers of
+cubes (bit-vectors); its hot loops are word-wise logical operations and
+population counts over cube pairs.  This kernel scans all cube pairs,
+computes the Hamming distance with a byte-table popcount (espresso's
+``bit_count`` idiom), counts "mergeable" pairs under a threshold, and
+accumulates the AND-intersection of mergeable pairs.
+
+Mix: heavy ``lg``/``sh`` traffic with byte-table loads — the logical
+operand profile (``lgrr``/``lgr0`` entries of the paper's Tables 5-6).
+"""
+
+from .base import LCG, Workload, expect_equal, read_word_array, \
+    words_directive
+
+_BASE_CUBES = 56
+_WORDS_PER_CUBE = 4
+_THRESHOLD = 64
+_SEED = 0x5EED5
+
+_SOURCE = """
+        .equ NC, {nc}
+        .equ THRESH, {thresh}
+        .text
+main:
+        set     cubes, %i0
+        set     poptab, %i1
+        set     merged, %i2
+        mov     0, %i4              ! mergeable-pair count
+        mov     0, %l0              ! i
+outer:
+        add     %l0, 1, %l1         ! j = i + 1
+inner:
+        cmp     %l1, NC
+        bge     inner_done
+        ! ---- distance(cube i, cube j)
+        mov     0, %l2              ! w
+        mov     0, %l3              ! dist
+        sll     %l0, 4, %o0         ! i * 16 bytes
+        add     %o0, %i0, %o0       ! &cubes[i]
+        sll     %l1, 4, %o1
+        add     %o1, %i0, %o1       ! &cubes[j]
+wloop:
+        sll     %l2, 2, %o2
+        add     %o2, %o0, %o3
+        ld      [%o3], %o4          ! a
+        add     %o2, %o1, %o3
+        ld      [%o3], %o5          ! b
+        xor     %o4, %o5, %o4      ! diff
+        ! popcount via 4 byte-table lookups
+        and     %o4, 0xff, %o5
+        add     %o5, %i1, %o5
+        ldub    [%o5], %o5
+        add     %l3, %o5, %l3
+        srl     %o4, 8, %o5
+        and     %o5, 0xff, %o5
+        add     %o5, %i1, %o5
+        ldub    [%o5], %o5
+        add     %l3, %o5, %l3
+        srl     %o4, 16, %o5
+        and     %o5, 0xff, %o5
+        add     %o5, %i1, %o5
+        ldub    [%o5], %o5
+        add     %l3, %o5, %l3
+        srl     %o4, 24, %o5
+        add     %o5, %i1, %o5
+        ldub    [%o5], %o5
+        add     %l3, %o5, %l3
+        inc     %l2
+        cmp     %l2, {wpc}
+        bl      wloop
+        ! ---- merge decision
+        cmp     %l3, THRESH
+        bge     no_merge
+        inc     %i4
+        mov     0, %l2
+mloop:
+        sll     %l2, 2, %o2
+        add     %o2, %o0, %o3
+        ld      [%o3], %o4
+        add     %o2, %o1, %o3
+        ld      [%o3], %o5
+        and     %o4, %o5, %o4
+        add     %o2, %i2, %o3
+        ld      [%o3], %o5
+        or      %o5, %o4, %o5
+        st      %o5, [%o3]
+        inc     %l2
+        cmp     %l2, {wpc}
+        bl      mloop
+no_merge:
+        inc     %l1
+        ba      inner
+inner_done:
+        inc     %l0
+        cmp     %l0, NC
+        bl      outer
+        set     count, %o0
+        st      %i4, [%o0]
+        halt
+
+        .data
+poptab:
+{poptab_bytes}
+        .align  4
+cubes:
+{cube_words}
+merged: .space  {merged_bytes}
+count:  .word   0
+"""
+
+
+def _popcount_table():
+    return [bin(i).count("1") for i in range(256)]
+
+
+def _cubes(nc, seed=_SEED):
+    rng = LCG(seed)
+    return [rng.next_u32() for _ in range(nc * _WORDS_PER_CUBE)]
+
+
+def _reference(nc):
+    cubes = _cubes(nc)
+    count = 0
+    merged = [0] * _WORDS_PER_CUBE
+    for i in range(nc):
+        for j in range(i + 1, nc):
+            dist = 0
+            for w in range(_WORDS_PER_CUBE):
+                a = cubes[i * _WORDS_PER_CUBE + w]
+                b = cubes[j * _WORDS_PER_CUBE + w]
+                dist += bin(a ^ b).count("1")
+            if dist < _THRESHOLD:
+                count += 1
+                for w in range(_WORDS_PER_CUBE):
+                    a = cubes[i * _WORDS_PER_CUBE + w]
+                    b = cubes[j * _WORDS_PER_CUBE + w]
+                    merged[w] |= a & b
+    return count, merged
+
+
+def _byte_directives(values):
+    lines = []
+    for start in range(0, len(values), 16):
+        chunk = values[start:start + 16]
+        lines.append("        .byte   " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+class EspressoWorkload(Workload):
+    name = "espresso"
+    pointer_chasing = False
+    description = "cube-cover distance scan (008.espresso analog)"
+    nominal_length = 170_000
+
+    def cubes(self, scale):
+        return max(4, round(_BASE_CUBES * (scale ** 0.5)))
+
+    def source(self, scale):
+        nc = self.cubes(scale)
+        return _SOURCE.format(
+            nc=nc, thresh=_THRESHOLD, wpc=_WORDS_PER_CUBE,
+            poptab_bytes=_byte_directives(_popcount_table()),
+            cube_words=words_directive(_cubes(nc)),
+            merged_bytes=4 * _WORDS_PER_CUBE,
+        )
+
+    def validate(self, machine, program, scale):
+        nc = self.cubes(scale)
+        expected_count, expected_merged = _reference(nc)
+        count = read_word_array(machine, program, "count", 1)[0]
+        merged = read_word_array(machine, program, "merged",
+                                 _WORDS_PER_CUBE)
+        expect_equal(count, expected_count, "espresso mergeable count")
+        expect_equal(merged, expected_merged, "espresso merged cube")

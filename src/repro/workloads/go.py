@@ -1,0 +1,195 @@
+"""go analog: group liberty counting by flood fill (pointer chasing-ish).
+
+SPEC 099.go evaluates board positions: short data-dependent loops, poor
+branch prediction (83.7% in the paper's Table 2, the worst of the suite)
+and irregular memory access.  This kernel walks whole 16x16 boards
+(border-guarded), flood-filling every stone's group with an explicit work
+stack and counting distinct liberties — the classic Go-engine inner loop.
+
+Irregularity sources: the work-stack discipline makes load addresses data
+dependent, and the branch structure (stone colour tests, visited tests)
+follows pseudo-random board content.
+"""
+
+from .base import LCG, Workload, expect_equal, read_word_array, \
+    words_directive
+
+_BASE_BOARDS = 4
+_SIDE = 16
+_CELLS = _SIDE * _SIDE
+_SEED = 0x60B0A
+
+_SOURCE = """
+        .equ NBOARDS, {nboards}
+        .text
+main:
+        set     boards, %i0
+        set     mark, %i1
+        set     libmark, %i2
+        set     stk, %i3
+        set     offs, %g5
+        mov     0, %g4              ! generation counter
+        mov     0, %i4              ! total liberties
+        mov     0, %g6              ! board index
+board_loop:
+        sll     %g6, 8, %o0
+        add     %o0, %i0, %i5       ! current board base
+        mov     0, %l0              ! cell index s
+cell_loop:
+        add     %l0, %i5, %o0
+        ldub    [%o0], %l5          ! colour
+        cmp     %l5, 1
+        be      is_stone
+        cmp     %l5, 2
+        bne     cell_next
+is_stone:
+        inc     %g4
+        mov     0, %l3              ! liberties of this group
+        st      %l0, [%i3]          ! push s
+        mov     1, %l7              ! stack pointer
+        sll     %l0, 2, %o0
+        add     %o0, %i1, %o0
+        st      %g4, [%o0]          ! mark[s] = gen
+pop_loop:
+        cmp     %l7, 0
+        ble     flood_done
+        dec     %l7
+        sll     %l7, 2, %o0
+        add     %o0, %i3, %o0
+        ld      [%o0], %l1          ! p
+        mov     0, %l2              ! neighbour index
+nbr:
+        sll     %l2, 2, %o0
+        add     %o0, %g5, %o0
+        ld      [%o0], %o1          ! offset
+        add     %l1, %o1, %o2       ! q
+        add     %o2, %i5, %o3
+        ldub    [%o3], %o4          ! board[q]
+        cmp     %o4, 0
+        bne     not_empty
+        sll     %o2, 2, %o5         ! distinct-liberty check
+        add     %o5, %i2, %o5
+        ld      [%o5], %o0
+        cmp     %o0, %g4
+        be      nbr_next
+        st      %g4, [%o5]
+        inc     %l3
+        ba      nbr_next
+not_empty:
+        cmp     %o4, %l5
+        bne     nbr_next
+        sll     %o2, 2, %o5
+        add     %o5, %i1, %o5
+        ld      [%o5], %o0
+        cmp     %o0, %g4
+        be      nbr_next
+        st      %g4, [%o5]          ! mark and push q
+        sll     %l7, 2, %o0
+        add     %o0, %i3, %o0
+        st      %o2, [%o0]
+        inc     %l7
+nbr_next:
+        inc     %l2
+        cmp     %l2, 4
+        bl      nbr
+        ba      pop_loop
+flood_done:
+        add     %i4, %l3, %i4
+cell_next:
+        inc     %l0
+        cmp     %l0, 256
+        bl      cell_loop
+        inc     %g6
+        cmp     %g6, NBOARDS
+        bl      board_loop
+        set     total, %o0
+        st      %i4, [%o0]
+        halt
+
+        .data
+offs:   .word   0xfffffff0, 0xffffffff, 1, 16
+boards:
+{board_bytes}
+        .align  4
+mark:   .space  1024
+libmark: .space 1024
+stk:    .space  1200
+total:  .word   0
+"""
+
+_EMPTY, _BLACK, _WHITE, _BORDER = 0, 1, 2, 3
+
+
+def _make_boards(nboards, seed=_SEED):
+    rng = LCG(seed)
+    boards = []
+    for _ in range(nboards):
+        cells = [_BORDER] * _CELLS
+        for row in range(1, _SIDE - 1):
+            for col in range(1, _SIDE - 1):
+                roll = rng.next() % 10
+                if roll < 3:
+                    value = _EMPTY
+                elif roll < 7:
+                    value = _BLACK
+                else:
+                    value = _WHITE
+                cells[row * _SIDE + col] = value
+        boards.append(cells)
+    return boards
+
+
+def _reference(nboards):
+    total = 0
+    for cells in _make_boards(nboards):
+        for start in range(_CELLS):
+            colour = cells[start]
+            if colour not in (_BLACK, _WHITE):
+                continue
+            seen = {start}
+            liberties = set()
+            stack = [start]
+            while stack:
+                p = stack.pop()
+                for d in (-16, -1, 1, 16):
+                    q = p + d
+                    if q < 0 or q >= _CELLS:
+                        continue
+                    if cells[q] == _EMPTY:
+                        liberties.add(q)
+                    elif cells[q] == colour and q not in seen:
+                        seen.add(q)
+                        stack.append(q)
+            total += len(liberties)
+    return total & 0xFFFFFFFF
+
+
+def _byte_directives(values):
+    lines = []
+    for start in range(0, len(values), 16):
+        chunk = values[start:start + 16]
+        lines.append("        .byte   " + ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+class GoWorkload(Workload):
+    name = "go"
+    pointer_chasing = True
+    description = "board liberty flood fill (099.go analog)"
+    nominal_length = 200_000
+
+    def boards(self, scale):
+        return max(1, round(_BASE_BOARDS * scale))
+
+    def source(self, scale):
+        nboards = self.boards(scale)
+        flat = [cell for cells in _make_boards(nboards) for cell in cells]
+        return _SOURCE.format(
+            nboards=nboards,
+            board_bytes=_byte_directives(flat),
+        )
+
+    def validate(self, machine, program, scale):
+        expected = _reference(self.boards(scale))
+        actual = read_word_array(machine, program, "total", 1)[0]
+        expect_equal(actual, expected, "go total liberties")

@@ -1,0 +1,203 @@
+"""ijpeg analog: integer 8x8 block transform + quantisation.
+
+SPEC 132.ijpeg spends its time in blocked integer DCT/quantisation loops
+over image data: strided byte loads, multiply-accumulate chains, perfectly
+predictable loop branches.  This kernel reproduces that structure with a
+separable 8x8 integer transform (coefficient matrix multiply on rows, then
+on columns) followed by a shift quantiser.
+
+Structure notes for the study:
+- load addresses are affine in the loop counters -> the two-delta table
+  predicts nearly all of them (non pointer-chasing set);
+- address generation (shift+add chains into loads) is exactly the
+  ``shri``/``arri`` -> ``ldrr`` collapsing pattern of Table 5.
+"""
+
+from .base import LCG, Workload, expect_equal, read_word_array, \
+    words_directive
+
+_BASE_BLOCKS = 12
+
+#: Scaled integer cosine-ish coefficients (symmetric, nonzero, small).
+_COEF = [
+    [8, 8, 8, 8, 8, 8, 8, 8],
+    [11, 9, 6, 2, -2, -6, -9, -11],
+    [10, 4, -4, -10, -10, -4, 4, 10],
+    [9, -2, -11, -6, 6, 11, 2, -9],
+    [8, -8, -8, 8, 8, -8, -8, 8],
+    [6, -11, 2, 9, -9, -2, 11, -6],
+    [4, -10, 10, -4, -4, 10, -10, 4],
+    [2, -6, 9, -11, 11, -9, 6, -2],
+]
+
+_SOURCE = """
+        .equ NBLOCKS, {nblocks}
+        .text
+main:
+        set     img, %i0            ! input bytes
+        set     tmp, %i1            ! 8x8 word scratch
+        set     out, %i2            ! output words
+        set     coef, %i3           ! 8x8 coefficient words
+        mov     0, %i4              ! block index
+blk_loop:
+        sll     %i4, 6, %o5         ! block offset in elements (64 per blk)
+
+        ! ---- row pass: tmp[r][u] = (sum_x coef[u][x]*in[r*8+x]) >> 3
+        mov     0, %l0              ! r
+row_r:
+        mov     0, %l1              ! u
+row_u:
+        mov     0, %l2              ! x
+        mov     0, %l3              ! acc
+row_x:
+        sll     %l1, 3, %l4
+        add     %l4, %l2, %l4
+        sll     %l4, 2, %l4
+        ld      [%i3 + %l4], %l5    ! coef[u][x]
+        sll     %l0, 3, %l6
+        add     %l6, %l2, %l6
+        add     %l6, %o5, %l6
+        add     %l6, %i0, %l7
+        ldub    [%l7], %o0          ! in[r][x]
+        smul    %l5, %o0, %o1
+        add     %l3, %o1, %l3
+        inc     %l2
+        cmp     %l2, 8
+        bl      row_x
+        sra     %l3, 3, %l3
+        sll     %l0, 3, %l4         ! tmp[r*8 + u]
+        add     %l4, %l1, %l4
+        sll     %l4, 2, %l4
+        st      %l3, [%i1 + %l4]
+        inc     %l1
+        cmp     %l1, 8
+        bl      row_u
+        inc     %l0
+        cmp     %l0, 8
+        bl      row_r
+
+        ! ---- column pass + quantise:
+        ! out[u][v] = ((sum_r coef[u][r]*tmp[r][v]) >> 3) >> 2
+        mov     0, %l0              ! u
+col_u:
+        mov     0, %l1              ! v
+col_v:
+        mov     0, %l2              ! r
+        mov     0, %l3              ! acc
+col_r:
+        sll     %l0, 3, %l4
+        add     %l4, %l2, %l4
+        sll     %l4, 2, %l4
+        ld      [%i3 + %l4], %l5    ! coef[u][r]
+        sll     %l2, 3, %l6
+        add     %l6, %l1, %l6
+        sll     %l6, 2, %l6
+        ld      [%i1 + %l6], %l7    ! tmp[r][v]
+        smul    %l5, %l7, %o1
+        add     %l3, %o1, %l3
+        inc     %l2
+        cmp     %l2, 8
+        bl      col_r
+        sra     %l3, 3, %l3
+        sra     %l3, 2, %l3         ! quantise
+        sll     %l0, 3, %l4         ! out[blk*64 + u*8 + v]
+        add     %l4, %l1, %l4
+        add     %l4, %o5, %l4
+        sll     %l4, 2, %l4
+        st      %l3, [%i2 + %l4]
+        inc     %l1
+        cmp     %l1, 8
+        bl      col_v
+        inc     %l0
+        cmp     %l0, 8
+        bl      col_u
+
+        inc     %i4
+        cmp     %i4, NBLOCKS
+        bl      blk_loop
+        halt
+
+        .data
+coef:
+{coef_words}
+img:
+{img_bytes}
+        .align  4
+tmp:    .space  256
+out:    .space  {out_bytes}
+"""
+
+
+def _image_bytes(nblocks, seed=0x1234):
+    rng = LCG(seed)
+    return [rng.next() & 0xFF for _ in range(64 * nblocks)]
+
+
+def _reference(image, nblocks):
+    """Bit-exact Python model of the kernel."""
+    def asr(value, shift):
+        value &= 0xFFFFFFFF
+        if value & 0x80000000:
+            value -= 1 << 32
+        return value >> shift
+
+    out = []
+    for block in range(nblocks):
+        base = 64 * block
+        tmp = [[0] * 8 for _ in range(8)]
+        for r in range(8):
+            for u in range(8):
+                acc = 0
+                for x in range(8):
+                    acc = (acc + _COEF[u][x] * image[base + r * 8 + x]) \
+                        & 0xFFFFFFFF
+                tmp[r][u] = asr(acc, 3) & 0xFFFFFFFF
+        for u in range(8):
+            for v in range(8):
+                acc = 0
+                for r in range(8):
+                    prod = (_COEF[u][r] * _signed(tmp[r][v])) & 0xFFFFFFFF
+                    acc = (acc + prod) & 0xFFFFFFFF
+                out.append(asr(asr(acc, 3) & 0xFFFFFFFF, 2) & 0xFFFFFFFF)
+    return out
+
+
+def _signed(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _byte_directives(values):
+    lines = []
+    for start in range(0, len(values), 16):
+        chunk = values[start:start + 16]
+        lines.append("        .byte   " +
+                     ", ".join(str(v) for v in chunk))
+    return "\n".join(lines)
+
+
+class IjpegWorkload(Workload):
+    name = "ijpeg"
+    pointer_chasing = False
+    description = ("8x8 integer block transform + quantisation "
+                   "(132.ijpeg analog)")
+    nominal_length = 230_000
+
+    def blocks(self, scale):
+        return max(1, round(_BASE_BLOCKS * scale))
+
+    def source(self, scale):
+        nblocks = self.blocks(scale)
+        coef_flat = [c for row in _COEF for c in row]
+        return _SOURCE.format(
+            nblocks=nblocks,
+            coef_words=words_directive(coef_flat),
+            img_bytes=_byte_directives(_image_bytes(nblocks)),
+            out_bytes=4 * 64 * nblocks,
+        )
+
+    def validate(self, machine, program, scale):
+        nblocks = self.blocks(scale)
+        expected = _reference(_image_bytes(nblocks), nblocks)
+        actual = read_word_array(machine, program, "out", 64 * nblocks)
+        expect_equal(actual, expected, "ijpeg transform output")

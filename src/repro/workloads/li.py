@@ -1,0 +1,197 @@
+"""li analog: association-list interpreter kernel (pointer chasing).
+
+SPEC 022.li is a Lisp interpreter: its memory behaviour is dominated by
+walking cons cells whose addresses are data (the loaded value *is* the
+next address), which defeats stride prediction — the paper puts li in the
+"pointer chasing" set.  This kernel reproduces that:
+
+- a heap of cons-like nodes ``[key, value, next, pad]`` whose *physical
+  placement is a pseudo-random permutation* of the logical list order, so
+  successive ``next`` loads have no stride;
+- an assoc-lookup loop (the interpreter's symbol search) driven by an
+  in-assembly LCG;
+- an in-place list reversal (structure mutation, as in Lisp set-cdr!);
+- a second lookup round on the reversed list plus an order-sensitive
+  checksum walk.
+"""
+
+from .base import LCG, Workload, expect_equal, read_word_array, \
+    words_directive
+
+_BASE_QUERIES = 170
+_NODES = 128
+_NODE_WORDS = 4
+_SEED = 0x11D5
+_PLACE_SEED = 0xBEEF
+_KEY_SEED = 0xFACE
+
+_SOURCE = """
+        .equ Q, {queries}
+        .equ NMASK, {nmask}
+        .text
+main:
+        set     headptr, %o0
+        ld      [%o0], %i0          ! head = first node address
+        set     1103515245, %i4
+        set     12345, %i5
+        set     {seed}, %o5         ! LCG state
+        mov     0, %i3              ! sum of found values
+        mov     0, %l6
+qloop:
+        smul    %o5, %i4, %o5
+        add     %o5, %i5, %o5
+        srl     %o5, 16, %l0
+        and     %l0, NMASK, %l0     ! key to search
+        mov     %i0, %l1            ! p = head
+walk:
+        ld      [%l1], %o1          ! p->key
+        cmp     %o1, %l0
+        be      found
+        ld      [%l1 + 8], %l1      ! p = p->next   (pointer chase)
+        ba      walk
+found:
+        ld      [%l1 + 4], %o2      ! p->value
+        add     %i3, %o2, %i3
+        inc     %l6
+        cmp     %l6, Q
+        bl      qloop
+
+        ! ---- reverse the list in place (set-cdr! storm)
+        mov     %i0, %l1            ! p
+        mov     0, %l2              ! prev
+rev:
+        cmp     %l1, 0
+        be      rev_done
+        ld      [%l1 + 8], %o1
+        st      %l2, [%l1 + 8]
+        mov     %l1, %l2
+        mov     %o1, %l1
+        ba      rev
+rev_done:
+        mov     %l2, %i0
+
+        ! ---- second lookup round on the reversed list
+        mov     0, %l6
+q2loop:
+        smul    %o5, %i4, %o5
+        add     %o5, %i5, %o5
+        srl     %o5, 16, %l0
+        and     %l0, NMASK, %l0
+        mov     %i0, %l1
+walk2:
+        ld      [%l1], %o1
+        cmp     %o1, %l0
+        be      found2
+        ld      [%l1 + 8], %l1
+        ba      walk2
+found2:
+        ld      [%l1 + 4], %o2
+        add     %i3, %o2, %i3
+        inc     %l6
+        cmp     %l6, Q
+        bl      q2loop
+
+        ! ---- order-sensitive checksum walk
+        mov     %i0, %l1
+        mov     0, %l3
+chk:
+        cmp     %l1, 0
+        be      chk_done
+        ld      [%l1], %o1
+        sll     %l3, 5, %o2         ! chk = chk*31 + key
+        sub     %o2, %l3, %l3
+        add     %l3, %o1, %l3
+        ld      [%l1 + 8], %l1
+        ba      chk
+chk_done:
+        set     sum, %o0
+        st      %i3, [%o0]
+        set     cksum, %o0
+        st      %l3, [%o0]
+        halt
+
+        .data
+heap:
+{heap_words}
+headptr: .word  {head_address}
+sum:    .word   0
+cksum:  .word   0
+"""
+
+# Heap lives at DATA_BASE; the label ``heap`` is first in .data.
+from ..asm.program import DATA_BASE as _DATA_BASE
+
+
+def _permutation(n, seed):
+    """Deterministic Fisher-Yates driven by the shared LCG."""
+    rng = LCG(seed)
+    order = list(range(n))
+    for i in range(n - 1, 0, -1):
+        j = rng.next() % (i + 1)
+        order[i], order[j] = order[j], order[i]
+    return order
+
+
+def _layout(nodes=_NODES):
+    """Returns (heap_words, head_address, keys_in_order, values_in_order).
+
+    Logical node ``p`` (p-th in list order) lives at physical slot
+    ``place[p]``; its key is ``keys[p]`` (a permutation so every query
+    key exists exactly once) and its value is pseudo-random.
+    """
+    place = _permutation(nodes, _PLACE_SEED)
+    keys = _permutation(nodes, _KEY_SEED)
+    rng = LCG(0x7777)
+    values = [rng.next() for _ in range(nodes)]
+    heap = [0] * (nodes * _NODE_WORDS)
+    for p in range(nodes):
+        base = place[p] * _NODE_WORDS
+        heap[base + 0] = keys[p]
+        heap[base + 1] = values[p]
+        if p + 1 < nodes:
+            heap[base + 2] = _DATA_BASE + 16 * place[p + 1]
+        else:
+            heap[base + 2] = 0
+    head_address = _DATA_BASE + 16 * place[0]
+    return heap, head_address, keys, values
+
+
+def _reference(queries, nodes=_NODES):
+    _, _, keys, values = _layout(nodes)
+    value_of = {key: value for key, value in zip(keys, values)}
+    rng = LCG(_SEED)
+    total = 0
+    for _ in range(2 * queries):        # two query rounds, one LCG stream
+        key = rng.next() & (nodes - 1)
+        total = (total + value_of[key]) & 0xFFFFFFFF
+    checksum = 0
+    for key in reversed(keys):          # reversed walk order
+        checksum = (checksum * 31 + key) & 0xFFFFFFFF
+    return total, checksum
+
+
+class LiWorkload(Workload):
+    name = "li"
+    pointer_chasing = True
+    description = "assoc-list interpreter kernel (022.li analog)"
+    nominal_length = 220_000
+
+    def queries(self, scale):
+        return max(2, round(_BASE_QUERIES * scale))
+
+    def source(self, scale):
+        heap, head_address, _, _ = _layout()
+        return _SOURCE.format(
+            queries=self.queries(scale),
+            nmask=_NODES - 1,
+            seed=_SEED,
+            heap_words=words_directive(heap),
+            head_address=head_address,
+        )
+
+    def validate(self, machine, program, scale):
+        expected_sum, expected_chk = _reference(self.queries(scale))
+        actual_sum = read_word_array(machine, program, "sum", 1)[0]
+        actual_chk = read_word_array(machine, program, "cksum", 1)[0]
+        expect_equal(actual_sum, expected_sum, "li value sum")
+        expect_equal(actual_chk, expected_chk, "li list checksum")

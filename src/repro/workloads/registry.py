@@ -1,0 +1,54 @@
+"""Workload registry: the six-benchmark suite of the paper's Table 1.
+
+The suite splits into the paper's two sets (Section 5.2):
+``go`` and ``li`` are *pointer chasing*; the rest are not.
+
+Traces are cached per (name, scale) within the process because several
+experiments reuse the same workloads.
+"""
+
+from functools import lru_cache
+
+from .compress import CompressWorkload
+from .espresso import EspressoWorkload
+from .eqntott import EqntottWorkload
+from .go import GoWorkload
+from .ijpeg import IjpegWorkload
+from .li import LiWorkload
+
+#: Suite order follows the paper's Table 1.
+SUITE = (
+    CompressWorkload(),
+    EspressoWorkload(),
+    EqntottWorkload(),
+    LiWorkload(),
+    GoWorkload(),
+    IjpegWorkload(),
+)
+
+WORKLOADS = {workload.name: workload for workload in SUITE}
+
+POINTER_CHASING = tuple(w.name for w in SUITE if w.pointer_chasing)
+NON_POINTER_CHASING = tuple(w.name for w in SUITE if not w.pointer_chasing)
+
+
+def get_workload(name):
+    """Look up a workload by name; raises KeyError with suggestions."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError("unknown workload %r (available: %s)"
+                       % (name, ", ".join(sorted(WORKLOADS))))
+
+
+@lru_cache(maxsize=64)
+def cached_trace(name, scale=1.0):
+    """Generate (or reuse) the validated trace for a workload."""
+    return get_workload(name).trace(scale=scale)
+
+
+def suite_traces(scale=1.0, names=None):
+    """Traces for the whole suite (or a named subset), in suite order."""
+    if names is None:
+        names = [w.name for w in SUITE]
+    return [cached_trace(name, scale) for name in names]

@@ -1,0 +1,12 @@
+"""Make tests/ importable as a flat namespace (helpers module) and pin
+hypothesis to deterministic example generation so CI runs are stable."""
+
+import os
+import sys
+
+from hypothesis import settings
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")

@@ -1,0 +1,36 @@
+"""Shared helpers for scheduler tests: run traces with handcrafted
+prediction outcomes so timing scenarios are fully controlled."""
+
+from repro.addrpred.runner import LoadPredictionResult
+from repro.bpred.runner import BranchRunResult
+from repro.core import MachineConfig
+from repro.core.scheduler import WindowScheduler
+
+
+def make_branch_result(trace, mispredicted=None):
+    """A BranchRunResult with exactly the given mispredicted positions."""
+    mispredicted = dict.fromkeys(mispredicted or (), True)
+    conditional = sum(1 for _ in trace.cond_branches())
+    return BranchRunResult(mispredicted, conditional,
+                           conditional - len(mispredicted), len(trace))
+
+
+def make_load_prediction(attempted=None, correct=None):
+    """A LoadPredictionResult with explicit per-position outcomes."""
+    result = LoadPredictionResult()
+    result.attempted = dict(attempted or {})
+    result.correct = dict(correct or {})
+    result.loads = len(result.attempted)
+    return result
+
+
+def sim(trace, width=2, window=None, collapse=None, load_spec="none",
+        mispredicted=None, load_pred=None):
+    """Simulate with full control over every input."""
+    config = MachineConfig(width, window_size=window,
+                           collapse_rules=collapse, load_spec=load_spec)
+    branch_result = make_branch_result(trace, mispredicted)
+    if load_spec == "real" and load_pred is None:
+        load_pred = make_load_prediction()
+    scheduler = WindowScheduler(trace, config, branch_result, load_pred)
+    return scheduler.run()

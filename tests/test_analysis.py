@@ -1,0 +1,121 @@
+"""Dependence-graph and dataflow-limit tests."""
+
+from helpers import sim
+
+from repro.analysis import DependenceGraph, collapsed_critical_path
+from repro.collapse import CollapseRules
+from repro.trace.records import TraceBuilder
+from repro.trace.synth import dependent_chain, independent_stream, \
+    random_trace
+
+PAPER = CollapseRules.paper()
+
+
+def test_chain_critical_path_equals_length():
+    graph = DependenceGraph(dependent_chain(25))
+    assert graph.critical_path() == 25
+    assert graph.dataflow_ipc() == 1.0
+
+
+def test_independent_critical_path_is_one():
+    graph = DependenceGraph(independent_stream(40))
+    assert graph.critical_path() == 1
+    assert graph.dataflow_ipc() == 40.0
+    assert graph.edge_count() == 0
+
+
+def test_load_latency_on_path():
+    builder = TraceBuilder()
+    builder.add(dest=1, src1=9, imm=True)          # 1 cycle
+    builder.load(dest=2, addr_reg=1, addr=0x10)    # +2
+    builder.add(dest=3, src1=2, imm=True)          # +1
+    graph = DependenceGraph(builder.build())
+    assert graph.critical_path() == 4
+
+
+def test_memory_edges():
+    builder = TraceBuilder()
+    builder.store(datasrc=9, addr_reg=8, addr=0x10)
+    builder.load(dest=1, addr_reg=8, addr=0x10)
+    builder.load(dest=2, addr_reg=8, addr=0x20)
+    graph = DependenceGraph(builder.build())
+    assert ("mem" in {kind for _, kind in graph.edges_of(1)})
+    assert graph.edges_of(2) == []
+
+
+def test_cc_edges():
+    builder = TraceBuilder()
+    builder.cmp(src1=1, imm=True)
+    builder.branch(taken=True)
+    graph = DependenceGraph(builder.build())
+    assert graph.edges_of(1) == [(0, "cc")]
+
+
+def test_store_data_edge_kind():
+    builder = TraceBuilder()
+    builder.add(dest=1, src1=9, imm=True)
+    builder.store(datasrc=1, addr_reg=8, addr=0x10)
+    graph = DependenceGraph(builder.build())
+    assert (0, "data") in graph.edges_of(1)
+
+
+def test_critical_path_members_is_a_real_path():
+    trace = random_trace(200, seed=9)
+    graph = DependenceGraph(trace)
+    path = graph.critical_path_members()
+    assert path == sorted(path)
+    preds = graph.preds
+    for earlier, later in zip(path, path[1:]):
+        assert earlier in {p for p, _ in preds[later]}
+    # Path length in cycles equals the critical path.
+    lat = trace.static.lat
+    total = sum(lat[trace.sidx[p]] for p in path)
+    assert total == graph.critical_path()
+
+
+def test_dataflow_limit_bounds_the_simulator():
+    """No finite machine without collapsing beats the dataflow limit
+    (compared on issue cycles, which is what the simulator reports)."""
+    for seed in range(4):
+        trace = random_trace(250, seed=seed)
+        graph = DependenceGraph(trace)
+        limit = graph.issue_critical_path()
+        result = sim(trace, width=2048)
+        assert result.cycles >= limit
+        assert graph.issue_critical_path() <= graph.critical_path()
+
+
+def test_wide_machine_approaches_dataflow_limit():
+    """With perfect branches, a huge window and no collapsing, the
+    simulator should achieve exactly the critical path on a trace with
+    no branches."""
+    builder = TraceBuilder()
+    for i in range(30):
+        builder.add(dest=1 + (i % 3), src1=1 + ((i + 1) % 3), imm=True)
+    trace = builder.build()
+    limit = DependenceGraph(trace).critical_path()
+    result = sim(trace, width=2048)
+    assert result.cycles == limit
+
+
+def test_collapsed_critical_path_shorter_on_chains():
+    trace = dependent_chain(30)
+    plain = DependenceGraph(trace).critical_path()
+    collapsed = collapsed_critical_path(trace, PAPER)
+    assert collapsed < plain
+    assert collapsed >= plain / 3 - 1     # at most 3-wide groups
+
+
+def test_collapsed_critical_path_never_longer():
+    for seed in range(4):
+        trace = random_trace(250, seed=seed)
+        plain = DependenceGraph(trace).critical_path()
+        collapsed = collapsed_critical_path(trace, PAPER)
+        assert collapsed <= plain
+
+
+def test_empty_trace():
+    graph = DependenceGraph(TraceBuilder().build())
+    assert graph.critical_path() == 0
+    assert graph.dataflow_ipc() == 0.0
+    assert graph.critical_path_members() == []

@@ -1,0 +1,221 @@
+"""Assembler tests: encodings, pseudo-ops, symbols, data, and errors."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.program import DATA_BASE, TEXT_BASE
+from repro.errors import AssemblyError
+from repro.isa.opcodes import Opcode
+
+
+def one(source):
+    """Assemble and return the single emitted instruction."""
+    program = assemble(".text\n" + source + "\nhalt")
+    assert len(program.instructions) == 2
+    return program.instructions[0]
+
+
+def test_alu_reg_reg():
+    instr = one("add %g1, %g2, %g3")
+    assert instr.opcode is Opcode.ADD
+    assert (instr.rs1, instr.rs2, instr.rd) == (1, 2, 3)
+    assert instr.imm is None
+
+
+def test_alu_reg_imm():
+    instr = one("sub %g1, 12, %g3")
+    assert instr.opcode is Opcode.SUB
+    assert instr.imm == 12
+
+
+def test_negative_immediate():
+    assert one("add %g1, -5, %g3").imm == -5
+
+
+def test_hex_immediate():
+    assert one("or %g1, 0xff, %g3").imm == 0xFF
+
+
+def test_simm13_overflow_rejected():
+    with pytest.raises(AssemblyError):
+        one("add %g1, 5000, %g3")
+
+
+def test_load_forms():
+    instr = one("ld [%o0 + 8], %l1")
+    assert instr.opcode is Opcode.LD
+    assert instr.rs1 == 8 and instr.imm == 8 and instr.rd == 17
+    instr = one("ld [%o0 + %o1], %l1")
+    assert instr.rs2 == 9 and instr.imm is None
+    instr = one("ld [%o0], %l1")
+    assert instr.imm == 0
+
+
+def test_load_negative_displacement():
+    assert one("ld [%fp - 8], %l1").imm == -8
+
+
+def test_store_data_register_kept():
+    instr = one("st %l3, [%o0 + 4]")
+    assert instr.opcode is Opcode.ST
+    assert instr.rd == 19          # data source register
+    assert instr.rs1 == 8
+
+
+def test_store_g0_data_normalised():
+    assert one("st %g0, [%o0]").rd == -1
+
+
+def test_byte_and_half_ops():
+    assert one("ldub [%o0], %l0").opcode is Opcode.LDUB
+    assert one("ldsh [%o0], %l0").opcode is Opcode.LDSH
+    assert one("stb %l0, [%o0]").opcode is Opcode.STB
+
+
+def test_cmp_pseudo():
+    instr = one("cmp %l0, 10")
+    assert instr.opcode is Opcode.SUBCC
+    assert instr.rd == -1
+    assert instr.imm == 10
+
+
+def test_tst_pseudo():
+    instr = one("tst %l0")
+    assert instr.opcode is Opcode.ORCC
+    assert instr.rd == -1
+
+
+def test_mov_and_clr():
+    assert one("mov 7, %l0").imm == 7
+    assert one("clr %l0").imm == 0
+    reg_move = one("mov %g2, %l0")
+    assert reg_move.rs2 == 2 and reg_move.imm is None
+
+
+def test_not_neg_pseudos():
+    assert one("not %g1, %g2").opcode is Opcode.XNOR
+    neg = one("neg %g1, %g2")
+    assert neg.opcode is Opcode.SUB and neg.rs1 == 0
+
+
+def test_inc_dec():
+    instr = one("inc %l0")
+    assert instr.opcode is Opcode.ADD and instr.imm == 1
+    instr = one("dec 4, %l0")
+    assert instr.opcode is Opcode.SUB and instr.imm == 4
+
+
+def test_set_small_becomes_mov():
+    program = assemble(".text\nset 100, %l0\nhalt")
+    assert len(program.instructions) == 2
+    assert program.instructions[0].opcode is Opcode.MOV
+
+
+def test_set_large_becomes_sethi_or():
+    program = assemble(".text\nset 0x12345678, %l0\nhalt")
+    assert len(program.instructions) == 3
+    sethi, or_ins = program.instructions[:2]
+    assert sethi.opcode is Opcode.SETHI
+    assert or_ins.opcode is Opcode.OR
+    value = ((sethi.imm << 10) | or_ins.imm) & 0xFFFFFFFF
+    assert value == 0x12345678
+
+
+def test_set_symbol_uses_two_instructions():
+    program = assemble(
+        ".text\nset buf, %l0\nhalt\n.data\nbuf: .word 1")
+    assert len(program.instructions) == 3
+    sethi, or_ins = program.instructions[:2]
+    assert ((sethi.imm << 10) | or_ins.imm) == program.symbols["buf"]
+
+
+def test_branch_targets_resolve_forward_and_back():
+    program = assemble("""
+        .text
+main:   ba  end
+loop:   add %g1, 1, %g1
+        ba  loop
+end:    halt
+    """)
+    ba_end, _, ba_loop, _ = program.instructions
+    assert ba_end.target == 3
+    assert ba_loop.target == 1
+
+
+def test_call_and_ret():
+    program = assemble("""
+        .text
+main:   call fn
+        halt
+fn:     ret
+    """)
+    call, _, ret = program.instructions
+    assert call.opcode is Opcode.CALL and call.rd == 15
+    assert ret.opcode is Opcode.JMPL and ret.rs1 == 15
+
+
+def test_data_directives_and_symbols():
+    program = assemble("""
+        .data
+a:      .word 0x11223344
+b:      .byte 1, 2
+        .align 4
+c:      .half 0x5566
+d:      .space 8
+e:      .asciz "hi"
+    """)
+    assert program.symbols["a"] == DATA_BASE
+    assert program.symbols["b"] == DATA_BASE + 4
+    assert program.symbols["c"] == DATA_BASE + 8
+    assert program.symbols["d"] == DATA_BASE + 10
+    assert program.symbols["e"] == DATA_BASE + 18
+    assert program.data[0:4] == (0x11223344).to_bytes(4, "little")
+    assert program.data[18:21] == b"hi\x00"
+
+
+def test_equ_and_expressions():
+    program = assemble("""
+        .equ SIZE, 16
+        .text
+        mov SIZE, %l0
+        mov SIZE+4, %l1
+        halt
+    """)
+    assert program.instructions[0].imm == 16
+    assert program.instructions[1].imm == 20
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\nx: halt\nx: halt")
+
+
+def test_undefined_symbol_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\nmov nowhere, %l0\nhalt")
+
+
+def test_unknown_mnemonic_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\nfrobnicate %g1\nhalt")
+
+
+def test_instruction_in_data_section_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".data\nadd %g1, 1, %g2")
+
+
+def test_branch_to_data_label_rejected():
+    with pytest.raises(AssemblyError):
+        assemble(".text\nba buf\nhalt\n.data\nbuf: .word 1")
+
+
+def test_entry_defaults_to_main_label():
+    program = assemble(".text\nnop\nmain: halt")
+    assert program.entry == TEXT_BASE + 4
+
+
+def test_wrong_operand_count_reports_line():
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(".text\nadd %g1, %g2\nhalt")
+    assert "line 2" in str(excinfo.value)

@@ -1,0 +1,85 @@
+"""Assembler error-path coverage: every rejection carries line context."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import AssemblyError
+
+
+def reject(source, fragment=None):
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+    return excinfo.value
+
+
+def test_bad_register_name():
+    reject(".text\nadd %q1, 1, %g2\nhalt", "unknown register")
+
+
+def test_shift_of_unknown_symbol():
+    reject(".text\nsll %g1, COUNT, %g2\nhalt", "undefined symbol")
+
+
+def test_sethi_range():
+    reject(".text\nsethi 0x400000, %g1\nhalt", "out of range")
+
+
+def test_memory_operand_required():
+    reject(".text\nld %g1, %g2\nhalt", "memory operand")
+
+
+def test_store_displacement_overflow():
+    reject(".text\nst %g1, [%g2 + 99999]\nhalt", "simm13")
+
+
+def test_negative_register_index_in_memory():
+    reject(".text\nld [%g1 - %g2], %g3\nhalt", "negate register")
+
+
+def test_space_negative():
+    reject(".data\n.space -4", ">= 0")
+
+
+def test_align_not_power_of_two():
+    reject(".data\n.align 3", "power of two")
+
+
+def test_asciz_requires_string():
+    reject(".data\n.asciz hello", "quoted string")
+
+
+def test_word_with_undefined_symbol():
+    reject(".data\n.word missing", "undefined symbol")
+
+
+def test_equ_bad_form():
+    reject(".equ 5, 5", ".equ needs")
+
+
+def test_equ_forward_reference_rejected():
+    """.equ resolves at pass 1 and may not reference later labels."""
+    reject(".equ X, later\n.text\nlater: halt")
+
+
+def test_unknown_directive():
+    reject(".data\n.quad 1", "unknown directive")
+
+
+def test_jmpl_offset_overflow():
+    reject(".text\njmpl %o7 + 99999, %g0\nhalt", "simm13")
+
+
+def test_inc_overflow():
+    reject(".text\ninc 99999, %l0\nhalt", "simm13")
+
+
+def test_line_numbers_in_errors():
+    error = reject("\n\n.text\nadd %g1\nhalt")
+    assert "line 4" in str(error)
+
+
+def test_wrong_branch_operand_count():
+    reject(".text\nbe\nhalt")
+    reject(".text\nx: be x, x\nhalt")

@@ -1,0 +1,67 @@
+"""Parser-level tests: comments, labels, operand splitting."""
+
+import pytest
+
+from repro.asm.parser import parse_lines, split_operands, strip_comment
+from repro.errors import AssemblyError
+
+
+def test_strip_comment_styles():
+    assert strip_comment("add %g1, 1, %g2 ! tail") == "add %g1, 1, %g2 "
+    assert strip_comment("add %g1, 1, %g2 ; tail") == "add %g1, 1, %g2 "
+    assert strip_comment("add %g1, 1, %g2 # tail") == "add %g1, 1, %g2 "
+
+
+def test_strip_comment_preserves_strings():
+    assert strip_comment('.asciz "a;b!c" ! real comment') == '.asciz "a;b!c" '
+
+
+def test_split_operands_basic():
+    assert split_operands("%g1, 1, %g2", 1) == ["%g1", "1", "%g2"]
+
+
+def test_split_operands_memory_brackets():
+    assert split_operands("[%o0 + 4], %l1", 1) == ["[%o0 + 4]", "%l1"]
+
+
+def test_split_operands_unbalanced():
+    with pytest.raises(AssemblyError):
+        split_operands("[%o0 + 4, %l1", 1)
+    with pytest.raises(AssemblyError):
+        split_operands("%o0 + 4], %l1", 1)
+
+
+def test_split_operands_empty_operand_rejected():
+    with pytest.raises(AssemblyError):
+        split_operands("%g1,, %g2", 1)
+
+
+def test_parse_label_same_line():
+    stmts = parse_lines("loop: add %g1, 1, %g1")
+    assert len(stmts) == 1
+    assert stmts[0].label == "loop"
+    assert stmts[0].mnemonic == "add"
+
+
+def test_parse_bare_label():
+    stmts = parse_lines("loop:\n  add %g1, 1, %g1")
+    assert stmts[0].label == "loop"
+    assert stmts[0].mnemonic == ""
+    assert stmts[1].mnemonic == "add"
+
+
+def test_parse_skips_blank_and_comment_lines():
+    stmts = parse_lines("\n   ! comment only\nadd %g1, 1, %g1\n")
+    assert len(stmts) == 1
+
+
+def test_line_numbers_are_recorded():
+    stmts = parse_lines("\n\nadd %g1, 1, %g1")
+    assert stmts[0].line == 3
+
+
+def test_directives_parse():
+    stmts = parse_lines(".data\nbuf: .word 1, 2, 3")
+    assert stmts[0].mnemonic == ".data"
+    assert stmts[1].label == "buf"
+    assert stmts[1].operands == ["1", "2", "3"]

@@ -1,0 +1,62 @@
+"""Program-image helper tests."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.program import Program, TEXT_BASE
+
+
+def sample():
+    return assemble("""
+        .text
+main:   mov 1, %l0
+loop:   inc %l0
+        ba loop
+        .data
+value:  .word 7
+    """)
+
+
+def test_address_index_round_trip():
+    program = sample()
+    for index in range(len(program)):
+        address = program.address_of_index(index)
+        assert program.index_of_address(address) == index
+
+
+def test_index_of_address_rejects_bad():
+    program = sample()
+    with pytest.raises(ValueError):
+        program.index_of_address(TEXT_BASE + 2)       # unaligned
+    with pytest.raises(ValueError):
+        program.index_of_address(TEXT_BASE - 4)       # below text
+    with pytest.raises(ValueError):
+        program.index_of_address(TEXT_BASE + 4 * 100)  # past end
+
+
+def test_len_counts_instructions():
+    assert len(sample()) == 3
+
+
+def test_disassemble_includes_labels():
+    text = "\n".join(sample().disassemble())
+    assert "main:" in text
+    assert "loop:" in text
+    assert "mov 1, %l0" in text
+
+
+def test_entry_defaults_without_main():
+    program = Program([], b"", {}, text_base=0x2000)
+    assert program.entry == 0x2000
+
+
+def test_entry_prefers_main_symbol():
+    program = sample()
+    assert program.entry == program.symbols["main"]
+
+
+def test_custom_bases_flow_through():
+    program = assemble(".text\nmain: halt\n.data\nx: .word 1",
+                       text_base=0x4000, data_base=0x9000)
+    assert program.symbols["main"] == 0x4000
+    assert program.symbols["x"] == 0x9000

@@ -1,0 +1,160 @@
+"""Branch predictor unit tests: counters, bimodal, gshare, combining."""
+
+import pytest
+
+from repro.bpred import (
+    BimodalPredictor,
+    CombiningPredictor,
+    CounterTable,
+    GsharePredictor,
+    PerfectPredictor,
+    run_branch_predictor,
+)
+from repro.trace.records import TraceBuilder
+
+
+# ---------------------------------------------------------------- counters
+
+def test_counter_table_saturation():
+    table = CounterTable(4, bits=2)
+    for _ in range(10):
+        table.increment(0)
+    assert table.value(0) == 3
+    for _ in range(10):
+        table.decrement(0)
+    assert table.value(0) == 0
+
+
+def test_counter_table_threshold():
+    table = CounterTable(4, bits=2, initial=0)
+    assert not table.is_set(0)
+    table.increment(0, 2)
+    assert table.is_set(0)
+
+
+def test_counter_table_requires_power_of_two():
+    with pytest.raises(ValueError):
+        CounterTable(3)
+
+
+def test_counter_cost_bytes():
+    assert CounterTable(8192, bits=2).cost_bytes == 2048
+
+
+# ---------------------------------------------------------------- bimodal
+
+def test_bimodal_learns_direction():
+    predictor = BimodalPredictor(entries=16)
+    pc = 0x1000
+    for _ in range(4):
+        predictor.update(pc, True)
+    assert predictor.predict(pc) is True
+    for _ in range(4):
+        predictor.update(pc, False)
+    assert predictor.predict(pc) is False
+
+
+def test_bimodal_aliasing_is_modulo_table():
+    predictor = BimodalPredictor(entries=16)
+    for _ in range(4):
+        predictor.update(0x1000, True)
+    # 0x1000 and 0x1000 + 16*4 alias in a 16-entry table.
+    assert predictor.predict(0x1000 + 64) is True
+
+
+# ---------------------------------------------------------------- gshare
+
+def test_gshare_learns_alternating_pattern_bimodal_cannot():
+    """A strict T/N alternation defeats bimodal but gshare locks on."""
+    gshare = GsharePredictor(entries=64)
+    bimodal = BimodalPredictor(entries=64)
+    pc = 0x2000
+    outcome = True
+    gshare_correct = bimodal_correct = 0
+    for i in range(400):
+        if i >= 200:     # measure after warmup
+            gshare_correct += gshare.predict(pc) == outcome
+            bimodal_correct += bimodal.predict(pc) == outcome
+        gshare.update(pc, outcome)
+        bimodal.update(pc, outcome)
+        outcome = not outcome
+    assert gshare_correct == 200
+    assert bimodal_correct < 150
+
+
+def test_gshare_history_masked():
+    gshare = GsharePredictor(entries=16)
+    for _ in range(100):
+        gshare.update(0x100, True)
+    assert gshare.history <= gshare.history_mask
+
+
+# ---------------------------------------------------------------- combining
+
+def test_combining_cost_is_8kb():
+    assert CombiningPredictor().cost_bytes == 8192
+
+
+def test_combining_beats_both_components_on_mixed_workload():
+    """Two branches: one heavily biased (bimodal-friendly), one strictly
+    alternating (gshare-friendly).  The chooser should route each to the
+    right component, approaching the better accuracy on both."""
+    combining = CombiningPredictor(n=8)
+    biased_pc, alt_pc = 0x4000, 0x8000
+    correct = total = 0
+    alternating = True
+    for i in range(600):
+        measure = i >= 300
+        if measure:
+            correct += combining.predict(biased_pc) is True
+            total += 1
+        combining.update(biased_pc, True)
+        if measure:
+            correct += combining.predict(alt_pc) == alternating
+            total += 1
+        combining.update(alt_pc, alternating)
+        alternating = not alternating
+    assert correct / total > 0.95
+
+
+# ---------------------------------------------------------------- runner
+
+def _loop_trace(iterations, period=None):
+    """A loop branch taken every iteration except the exit; optionally a
+    second branch alternating with the given period."""
+    builder = TraceBuilder()
+    cmp_pos = builder.cmp(src1=1, imm=True)
+    branch_pos = builder.branch(taken=True)
+    for i in range(1, iterations):
+        builder.repeat(cmp_pos)
+        builder.repeat(branch_pos, taken=i < iterations - 1)
+    return builder.build()
+
+
+def test_runner_counts_conditionals():
+    result = run_branch_predictor(_loop_trace(50))
+    assert result.conditional == 50
+    assert result.trace_length == 100
+    assert abs(result.cond_branch_fraction - 0.5) < 1e-12
+
+
+def test_runner_high_accuracy_on_biased_loop():
+    result = run_branch_predictor(_loop_trace(200))
+    assert result.accuracy > 0.95
+    # Mispredicted positions must actually be conditional branches.
+    trace = _loop_trace(200)
+    for position in result.mispredicted:
+        assert trace.static.reads_cc[trace.sidx[position]]
+
+
+def test_perfect_predictor_never_mispredicts():
+    result = run_branch_predictor(_loop_trace(50), PerfectPredictor())
+    assert result.accuracy == 1.0
+    assert result.mispredicted == {}
+
+
+def test_runner_empty_trace():
+    result = run_branch_predictor(TraceBuilder().build())
+    assert result.conditional == 0
+    assert result.accuracy == 1.0
+    assert result.cond_branch_fraction == 0.0

@@ -1,0 +1,107 @@
+"""CLI smoke and behaviour tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    output = capsys.readouterr().out
+    return code, output
+
+
+def test_list(capsys):
+    code, output = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("compress", "espresso", "eqntott", "li", "go", "ijpeg"):
+        assert name in output
+
+
+def test_trace_and_stats_roundtrip(tmp_path, capsys):
+    path = str(tmp_path / "li.trace")
+    code, output = run_cli(capsys, "trace", "li", "-o", path,
+                           "--scale", "0.03")
+    assert code == 0
+    assert "validated" in output
+    code, output = run_cli(capsys, "stats", path)
+    assert code == 0
+    assert "trace statistics: li" in output
+    assert "signature" in output
+
+
+def test_stats_by_workload_name(capsys):
+    code, output = run_cli(capsys, "stats", "eqntott", "--scale", "0.03")
+    assert code == 0
+    assert "eqntott" in output
+
+
+def test_disasm(capsys):
+    code, output = run_cli(capsys, "disasm", "ijpeg", "--limit", "10")
+    assert code == 0
+    assert "0x00" in output
+    assert "more instructions" in output
+
+
+def test_simulate_paper_config(capsys):
+    code, output = run_cli(capsys, "simulate", "eqntott",
+                           "--config", "D", "--width", "8",
+                           "--scale", "0.03")
+    assert code == 0
+    assert "IPC" in output
+    assert "collapses" in output
+    assert "loads" in output
+
+
+def test_simulate_custom_flags(capsys):
+    code, output = run_cli(capsys, "simulate", "eqntott",
+                           "--collapse", "--load-spec", "ideal",
+                           "--elim", "--scale", "0.03")
+    assert code == 0
+    assert "eliminated" in output
+
+
+def test_simulate_from_saved_trace(tmp_path, capsys):
+    path = str(tmp_path / "w.trace")
+    run_cli(capsys, "trace", "espresso", "-o", path, "--scale", "0.03")
+    capsys.readouterr()
+    code, output = run_cli(capsys, "simulate", path, "--config", "C",
+                           "--width", "4")
+    assert code == 0
+    assert "espresso" in output
+    assert "collapses" in output
+
+
+def test_simulate_base_machine(capsys):
+    code, output = run_cli(capsys, "simulate", "go", "--scale", "0.25")
+    assert code == 0
+    assert "collapses" not in output
+
+
+def test_sweep(capsys):
+    code, output = run_cli(capsys, "sweep", "espresso",
+                           "--scale", "0.03", "--widths", "4,8")
+    assert code == 0
+    assert "IPC sweep on espresso" in output
+    lines = [line for line in output.splitlines() if line.strip()]
+    assert len(lines) >= 4          # title + header + rule + 2 widths
+
+
+def test_report_command(tmp_path, capsys):
+    out = str(tmp_path / "EXP.md")
+    code, output = run_cli(capsys, "report", "--scale", "0.02",
+                           "-o", out)
+    assert code == 0
+    with open(out) as handle:
+        text = handle.read()
+    assert "Figure 2" in text
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_workload_raises(capsys):
+    with pytest.raises(KeyError):
+        main(["simulate", "gcc", "--scale", "0.03"])

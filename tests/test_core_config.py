@@ -1,0 +1,94 @@
+"""Machine-configuration preset tests."""
+
+import pytest
+
+from repro.collapse import CollapseRules
+from repro.core import (
+    MachineConfig,
+    PAPER_ISSUE_WIDTHS,
+    config_a,
+    config_b,
+    config_c,
+    config_d,
+    config_e,
+    paper_config,
+)
+from repro.errors import ConfigError
+
+
+def test_window_defaults_to_twice_width():
+    for width in PAPER_ISSUE_WIDTHS:
+        assert MachineConfig(width).window_size == 2 * width
+
+
+def test_paper_widths():
+    assert PAPER_ISSUE_WIDTHS == (4, 8, 16, 32, 2048)
+
+
+def test_config_a_is_plain():
+    config = config_a(8)
+    assert not config.collapsing
+    assert config.load_spec == "none"
+    assert not config.perfect_branches
+
+
+def test_config_b_real_speculation():
+    config = config_b(8)
+    assert config.load_spec == "real"
+    assert not config.collapsing
+
+
+def test_config_c_collapsing_only():
+    config = config_c(8)
+    assert config.collapsing
+    assert config.load_spec == "none"
+
+
+def test_config_d_both():
+    config = config_d(8)
+    assert config.collapsing
+    assert config.load_spec == "real"
+
+
+def test_config_e_ideal():
+    config = config_e(8)
+    assert config.collapsing
+    assert config.load_spec == "ideal"
+
+
+def test_paper_config_dispatch():
+    for letter in "ABCDE":
+        config = paper_config(letter, 16)
+        assert config.issue_width == 16
+        assert config.name.startswith(letter)
+    assert paper_config("d", 4).load_spec == "real"
+
+
+def test_paper_config_unknown_letter():
+    with pytest.raises(ConfigError):
+        paper_config("Z", 8)
+
+
+def test_custom_collapse_rules_pass_through():
+    rules = CollapseRules.pairs_only()
+    config = config_c(8, rules=rules)
+    assert config.collapse_rules is rules
+
+
+def test_width_labels():
+    assert MachineConfig(2048).width_label() == "2k"
+    assert MachineConfig(8).width_label() == "8"
+    assert MachineConfig(7).width_label() == "7"
+
+
+def test_validation_errors():
+    with pytest.raises(ConfigError):
+        MachineConfig(0)
+    with pytest.raises(ConfigError):
+        MachineConfig(8, window_size=4)
+    with pytest.raises(ConfigError):
+        MachineConfig(8, load_spec="magic")
+
+
+def test_repr_mentions_name():
+    assert "A/w8" in repr(config_a(8))

@@ -1,0 +1,75 @@
+"""LoadStats / SimResult unit tests."""
+
+import pytest
+
+from repro.core import LOAD_CATEGORIES, LoadStats, MachineConfig
+from repro.core.results import SimResult
+
+
+def test_load_stats_record_and_total():
+    stats = LoadStats()
+    stats.record("ready")
+    stats.record("ready")
+    stats.record("not_predicted")
+    assert stats.total == 3
+    assert stats.counts["ready"] == 2
+
+
+def test_load_stats_fractions():
+    stats = LoadStats()
+    for category in LOAD_CATEGORIES:
+        stats.record(category)
+    fractions = stats.fractions()
+    assert all(abs(f - 0.25) < 1e-12 for f in fractions.values())
+
+
+def test_load_stats_empty_fractions_safe():
+    fractions = LoadStats().fractions()
+    assert sum(fractions.values()) == 0.0
+
+
+def test_load_stats_merge():
+    a, b = LoadStats(), LoadStats()
+    a.record("ready")
+    b.record("ready")
+    b.record("predicted_correctly")
+    a.merge(b)
+    assert a.counts["ready"] == 2
+    assert a.total == 3
+
+
+def test_load_stats_rejects_unknown_category():
+    with pytest.raises(KeyError):
+        LoadStats().record("maybe")
+
+
+def _result(cycles, trace_name="t"):
+    from repro.collapse import CollapseStats
+    return SimResult(MachineConfig(8), trace_name, 100, cycles,
+                     LoadStats(), CollapseStats(), None)
+
+
+def test_sim_result_ipc():
+    assert _result(50).ipc == 2.0
+    assert _result(0).ipc == 0.0
+
+
+def test_sim_result_speedup():
+    fast, slow = _result(50), _result(100)
+    assert fast.speedup_over(slow) == 2.0
+    assert slow.speedup_over(fast) == 0.5
+
+
+def test_sim_result_speedup_guards_trace_identity():
+    with pytest.raises(ValueError):
+        _result(10, "a").speedup_over(_result(10, "b"))
+
+
+def test_sim_result_repr_mentions_ipc():
+    assert "ipc=2.000" in repr(_result(50))
+
+
+def test_sim_result_carries_config_metadata():
+    result = _result(10)
+    assert result.issue_width == 8
+    assert result.window_size == 16

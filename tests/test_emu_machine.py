@@ -1,0 +1,225 @@
+"""Functional-emulator semantics tests: every opcode family."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.emu import Machine
+from repro.errors import EmulationError
+
+
+def run(source, max_instructions=200_000):
+    program = assemble(".text\nmain:\n" + source)
+    machine = Machine(program, max_instructions=max_instructions)
+    result = machine.run()
+    return machine, result
+
+
+def test_add_sub():
+    machine, _ = run("""
+        mov 10, %l0
+        add %l0, 5, %l1
+        sub %l1, %l0, %l2
+        halt
+    """)
+    assert machine.regs[17] == 15
+    assert machine.regs[18] == 5
+
+
+def test_wraparound_arithmetic():
+    machine, _ = run("""
+        set 0xffffffff, %l0
+        add %l0, 1, %l1
+        sub %g0, 1, %l2
+        halt
+    """)
+    assert machine.regs[17] == 0
+    assert machine.regs[18] == 0xFFFFFFFF
+
+
+def test_logic_ops():
+    machine, _ = run("""
+        mov 0xf0, %l0
+        and %l0, 0x3c, %l1
+        or  %l0, 0x0f, %l2
+        xor %l0, 0xff, %l3
+        andn %l0, 0x30, %l4
+        not %l0, %l5
+        halt
+    """)
+    assert machine.regs[17] == 0x30
+    assert machine.regs[18] == 0xFF
+    assert machine.regs[19] == 0x0F
+    assert machine.regs[20] == 0xC0
+    assert machine.regs[21] == 0xFFFFFF0F
+
+
+def test_shifts():
+    machine, _ = run("""
+        mov 1, %l0
+        sll %l0, 31, %l1
+        srl %l1, 31, %l2
+        sra %l1, 31, %l3
+        halt
+    """)
+    assert machine.regs[17] == 0x80000000
+    assert machine.regs[18] == 1
+    assert machine.regs[19] == 0xFFFFFFFF
+
+
+def test_mul_div():
+    machine, _ = run("""
+        mov 7, %l0
+        smul %l0, -3, %l1
+        mov 100, %l2
+        udiv %l2, 7, %l3
+        sub %g0, 100, %l4
+        sdiv %l4, 7, %l5
+        halt
+    """)
+    assert machine.regs[17] == (-21) & 0xFFFFFFFF
+    assert machine.regs[19] == 14
+    assert machine.regs[21] == (-14) & 0xFFFFFFFF   # truncation toward zero
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(EmulationError):
+        run("mov 1, %l0\nudiv %l0, %g0, %l1\nhalt")
+
+
+def test_g0_stays_zero():
+    machine, _ = run("""
+        mov 99, %g0
+        add %g0, 0, %l0
+        halt
+    """)
+    assert machine.regs[0] == 0
+    assert machine.regs[16] == 0
+
+
+def test_sethi_set():
+    machine, _ = run("set 0xdeadbeef, %l0\nhalt")
+    assert machine.regs[16] == 0xDEADBEEF
+
+
+def test_memory_word_ops():
+    machine, _ = run("""
+        set buf, %o0
+        mov 0x77, %l0
+        st %l0, [%o0 + 4]
+        ld [%o0 + 4], %l1
+        halt
+        .data
+buf:    .space 16
+    """)
+    assert machine.regs[17] == 0x77
+
+
+def test_memory_byte_sign_extension():
+    machine, _ = run("""
+        set buf, %o0
+        ldsb [%o0], %l0
+        ldub [%o0], %l1
+        ldsh [%o0 + 2], %l2
+        lduh [%o0 + 2], %l3
+        halt
+        .data
+buf:    .byte 0xff, 0
+        .half 0x8000
+    """)
+    assert machine.regs[16] == 0xFFFFFFFF
+    assert machine.regs[17] == 0xFF
+    assert machine.regs[18] == 0xFFFF8000
+    assert machine.regs[19] == 0x8000
+
+
+def test_conditional_branch_loop():
+    machine, _ = run("""
+        mov 0, %l0
+loop:   inc %l0
+        cmp %l0, 5
+        bl loop
+        halt
+    """)
+    assert machine.regs[16] == 5
+
+
+def test_unsigned_branches():
+    machine, _ = run("""
+        set 0x80000000, %l0
+        cmp %l0, 1
+        bgu big
+        mov 0, %l1
+        halt
+big:    mov 1, %l1
+        halt
+    """)
+    assert machine.regs[17] == 1     # 0x80000000 > 1 unsigned
+
+
+def test_signed_branch_disagrees_with_unsigned():
+    machine, _ = run("""
+        set 0x80000000, %l0
+        cmp %l0, 1
+        bl neg_side
+        mov 0, %l1
+        halt
+neg_side: mov 1, %l1
+        halt
+    """)
+    assert machine.regs[17] == 1     # 0x80000000 < 1 signed
+
+
+def test_call_ret():
+    machine, _ = run("""
+        mov 3, %o0
+        call double
+        add %o0, 100, %l0
+        halt
+double: add %o0, %o0, %o0
+        ret
+    """)
+    assert machine.regs[16] == 106
+
+
+def test_nested_calls_with_stack():
+    machine, _ = run("""
+        mov 5, %o0
+        call fact
+        mov %o0, %l0
+        halt
+fact:   cmp %o0, 1
+        bg recurse
+        mov 1, %o0
+        ret
+recurse:
+        sub %sp, 8, %sp
+        st %o7, [%sp]
+        st %o0, [%sp + 4]
+        sub %o0, 1, %o0
+        call fact
+        ld [%sp + 4], %l7
+        smul %o0, %l7, %o0
+        ld [%sp], %o7
+        add %sp, 8, %sp
+        ret
+    """)
+    assert machine.regs[16] == 120
+
+
+def test_budget_exceeded():
+    with pytest.raises(EmulationError):
+        run("loop: ba loop", max_instructions=100)
+
+
+def test_run_off_text_raises():
+    with pytest.raises(EmulationError):
+        run("nop")     # no halt
+
+
+def test_nops_execute_but_do_not_trace():
+    from repro.emu import trace_program
+    program = assemble(".text\nmain: nop\nnop\nmov 1, %l0\nhalt")
+    trace, _, result = trace_program(program)
+    assert result.executed == 4
+    assert result.traced == 1
+    assert len(trace) == 1

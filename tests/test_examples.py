@@ -1,0 +1,83 @@
+"""Smoke tests: every shipped example must run end to end.
+
+Each example accepts a scale argument; tiny scales keep this fast while
+still executing the full pipeline the example demonstrates.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, *argv):
+    path = os.path.join(EXAMPLES, name)
+    old_argv = sys.argv
+    sys.argv = [path] + list(argv)
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    output = capsys.readouterr().out
+    assert "speedup" in output
+    assert "collapse events" in output
+
+
+def test_paper_headline(capsys):
+    run_example("paper_headline.py", "0.02")
+    output = capsys.readouterr().out
+    assert "paper" in output
+    assert "1.20" in output          # the paper's width-4 reference
+
+
+def test_pointer_chasing_study(capsys):
+    run_example("pointer_chasing_study.py", "0.02")
+    output = capsys.readouterr().out
+    assert "pointer-chasing set" in output
+    assert "non pointer-chasing set" in output
+
+
+def test_custom_workload(capsys):
+    run_example("custom_workload.py")
+    output = capsys.readouterr().out
+    assert "saxpy validated" in output
+    assert "paper model" in output
+
+
+def test_collapse_anatomy(capsys):
+    run_example("collapse_anatomy.py", "espresso", "8", "0.02")
+    output = capsys.readouterr().out
+    assert "mechanism contribution" in output
+    assert "top collapsed pairs" in output
+
+
+def test_extensions_study(capsys):
+    run_example("extensions_study.py", "0.02")
+    output = capsys.readouterr().out
+    assert "extension study" in output
+    assert "value locality" in output
+
+
+def test_future_predictors(capsys):
+    run_example("future_predictors.py", "0.02", "8")
+    output = capsys.readouterr().out
+    assert "two-delta" in output
+    assert "hybrid" in output
+
+
+@pytest.mark.parametrize("name", sorted(
+    f for f in os.listdir(EXAMPLES) if f.endswith(".py")))
+def test_every_example_is_covered(name):
+    """Adding an example without a smoke test here should fail."""
+    covered = {"quickstart.py", "paper_headline.py",
+               "pointer_chasing_study.py", "custom_workload.py",
+               "collapse_anatomy.py", "extensions_study.py",
+               "future_predictors.py"}
+    assert name in covered

@@ -1,0 +1,43 @@
+"""Exhibit container tests."""
+
+import pytest
+
+from repro.experiments import Exhibit
+
+
+def sample():
+    return Exhibit("Table X", "demo", ["name", "value", "share"],
+                   [["a", 1, 0.5], ["b", 2, 0.25]], note="a note")
+
+
+def test_column_by_header():
+    exhibit = sample()
+    assert exhibit.column("name") == ["a", "b"]
+    assert exhibit.column("value") == [1, 2]
+
+
+def test_column_unknown_header():
+    with pytest.raises(ValueError):
+        sample().column("nope")
+
+
+def test_row_map():
+    rows = sample().row_map()
+    assert rows["a"][1] == 1
+    assert rows["b"][2] == 0.25
+
+
+def test_render_contains_everything():
+    text = sample().render()
+    assert "Table X — demo" in text
+    assert "(a note)" in text
+    assert "0.50" in text
+
+
+def test_render_without_note():
+    exhibit = Exhibit("F", "t", ["x"], [[1]])
+    assert not exhibit.render().endswith(")")
+
+
+def test_repr():
+    assert "2 rows" in repr(sample())

@@ -1,0 +1,53 @@
+"""Tests for the extension/future-work experiment drivers."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    elimination_counts,
+    extension_figure,
+    predictor_comparison,
+)
+
+SCALE = 0.04
+WIDTHS = (8,)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=SCALE, widths=WIDTHS)
+
+
+def test_extension_figure_structure(runner):
+    exhibit = extension_figure(runner)
+    assert exhibit.headers == ["width", "D", "D+elim", "D+vspec",
+                               "D+both", "E"]
+    assert len(exhibit.rows) == 1
+    row = exhibit.rows[0]
+    # Extensions only remove work/dependences.
+    d = row[1]
+    assert row[2] >= d * 0.999       # +elim
+    assert row[3] >= d * 0.999       # +vspec
+    assert row[4] >= max(row[2], row[3]) * 0.99
+
+
+def test_elimination_counts_structure(runner):
+    exhibit = elimination_counts(runner, width=8)
+    names = [row[0] for row in exhibit.rows]
+    assert names == list(runner.names)
+    for row in exhibit.rows:
+        assert row[1] >= 0
+        assert 0.0 <= row[2] <= 100.0
+
+
+def test_predictor_comparison_structure(runner):
+    exhibit = predictor_comparison(runner, width=8)
+    assert exhibit.headers == ["workload", "two-delta", "markov",
+                               "hybrid", "ideal (E)"]
+    rows = exhibit.row_map()
+    # li: correlation must beat stride substantially even at tiny scale
+    # (the queries walk the same list over and over).
+    assert rows["li"][2] > rows["li"][1]
+    # ideal bounds everything.
+    for row in exhibit.rows:
+        assert row[4] >= max(row[1], row[2], row[3]) - 0.05

@@ -1,0 +1,75 @@
+"""Condition-code semantics, including property tests against a reference."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.condcodes import (
+    MASK32,
+    CondCodes,
+    branch_taken,
+    to_signed,
+    to_unsigned,
+)
+
+u32 = st.integers(min_value=0, max_value=MASK32)
+
+
+def test_to_signed_boundaries():
+    assert to_signed(0) == 0
+    assert to_signed(0x7FFFFFFF) == 2**31 - 1
+    assert to_signed(0x80000000) == -(2**31)
+    assert to_signed(0xFFFFFFFF) == -1
+
+
+@given(u32)
+def test_signed_unsigned_round_trip(value):
+    assert to_unsigned(to_signed(value)) == value
+
+
+def test_logic_flags():
+    cc = CondCodes()
+    cc.set_logic(0)
+    assert cc.as_tuple() == (False, True, False, False)
+    cc.set_logic(0x80000000)
+    assert cc.n and not cc.z and not cc.v and not cc.c
+
+
+def test_sub_borrow():
+    cc = CondCodes()
+    cc.set_sub(1, 2, (1 - 2) & MASK32)
+    assert cc.c          # borrow: 1 < 2 unsigned
+    assert cc.n
+    cc.set_sub(2, 1, 1)
+    assert not cc.c and not cc.z
+
+
+def test_add_carry_and_overflow():
+    cc = CondCodes()
+    cc.set_add(0xFFFFFFFF, 1, 0)
+    assert cc.c and cc.z and not cc.v
+    cc.set_add(0x7FFFFFFF, 1, 0x80000000)
+    assert cc.v and cc.n and not cc.c
+
+
+@given(u32, u32)
+def test_sub_flags_match_reference(a, b):
+    """Flags after cmp(a, b) must agree with Python-level comparisons."""
+    cc = CondCodes()
+    cc.set_sub(a, b, (a - b) & MASK32)
+    sa, sb = to_signed(a), to_signed(b)
+    assert branch_taken("e", cc) == (a == b)
+    assert branch_taken("ne", cc) == (a != b)
+    assert branch_taken("l", cc) == (sa < sb)
+    assert branch_taken("le", cc) == (sa <= sb)
+    assert branch_taken("g", cc) == (sa > sb)
+    assert branch_taken("ge", cc) == (sa >= sb)
+    assert branch_taken("lu", cc) == (a < b)
+    assert branch_taken("leu", cc) == (a <= b)
+    assert branch_taken("gu", cc) == (a > b)
+    assert branch_taken("geu", cc) == (a >= b)
+
+
+def test_branch_taken_unknown_condition():
+    with pytest.raises(ValueError):
+        branch_taken("xyzzy", CondCodes())

@@ -1,0 +1,109 @@
+"""Instruction structural queries: signatures, leaves, operand typing."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, OpClass
+
+
+def test_add_reg_reg_signature():
+    instr = Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2)
+    assert instr.signature() == "arrr"
+    assert instr.leaf_count() == 2
+
+
+def test_add_reg_imm_signature():
+    instr = Instruction(Opcode.ADD, rd=3, rs1=1, imm=8)
+    assert instr.signature() == "arri"
+    assert instr.leaf_count() == 2
+
+
+def test_zero_immediate_detected():
+    instr = Instruction(Opcode.ADD, rd=3, rs1=1, imm=0)
+    assert instr.signature() == "arr0"
+    assert instr.leaf_count() == 1
+
+
+def test_g0_operand_detected():
+    instr = Instruction(Opcode.SUB, rd=3, rs1=0, rs2=2)
+    assert instr.signature() == "ar0r"
+    assert instr.leaf_count() == 1
+
+
+def test_move_immediate():
+    instr = Instruction(Opcode.MOV, rd=3, imm=42)
+    assert instr.signature() == "mvi"
+    assert instr.leaf_count() == 1
+
+
+def test_move_zero():
+    instr = Instruction(Opcode.MOV, rd=3, imm=0)
+    assert instr.signature() == "mv0"
+    assert instr.leaf_count() == 0
+
+
+def test_sethi_is_move_class():
+    instr = Instruction(Opcode.SETHI, rd=3, imm=100)
+    assert instr.opclass is OpClass.MV
+    assert instr.signature() == "mvi"
+
+
+def test_load_reg_reg():
+    instr = Instruction(Opcode.LD, rd=3, rs1=1, rs2=2)
+    assert instr.signature() == "ldrr"
+    assert instr.leaf_count() == 2
+
+
+def test_load_reg_imm():
+    instr = Instruction(Opcode.LD, rd=3, rs1=1, imm=4)
+    assert instr.signature() == "ldri"
+
+
+def test_load_zero_displacement():
+    instr = Instruction(Opcode.LD, rd=3, rs1=1, imm=0)
+    assert instr.signature() == "ldr0"
+    assert instr.leaf_count() == 1
+
+
+def test_store_signature_ignores_data_operand():
+    instr = Instruction(Opcode.ST, rd=5, rs1=1, imm=8)
+    assert instr.signature() == "stri"
+    assert instr.leaf_count() == 2
+
+
+def test_conditional_branch_signature():
+    instr = Instruction(Opcode.BE, target=0)
+    assert instr.signature() == "brc"
+    assert instr.leaf_count() == 1
+    assert instr.reads_cc
+
+
+def test_cmp_writes_cc_and_has_no_dest():
+    instr = Instruction(Opcode.SUBCC, rd=0, rs1=1, rs2=2)
+    assert instr.writes_cc
+    assert instr.rd == -1       # %g0 destination normalised away
+
+
+def test_shift_signature():
+    instr = Instruction(Opcode.SLL, rd=3, rs1=1, imm=2)
+    assert instr.signature() == "shri"
+    assert instr.opclass is OpClass.SH
+
+
+def test_latencies_via_class():
+    from repro.isa.opcodes import CLASS_LATENCY, opclass_of
+    assert CLASS_LATENCY[opclass_of(Opcode.LD)] == 2
+    assert CLASS_LATENCY[opclass_of(Opcode.SMUL)] == 2
+    assert CLASS_LATENCY[opclass_of(Opcode.SDIV)] == 12
+    assert CLASS_LATENCY[opclass_of(Opcode.ADD)] == 1
+
+
+def test_disassemble_round_trips_key_fields():
+    instr = Instruction(Opcode.ADD, rd=3, rs1=1, imm=8)
+    text = instr.disassemble()
+    assert "add" in text and "%g1" in text and "8" in text
+
+
+def test_is_flags():
+    assert Instruction(Opcode.LD, rd=1, rs1=2, imm=0).is_load
+    assert Instruction(Opcode.ST, rd=1, rs1=2, imm=0).is_store
+    assert Instruction(Opcode.BE, target=0).is_cond_branch
+    assert Instruction(Opcode.CALL, rd=15, target=0).is_control

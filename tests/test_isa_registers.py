@@ -1,0 +1,64 @@
+"""Tests for register naming conventions."""
+
+import pytest
+
+from repro.isa.registers import (
+    CC_INDEX,
+    FP,
+    G0,
+    LINK_REG,
+    NUM_REGS,
+    SP,
+    parse_reg,
+    reg_name,
+)
+
+
+def test_g0_is_zero_register():
+    assert G0 == 0
+    assert parse_reg("%g0") == 0
+
+
+def test_groups_map_to_contiguous_indices():
+    assert parse_reg("%g7") == 7
+    assert parse_reg("%o0") == 8
+    assert parse_reg("%l0") == 16
+    assert parse_reg("%i0") == 24
+    assert parse_reg("%i7") == 31
+
+
+def test_aliases():
+    assert parse_reg("%sp") == SP == parse_reg("%o6")
+    assert parse_reg("%fp") == FP == parse_reg("%i6")
+    assert LINK_REG == parse_reg("%o7")
+
+
+def test_numeric_names():
+    for index in range(NUM_REGS):
+        assert parse_reg("%%r%d" % index) == index
+
+
+def test_case_insensitive():
+    assert parse_reg("%G3") == 3
+    assert parse_reg("%SP") == SP
+
+
+def test_round_trip_names():
+    for index in range(NUM_REGS):
+        assert parse_reg(reg_name(index)) == index
+
+
+def test_cc_pseudo_register_name():
+    assert reg_name(CC_INDEX) == "%icc"
+
+
+def test_reg_name_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        reg_name(33)
+    with pytest.raises(ValueError):
+        reg_name(-1)
+
+
+def test_parse_reg_rejects_unknown():
+    with pytest.raises(KeyError):
+        parse_reg("%q1")

@@ -1,0 +1,111 @@
+"""Aggregation and rendering tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.metrics import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    mean_ipc,
+    mean_speedup,
+    render_bar_chart,
+    render_series,
+    render_table,
+)
+
+positive_lists = st.lists(
+    st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=20)
+
+
+def test_harmonic_mean_known_value():
+    assert abs(harmonic_mean([1, 2, 4]) - 12 / 7) < 1e-12
+
+
+def test_harmonic_of_equal_values():
+    assert harmonic_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+
+@given(positive_lists)
+def test_mean_ordering(values):
+    h = harmonic_mean(values)
+    g = geometric_mean(values)
+    a = arithmetic_mean(values)
+    assert h <= g + 1e-9 * max(values)
+    assert g <= a + 1e-9 * max(values)
+
+
+def test_means_reject_empty_and_nonpositive():
+    with pytest.raises(ReproError):
+        harmonic_mean([])
+    with pytest.raises(ReproError):
+        harmonic_mean([1.0, 0.0])
+    with pytest.raises(ReproError):
+        geometric_mean([-1.0])
+    with pytest.raises(ReproError):
+        arithmetic_mean([])
+
+
+class _FakeResult:
+    def __init__(self, trace_name, cycles, instructions=100):
+        self.trace_name = trace_name
+        self.cycles = cycles
+        self.instructions = instructions
+
+    @property
+    def ipc(self):
+        return self.instructions / self.cycles
+
+    def speedup_over(self, baseline):
+        return baseline.cycles / self.cycles
+
+
+def test_mean_ipc():
+    results = [_FakeResult("a", 100), _FakeResult("b", 50)]
+    assert mean_ipc(results) == pytest.approx(harmonic_mean([1.0, 2.0]))
+
+
+def test_mean_speedup_matches_by_trace_name():
+    baselines = [_FakeResult("a", 100), _FakeResult("b", 100)]
+    results = [_FakeResult("b", 50), _FakeResult("a", 100)]
+    assert mean_speedup(results, baselines) == \
+        pytest.approx(harmonic_mean([2.0, 1.0]))
+
+
+def test_mean_speedup_missing_baseline():
+    with pytest.raises(ReproError):
+        mean_speedup([_FakeResult("a", 10)], [_FakeResult("b", 10)])
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["x", 1.5], ["long", 20]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+    assert "1.50" in text
+
+
+def test_render_table_with_title_and_precision():
+    text = render_table(["v"], [[1.23456]], title="T", precision=4)
+    assert text.startswith("T\n")
+    assert "1.2346" in text
+
+
+def test_render_series():
+    text = render_series({"A": [1.0, 2.0], "B": [3.0, 4.0]},
+                         ["4", "8"])
+    assert "width" in text
+    assert "4.00" in text
+
+
+def test_render_bar_chart():
+    text = render_bar_chart([("x", 1.0), ("y", 2.0)], title="bars")
+    lines = text.splitlines()
+    assert lines[0] == "bars"
+    assert lines[2].count("#") > lines[1].count("#")
+
+
+def test_render_bar_chart_empty():
+    assert "(empty)" in render_bar_chart([])

@@ -1,0 +1,39 @@
+"""Public-API integrity tests."""
+
+import importlib
+
+import pytest
+
+MODULES = [
+    "repro", "repro.isa", "repro.asm", "repro.emu", "repro.trace",
+    "repro.bpred", "repro.addrpred", "repro.vpred", "repro.collapse",
+    "repro.core", "repro.workloads", "repro.metrics",
+    "repro.experiments", "repro.analysis", "repro.cli",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_all_resolves(name):
+    module = importlib.import_module(name)
+    for attr in getattr(module, "__all__", []):
+        assert hasattr(module, attr), "%s.__all__ names missing %s" \
+            % (name, attr)
+
+
+def test_version_string():
+    import repro
+    assert repro.__version__.count(".") == 2
+
+
+def test_quick_compare_smoke():
+    import repro
+    text = repro.quick_compare("eqntott", width=4, scale=0.02)
+    assert "eqntott" in text
+    for letter in "ABCDE":
+        assert ("  %s:" % letter) in text
+
+
+def test_top_level_docstrings_exist():
+    for name in MODULES:
+        module = importlib.import_module(name)
+        assert module.__doc__, "%s has no module docstring" % name

@@ -1,0 +1,35 @@
+"""Report-generator unit tests (beyond the end-to-end generation test)."""
+
+from repro.core.config import PAPER_ISSUE_WIDTHS
+from repro.experiments import ExperimentRunner
+from repro.experiments.report import PAPER_REFERENCE, shape_checks
+
+
+def test_paper_reference_values():
+    """The hardcoded paper numbers used for comparison stay faithful to
+    the text (abstract: speedups 1.20/1.35/1.51/1.66; Section 5: E up to
+    2.95; Figure 8: 29-47%)."""
+    assert PAPER_REFERENCE["speedup_D"] == {4: 1.20, 8: 1.35,
+                                            16: 1.51, 32: 1.66}
+    low, high = PAPER_REFERENCE["speedup_E_range"]
+    assert (low, high) == (1.25, 2.95)
+    assert PAPER_REFERENCE["collapsed_range"] == (29.0, 47.0)
+
+
+def test_paper_widths_constant():
+    assert PAPER_ISSUE_WIDTHS == (4, 8, 16, 32, 2048)
+
+
+def test_shape_checks_all_pass_at_small_scale():
+    runner = ExperimentRunner(scale=0.04, widths=(4, 16))
+    lines = shape_checks(runner).splitlines()
+    assert len(lines) >= 8
+    assert all(line.startswith("- [x]") for line in lines), lines
+
+
+def test_shape_checks_mention_key_claims():
+    runner = ExperimentRunner(scale=0.04, widths=(4, 16))
+    text = shape_checks(runner)
+    assert "E >= D >= C >= B" in text
+    assert "collapsing (C) contributes more" in text
+    assert "distance <= 8" in text

@@ -1,0 +1,60 @@
+"""Scale-sensitivity driver and issue-distribution metric tests."""
+
+import pytest
+
+from helpers import sim
+
+from repro.errors import ReproError
+from repro.experiments.sensitivity import max_drift, scale_sensitivity
+from repro.metrics import issue_distribution
+from repro.trace.synth import dependent_chain, independent_stream
+
+
+def test_issue_distribution_full_width():
+    result = sim(independent_stream(16), width=4)
+    distribution = issue_distribution(result)
+    assert distribution == {4: 1.0}
+
+
+def test_issue_distribution_serial():
+    result = sim(dependent_chain(10), width=4)
+    distribution = issue_distribution(result)
+    assert distribution == {1: 1.0}
+
+
+def test_issue_distribution_counts_idle_cycles():
+    from repro.trace.records import TraceBuilder
+    builder = TraceBuilder()
+    builder.move(dest=2, imm=True)
+    builder.div(dest=1, src1=2, imm=True)   # 12-cycle gap
+    builder.add(dest=3, src1=1, imm=True)
+    result = sim(builder.build(), width=4)
+    distribution = issue_distribution(result)
+    assert distribution[0] > 0.5            # mostly idle
+    assert abs(sum(distribution.values()) - 1.0) < 1e-12
+
+
+def test_issue_distribution_requires_schedule():
+    result = sim(independent_stream(8), width=4)
+    result.issue_cycles = None
+    with pytest.raises(ReproError):
+        issue_distribution(result)
+
+
+def test_scale_sensitivity_structure():
+    exhibit = scale_sensitivity("eqntott", scales=(0.02, 0.04), width=8)
+    assert len(exhibit.rows) == 2
+    lengths = exhibit.column("instructions")
+    assert lengths[1] > lengths[0]
+    # Rate metrics stay in-range at every scale.
+    for row in exhibit.rows:
+        assert 0.0 <= row[4] <= 100.0
+        assert 0.0 <= row[5] <= 100.0
+
+
+def test_scale_sensitivity_drift_helper():
+    exhibit = scale_sensitivity("ijpeg", scales=(0.05, 0.1), width=8)
+    drift = max_drift(exhibit, "D IPC")
+    assert drift >= 0.0
+    # ijpeg is loop-dominated: its IPC stabilises very quickly.
+    assert drift < 0.25

@@ -1,0 +1,69 @@
+"""Binary trace serialisation round-trip tests."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.io import MAGIC, load_trace, save_trace
+from repro.trace.synth import random_trace, strided_load_loop
+
+
+def test_round_trip_preserves_everything(tmp_path):
+    trace = random_trace(200, seed=3)
+    path = tmp_path / "t.bin"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == trace.name
+    assert loaded.sidx == trace.sidx
+    assert loaded.eff_addr == trace.eff_addr
+    assert loaded.taken == trace.taken
+    assert loaded.mem_value == trace.mem_value
+    original, restored = trace.static, loaded.static
+    assert restored.cls == original.cls
+    assert restored.sig == original.sig
+    assert restored.leaves == original.leaves
+    assert restored.dest == original.dest
+    assert restored.writes_cc == original.writes_cc
+    assert restored.pc == original.pc
+
+
+def test_round_trip_simulates_identically(tmp_path):
+    from repro.core import config_d, simulate_trace
+    trace = strided_load_loop(100)
+    path = tmp_path / "t.bin"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    a = simulate_trace(trace, config_d(8))
+    b = simulate_trace(loaded, config_d(8))
+    assert a.cycles == b.cycles
+    assert a.loads.counts == b.loads.counts
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"NOTATRACE")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    trace = random_trace(50, seed=1)
+    path = tmp_path / "t.bin"
+    save_trace(trace, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:len(data) // 2])
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_magic_constant_stable():
+    assert MAGIC == b"REPROTR1"
+
+
+def test_empty_trace_round_trip(tmp_path):
+    from repro.trace.records import TraceBuilder
+    trace = TraceBuilder(name="empty").build()
+    path = tmp_path / "empty.bin"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == 0
+    assert loaded.name == "empty"

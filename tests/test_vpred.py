@@ -1,0 +1,151 @@
+"""Value-prediction extension tests (paper Figure 1.d, reference [9])."""
+
+import pytest
+
+from helpers import make_branch_result
+
+from repro.core import MachineConfig
+from repro.core.scheduler import WindowScheduler
+from repro.core.simulator import simulate_trace, value_outcomes
+from repro.trace.records import TraceBuilder
+from repro.vpred import LastValueTable, run_value_predictor
+
+
+# --------------------------------------------------------------- table
+
+def test_last_value_learns_invariant():
+    table = LastValueTable()
+    outcomes = [table.observe(0x100, 42) for _ in range(5)]
+    assert [correct for _, correct, _ in outcomes] == \
+        [False, True, True, True, True]
+    # Confidence gate opens after enough correct predictions.
+    assert outcomes[-1][0] is True
+
+
+def test_last_value_varies_never_confident():
+    table = LastValueTable()
+    for value in range(1, 51):
+        would_use, correct, _ = table.observe(0x100, value)
+        assert not correct
+    assert table.entry(0x100).confidence == 0
+
+
+def test_wrong_penalty_double():
+    table = LastValueTable()
+    for _ in range(5):
+        table.observe(0x100, 7)
+    confidence = table.entry(0x100).confidence
+    table.observe(0x100, 8)
+    assert table.entry(0x100).confidence == max(0, confidence - 2)
+
+
+def test_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        LastValueTable(entries=12)
+
+
+# --------------------------------------------------------------- runner
+
+def invariant_load_trace(iterations=30, value=42):
+    builder = TraceBuilder()
+    load = builder.load(dest=2, addr_reg=9, addr=0x100, value=value)
+    consumer = builder.add(dest=3, src1=2, imm=True)
+    for _ in range(iterations - 1):
+        builder.repeat(load, eff_addr=0x100, value=value)
+        builder.repeat(consumer)
+    return builder.build()
+
+
+def test_runner_invariant_loads():
+    result = run_value_predictor(invariant_load_trace())
+    assert result.loads == 30
+    assert result.raw_accuracy > 0.9
+
+
+def test_runner_varying_loads():
+    builder = TraceBuilder()
+    load = builder.load(dest=2, addr_reg=9, addr=0x100, value=0)
+    for i in range(40):
+        builder.repeat(load, eff_addr=0x100, value=i)
+    result = run_value_predictor(builder.build())
+    assert result.raw_accuracy < 0.1
+
+
+# ------------------------------------------------------------ timing
+
+def slow_load_consumer_trace():
+    """Address chain -> load (invariant value) -> consumer.
+
+    Base: chain @0,1,2; load @3 completes @5; consumer @5 (6 cycles).
+    With correct value speculation the consumer issues @0 but the load
+    still executes to verify (@3): 4 cycles.
+    """
+    builder = TraceBuilder()
+    builder.add(dest=1, src1=9, imm=True)
+    builder.add(dest=1, src1=1, imm=True)
+    builder.add(dest=1, src1=1, imm=True)
+    builder.load(dest=2, addr_reg=1, addr=0x100, value=42)
+    builder.add(dest=3, src1=2, imm=True)
+    return builder.build()
+
+
+def vsim(trace, attempted, correct):
+    from repro.vpred.runner import ValuePredictionResult
+    prediction = ValuePredictionResult()
+    prediction.attempted = attempted
+    prediction.correct = correct
+    config = MachineConfig(4, value_spec=True)
+    scheduler = WindowScheduler(trace, config, make_branch_result(trace),
+                                value_prediction=prediction)
+    return scheduler.run()
+
+
+def test_correct_value_prediction_breaks_load_use():
+    trace = slow_load_consumer_trace()
+    base = vsim(trace, {}, {})
+    assert base.cycles == 6
+    specced = vsim(trace, {3: True}, {3: True})
+    assert specced.cycles == 4       # load (verification) still issues @3
+
+
+def test_wrong_value_prediction_keeps_base_timing():
+    trace = slow_load_consumer_trace()
+    result = vsim(trace, {3: True}, {3: False})
+    assert result.cycles == 6
+
+
+def test_unconfident_prediction_not_used():
+    trace = slow_load_consumer_trace()
+    result = vsim(trace, {3: False}, {3: True})
+    assert result.cycles == 6
+
+
+def test_simulate_trace_runs_value_pass_automatically():
+    trace = invariant_load_trace(iterations=40)
+    config = MachineConfig(8, value_spec=True)
+    result = simulate_trace(trace, config)
+    assert result.instructions == len(trace)
+
+
+def test_value_outcomes_convenience():
+    result = value_outcomes(invariant_load_trace())
+    assert result.loads == 30
+
+
+def test_scheduler_requires_value_prediction_when_enabled():
+    trace = invariant_load_trace()
+    config = MachineConfig(8, value_spec=True)
+    with pytest.raises(ValueError):
+        WindowScheduler(trace, config, make_branch_result(trace))
+
+
+def test_value_spec_never_slows():
+    from repro.trace.synth import random_trace
+    from repro.core import branch_outcomes
+    for seed in range(4):
+        trace = random_trace(300, seed=seed)
+        branch = branch_outcomes(trace)
+        base = WindowScheduler(trace, MachineConfig(4), branch).run()
+        specced = simulate_trace(trace, MachineConfig(4, value_spec=True),
+                                 branch_result=branch)
+        assert specced.cycles <= base.cycles
