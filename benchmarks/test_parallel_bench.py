@@ -1,0 +1,62 @@
+"""Parallel engine and disk-cache benches.
+
+Three timings of the same 2-workload grid: serial, fanned over a
+process pool, and served from a warm disk cache.  The warm run must be
+dramatically cheaper than either cold run; the pool run is asserted
+identical, not faster, because CI machines may have a single core.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALE, once
+
+from repro.experiments.parallel import run_cells
+
+CELLS = [(name, letter, width)
+         for name in ("eqntott", "ijpeg")
+         for letter in ("A", "D")
+         for width in (8, 16)]
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("bench-cache"))
+
+
+def test_grid_serial(benchmark):
+    results, profile = once(
+        benchmark, lambda: run_cells(CELLS, BENCH_SCALE, jobs=1))
+    assert len(results) == len(CELLS)
+    assert all(r.cycles > 0 for r in results)
+
+
+def test_grid_process_pool(benchmark):
+    def run():
+        return run_cells(CELLS, BENCH_SCALE, jobs=4)
+
+    results, profile = once(benchmark, run)
+    serial, _ = run_cells(CELLS, BENCH_SCALE, jobs=1)
+    assert [(r.trace_name, r.config_name, r.cycles) for r in results] == \
+        [(r.trace_name, r.config_name, r.cycles) for r in serial]
+
+
+def test_grid_warm_cache(benchmark, cache_dir):
+    cold, _ = run_cells(CELLS, BENCH_SCALE, jobs=2, cache_dir=cache_dir)
+
+    def warm():
+        return run_cells(CELLS, BENCH_SCALE, jobs=2, cache_dir=cache_dir)
+
+    results, profile = once(benchmark, warm)
+    assert profile.hits == len(CELLS)
+    assert [r.cycles for r in results] == [r.cycles for r in cold]
+
+
+def test_warm_cache_without_pool(benchmark, cache_dir):
+    run_cells(CELLS, BENCH_SCALE, jobs=1, cache_dir=cache_dir)
+
+    def warm():
+        return run_cells(CELLS, BENCH_SCALE, jobs=1, cache_dir=cache_dir)
+
+    results, profile = once(benchmark, warm)
+    assert profile.hits == len(CELLS)
+    assert len(results) == len(CELLS)

@@ -20,6 +20,7 @@ Quick start::
     print(quick_compare("eqntott", width=8, scale=0.2))
 """
 
+from .cache import DiskCache
 from .collapse import CollapseRules
 from .core import (
     MachineConfig,
@@ -51,7 +52,7 @@ __all__ = [
     "paper_config", "simulate_many", "simulate_trace",
     "AssemblyError", "ConfigError", "EmulationError", "ReproError",
     "TraceFormatError",
-    "ExperimentRunner",
+    "DiskCache", "ExperimentRunner",
     "SUITE", "WORKLOADS", "cached_trace", "get_workload",
     "quick_compare",
     "__version__",

@@ -49,6 +49,22 @@ class BranchRunResult:
             return 0.0
         return self.conditional / self.trace_length
 
+    def to_payload(self):
+        """JSON-safe dict for the disk-cache codec (lossless)."""
+        return {
+            "mispredicted": sorted(self.mispredicted),
+            "conditional": self.conditional,
+            "correct": self.correct,
+            "trace_length": self.trace_length,
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        mispredicted = dict.fromkeys(
+            (int(p) for p in payload["mispredicted"]), True)
+        return cls(mispredicted, int(payload["conditional"]),
+                   int(payload["correct"]), int(payload["trace_length"]))
+
 
 def run_branch_predictor(trace, predictor=None):
     """Predict every conditional branch of ``trace`` in program order."""

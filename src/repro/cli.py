@@ -17,8 +17,12 @@ simulate WORKLOAD
     Run one machine configuration and print the full result breakdown.
 sweep WORKLOAD
     Run configurations A-E across issue widths and print the IPC table.
+    ``--jobs N`` fans the grid out over worker processes and
+    ``--cache-dir PATH`` persists traces/results across invocations.
 report
-    Regenerate EXPERIMENTS.md (all paper exhibits).
+    Regenerate EXPERIMENTS.md (all paper exhibits).  Supports the same
+    ``--jobs``/``--cache-dir`` flags plus ``--profile`` for a per-cell
+    timing and cache-hit table (see docs/PERFORMANCE.md).
 """
 
 import argparse
@@ -30,11 +34,20 @@ from .core import MachineConfig, paper_config, simulate_many, \
     simulate_trace
 from .metrics import render_table
 from .trace import TraceStats, load_trace, save_trace, signature_mix
-from .workloads import SUITE, get_workload
+from .workloads import SUITE, WORKLOADS, get_workload
 
 
 def _load_target(target, scale):
-    """A workload name or a path to a saved trace."""
+    """A workload name or a path to a saved trace.
+
+    Registered workload names always win: a stray file in the current
+    directory named like a workload (e.g. ``compress``) must not shadow
+    the workload and be parsed as a trace file.  Anything that is not a
+    registered name is treated as a path; a target that is neither fails
+    with the workload lookup's actionable error.
+    """
+    if target in WORKLOADS:
+        return get_workload(target).trace(scale=scale)
     if os.path.exists(target):
         return load_trace(target)
     return get_workload(target).trace(scale=scale)
@@ -131,22 +144,46 @@ def cmd_simulate(args):
 
 
 def cmd_sweep(args):
-    trace = _load_target(args.workload, args.scale)
     widths = [int(w) for w in args.widths.split(",")]
     headers = ["width"] + list("ABCDE")
     rows = []
-    for width in widths:
-        configs = [paper_config(letter, width) for letter in "ABCDE"]
-        results = simulate_many(trace, configs)
-        rows.append([width] + [result.ipc for result in results])
+    profile = None
+    if args.workload in WORKLOADS:
+        # Registered workloads go through the parallel, disk-cached
+        # engine; cells come back in input order so rows are identical
+        # to the serial path.
+        from .experiments.parallel import run_cells
+        cells = [(args.workload, letter, width)
+                 for width in widths for letter in "ABCDE"]
+        results, profile = run_cells(
+            cells, args.scale, jobs=args.jobs, cache_dir=args.cache_dir,
+            progress=True if args.jobs > 1 else None)
+        name = args.workload
+        for index, width in enumerate(widths):
+            per_width = results[index * 5:(index + 1) * 5]
+            rows.append([width] + [result.ipc for result in per_width])
+    else:
+        trace = _load_target(args.workload, args.scale)
+        name = trace.name
+        for width in widths:
+            configs = [paper_config(letter, width) for letter in "ABCDE"]
+            results = simulate_many(trace, configs)
+            rows.append([width] + [result.ipc for result in results])
     print(render_table(headers, rows,
-                       title="IPC sweep on %s" % (trace.name,)))
+                       title="IPC sweep on %s" % (name,)))
+    if profile is not None and (args.jobs > 1 or args.cache_dir):
+        print(profile.summary_line())
     return 0
 
 
 def cmd_report(args):
     from .experiments.report import main as report_main
-    report_main([str(args.scale), args.output])
+    argv = [str(args.scale), args.output, "--jobs", str(args.jobs)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.profile:
+        argv.append("--profile")
+    report_main(argv)
     return 0
 
 
@@ -192,10 +229,20 @@ def build_parser():
     p_sweep.add_argument("workload")
     p_sweep.add_argument("--scale", type=float, default=0.2)
     p_sweep.add_argument("--widths", default="4,8,16,32")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the A-E x width grid")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="persistent trace/result cache directory")
 
     p_report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_report.add_argument("--scale", type=float, default=1.0)
     p_report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p_report.add_argument("--jobs", type=int, default=1,
+                          help="worker processes for the simulation grid")
+    p_report.add_argument("--cache-dir", default=None,
+                          help="persistent trace/result cache directory")
+    p_report.add_argument("--profile", action="store_true",
+                          help="append the per-cell timing/cache table")
 
     return parser
 

@@ -39,6 +39,10 @@ class CollapseRules:
         self.zero_detection = zero_detection
         self.max_distance = max_distance
 
+    def fingerprint(self):
+        """Stable JSON-safe description (disk-cache key component)."""
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
     @classmethod
     def paper(cls):
         """The model used for configurations C, D and E."""

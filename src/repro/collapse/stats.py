@@ -41,6 +41,17 @@ def distance_bucket(distance):
     raise AssertionError("unreachable")
 
 
+def _ranked(signatures, count):
+    """Top signatures by count, ties broken by signature — fully
+    deterministic, unlike ``Counter.most_common`` whose tie order is
+    insertion order (which differs between a freshly collected stats
+    object and one decoded from the disk-cache codec)."""
+    total = max(1, sum(signatures.values()))
+    ordered = sorted(signatures.items(), key=lambda item: (-item[1],
+                                                           item[0]))
+    return [(sigs, n / total) for sigs, n in ordered[:count]]
+
+
 class CollapseStats:
     """Mutable collector; the scheduler calls :meth:`record_event`."""
 
@@ -126,15 +137,47 @@ class CollapseStats:
 
     def top_pairs(self, count=12):
         """Table 5: most frequent pair signatures as (sigs, fraction)."""
-        total = max(1, sum(self.pair_signatures.values()))
-        return [(sigs, n / total)
-                for sigs, n in self.pair_signatures.most_common(count)]
+        return _ranked(self.pair_signatures, count)
 
     def top_triples(self, count=13):
         """Table 6: most frequent triple signatures as (sigs, fraction)."""
-        total = max(1, sum(self.triple_signatures.values()))
-        return [(sigs, n / total)
-                for sigs, n in self.triple_signatures.most_common(count)]
+        return _ranked(self.triple_signatures, count)
+
+    def to_payload(self):
+        """JSON-safe dict for the disk-cache codec.
+
+        ``collapsed_positions`` membership is folded into a count (the
+        same representation :meth:`merge` uses), so every derived measure
+        — fractions, histograms, top pairs/triples — round-trips exactly.
+        """
+        return {
+            "events": self.events,
+            "category_counts": dict(self.category_counts),
+            "pair_signatures": [[list(sigs), count] for sigs, count
+                                in sorted(self.pair_signatures.items())],
+            "triple_signatures": [[list(sigs), count] for sigs, count
+                                  in sorted(self.triple_signatures.items())],
+            "distance_counts": sorted(self.distance_counts.items()),
+            "trace_length": self.trace_length,
+            "collapsed": self.instructions_collapsed,
+            "eliminated": self.eliminated,
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        stats = cls()
+        stats.events = int(payload["events"])
+        stats.category_counts.update(payload["category_counts"])
+        for sigs, count in payload["pair_signatures"]:
+            stats.pair_signatures[tuple(sigs)] = int(count)
+        for sigs, count in payload["triple_signatures"]:
+            stats.triple_signatures[tuple(sigs)] = int(count)
+        for distance, count in payload["distance_counts"]:
+            stats.distance_counts[int(distance)] = int(count)
+        stats.trace_length = int(payload["trace_length"])
+        stats._merged_collapsed = int(payload["collapsed"])
+        stats.eliminated = int(payload["eliminated"])
+        return stats
 
     def merge(self, other):
         """Accumulate another stats object (for cross-benchmark averages)."""

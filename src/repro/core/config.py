@@ -84,6 +84,21 @@ class MachineConfig:
     def collapsing(self):
         return self.collapse_rules is not None
 
+    def fingerprint(self):
+        """Stable JSON-safe description of everything that affects timing
+        (the disk cache keys results on it)."""
+        rules = self.collapse_rules
+        return {
+            "issue_width": self.issue_width,
+            "window_size": self.window_size,
+            "load_spec": self.load_spec,
+            "perfect_branches": self.perfect_branches,
+            "node_elimination": self.node_elimination,
+            "value_spec": self.value_spec,
+            "fetch_taken_break": self.fetch_taken_break,
+            "collapse": rules.fingerprint() if rules is not None else None,
+        }
+
     def width_label(self):
         return WIDTH_LABELS.get(self.issue_width, str(self.issue_width))
 

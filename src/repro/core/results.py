@@ -36,16 +36,28 @@ class LoadStats:
             self.counts[category] += count
         return self
 
+    def to_payload(self):
+        """JSON-safe dict for the disk-cache codec (see repro.cache)."""
+        return dict(self.counts)
+
+    @classmethod
+    def from_payload(cls, payload):
+        stats = cls()
+        for category, count in payload.items():
+            stats.counts[category] = int(count)
+        return stats
+
 
 class SimResult:
     """Outcome of simulating one trace on one machine configuration."""
 
     __slots__ = ("config_name", "trace_name", "instructions", "cycles",
                  "loads", "collapse", "branch", "issue_width",
-                 "window_size", "issue_cycles")
+                 "window_size", "issue_cycles", "eliminated_positions")
 
     def __init__(self, config, trace_name, instructions, cycles, loads,
-                 collapse, branch, issue_cycles=None):
+                 collapse, branch, issue_cycles=None,
+                 eliminated_positions=frozenset()):
         self.config_name = config.name
         self.issue_width = config.issue_width
         self.window_size = config.window_size
@@ -58,6 +70,9 @@ class SimResult:
         #: per-position issue cycle (eliminated instructions carry the
         #: cycle at which they were folded away); mainly for verification
         self.issue_cycles = issue_cycles
+        #: trace positions removed by node elimination; their
+        #: ``issue_cycles`` entries are fold-away cycles, not issue slots
+        self.eliminated_positions = frozenset(eliminated_positions)
 
     @property
     def ipc(self):
@@ -74,6 +89,58 @@ class SimResult:
         if self.cycles == 0:
             return 1.0
         return baseline.cycles / self.cycles
+
+    def to_payload(self):
+        """JSON-safe dict capturing everything exhibits consume.
+
+        The codec is lossless for every derived measure (IPC, speedups,
+        load/branch fractions, collapse histograms); the one identity it
+        drops is ``collapse.collapsed_positions`` membership, which is
+        folded into a count exactly like :meth:`CollapseStats.merge`.
+        """
+        return {
+            "config_name": self.config_name,
+            "issue_width": self.issue_width,
+            "window_size": self.window_size,
+            "trace_name": self.trace_name,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "loads": self.loads.to_payload() if self.loads else None,
+            "collapse": (self.collapse.to_payload()
+                         if self.collapse is not None else None),
+            "branch": (self.branch.to_payload()
+                       if self.branch is not None else None),
+            "issue_cycles": (list(self.issue_cycles)
+                             if self.issue_cycles is not None else None),
+            "eliminated_positions": sorted(self.eliminated_positions),
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        from ..bpred.runner import BranchRunResult
+        from ..collapse.stats import CollapseStats
+        result = cls.__new__(cls)
+        result.config_name = payload["config_name"]
+        result.issue_width = payload["issue_width"]
+        result.window_size = payload["window_size"]
+        result.trace_name = payload["trace_name"]
+        result.instructions = payload["instructions"]
+        result.cycles = payload["cycles"]
+        loads = payload.get("loads")
+        result.loads = (LoadStats.from_payload(loads)
+                        if loads is not None else None)
+        collapse = payload.get("collapse")
+        result.collapse = (CollapseStats.from_payload(collapse)
+                           if collapse is not None else None)
+        branch = payload.get("branch")
+        result.branch = (BranchRunResult.from_payload(branch)
+                         if branch is not None else None)
+        issue_cycles = payload.get("issue_cycles")
+        result.issue_cycles = (list(issue_cycles)
+                               if issue_cycles is not None else None)
+        result.eliminated_positions = frozenset(
+            payload.get("eliminated_positions") or ())
+        return result
 
     def __repr__(self):
         return ("SimResult(%s on %s: ipc=%.3f, cycles=%d)"

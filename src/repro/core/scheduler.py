@@ -448,4 +448,5 @@ class WindowScheduler:
             collapse=collapse_stats,
             branch=self.branch_result,
             issue_cycles=issue_cycle,
+            eliminated_positions=eliminated,
         )

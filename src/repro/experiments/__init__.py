@@ -19,12 +19,13 @@ from .extensions import (
     extension_figure,
     predictor_comparison,
 )
+from .parallel import SweepProfile, run_cells
 from .runner import ExperimentRunner
 from .tables import ALL_TABLES, table1, table2, table3, table4, table5, \
     table6
 
 __all__ = [
-    "Exhibit", "ExperimentRunner",
+    "Exhibit", "ExperimentRunner", "SweepProfile", "run_cells",
     "ALL_FIGURES", "ALL_TABLES",
     "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
     "figure8", "figure9", "figure10",

@@ -13,7 +13,6 @@ configuration E (ideal address speculation).
 
 from ..collapse.rules import CollapseRules
 from ..core.config import LOAD_SPEC_REAL, WIDTH_LABELS, MachineConfig
-from ..core.scheduler import WindowScheduler
 from ..core.simulator import value_outcomes
 from ..metrics.means import harmonic_mean
 from .exhibit import Exhibit
@@ -34,7 +33,15 @@ def _variant_config(width, elim, vspec):
 
 def extension_figure(runner):
     """Harmonic-mean speedup over A of D and its extensions, plus E."""
-    value_passes = {name: None for name in runner.names}
+    value_passes = {}
+
+    def value_pass(name):
+        # Lazy: a warm disk cache never pays for the value-prediction
+        # pass (runner.simulate only calls this on a miss).
+        if name not in value_passes:
+            value_passes[name] = value_outcomes(runner.trace(name))
+        return value_passes[name]
+
     headers = ["width"] + [label for label, _, _ in _VARIANTS] + ["E"]
     rows = []
     for width in runner.widths:
@@ -45,16 +52,10 @@ def extension_figure(runner):
             config = _variant_config(width, elim, vspec)
             ratios = []
             for name in runner.names:
-                trace = runner.trace(name)
-                value_prediction = None
-                if vspec:
-                    if value_passes[name] is None:
-                        value_passes[name] = value_outcomes(trace)
-                    value_prediction = value_passes[name]
-                scheduler = WindowScheduler(
-                    trace, config, runner.branch(name),
-                    runner.load_prediction(name), value_prediction)
-                result = scheduler.run()
+                value_prediction = ((lambda n=name: value_pass(n))
+                                    if vspec else None)
+                result = runner.simulate(
+                    name, config, value_prediction=value_prediction)
                 ratios.append(result.speedup_over(baselines[name]))
             row.append(harmonic_mean(ratios))
         e_ratios = [runner.result(name, "E", width)
@@ -82,14 +83,21 @@ def dataflow_limits(runner):
                "A @ widest", "C @ widest"]
     rows = []
     for name in runner.names:
-        trace = runner.trace(name)
-        graph = DependenceGraph(trace)
-        plain = graph.critical_path()
-        collapsed = collapsed_critical_path(trace, CollapseRules.paper())
+        def compute(name=name):
+            trace = runner.trace(name)
+            graph = DependenceGraph(trace)
+            return [len(trace), graph.critical_path(),
+                    collapsed_critical_path(trace, CollapseRules.paper())]
+
+        length, plain, collapsed = runner.cached_blob(
+            "dataflow-limits",
+            {"name": name, "scale": repr(runner.scale),
+             "rules": CollapseRules.paper().fingerprint()},
+            compute)
         rows.append([
             name,
-            len(trace) / plain if plain else 0.0,
-            len(trace) / collapsed if collapsed else 0.0,
+            length / plain if plain else 0.0,
+            length / collapsed if collapsed else 0.0,
             runner.result(name, "A", width).ipc,
             runner.result(name, "C", width).ipc,
         ])
@@ -120,13 +128,13 @@ def predictor_comparison(runner, width=16):
     config = MachineConfig(width, collapse_rules=CollapseRules.paper(),
                            load_spec=LOAD_SPEC_REAL)
     for name in runner.names:
-        trace = runner.trace(name)
         baseline = runner.result(name, "A", width)
         row = [name]
-        for _, factory in tables:
-            prediction = run_address_predictor(trace, factory())
-            result = WindowScheduler(trace, config, runner.branch(name),
-                                     prediction).run()
+        for label, factory in tables:
+            result = runner.simulate(
+                name, config, extra_key={"addrpred": label},
+                load_prediction=lambda n=name, f=factory:
+                run_address_predictor(runner.trace(n), f()))
             row.append(result.speedup_over(baseline))
         row.append(runner.result(name, "E", width)
                    .speedup_over(baseline))
@@ -142,13 +150,11 @@ def elimination_counts(runner, width=16):
     rows = []
     config = _variant_config(width, elim=True, vspec=False)
     for name in runner.names:
-        trace = runner.trace(name)
-        scheduler = WindowScheduler(trace, config, runner.branch(name),
-                                    runner.load_prediction(name))
-        result = scheduler.run()
+        result = runner.simulate(name, config)
         rows.append([name,
                      result.collapse.eliminated,
-                     100.0 * result.collapse.eliminated / max(1, len(trace)),
+                     100.0 * result.collapse.eliminated
+                     / max(1, result.instructions),
                      result.ipc])
     return Exhibit(
         "Extension", "Eliminated instructions (Figure 1.f) at width %d"

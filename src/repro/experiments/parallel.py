@@ -1,0 +1,185 @@
+"""Parallel experiment engine: fan (workload, letter, width) cells out
+over a process pool, with an optional persistent disk cache.
+
+Each *cell* is one simulation of one workload on one paper configuration
+at one issue width — the unit every exhibit is assembled from.  Workers
+return compact :class:`SimResult` payloads (see ``core.results``), so
+nothing crosses the process boundary but plain dicts; the parent decodes
+them and reassembles results **in input order**, making a parallel sweep
+byte-identical to a serial one.
+
+Worker processes memoise traces and the configuration-independent
+predictor passes per (workload, scale), so cells landing in the same
+worker amortise trace generation exactly like the serial
+:class:`ExperimentRunner` does.  With a cache directory, traces and
+results also persist across processes and invocations (see
+``repro.cache``).
+"""
+
+import multiprocessing
+import sys
+import time
+
+from ..cache import DiskCache
+from ..core.config import paper_config
+from ..core.results import SimResult
+from ..core.scheduler import WindowScheduler
+from ..core.simulator import branch_outcomes, load_outcomes
+from ..metrics.tables import render_table
+from ..workloads.registry import cached_trace
+
+#: Per-worker-process memo: (name, scale, cache_dir) -> (trace, branch,
+#: loads).  Six workloads at bench scales fit comfortably in memory.
+_WORKER_STATE = {}
+
+
+def _cell_inputs(name, scale, cache_dir):
+    key = (name, scale, cache_dir)
+    state = _WORKER_STATE.get(key)
+    if state is None:
+        if cache_dir is not None:
+            cache = DiskCache(cache_dir)
+            trace = cache.get_trace(name, scale,
+                                    lambda: cached_trace(name, scale))
+        else:
+            trace = cached_trace(name, scale)
+        state = (trace, branch_outcomes(trace), load_outcomes(trace))
+        _WORKER_STATE[key] = state
+    return state
+
+
+def _run_cell(task):
+    """Worker entry point: simulate (or load) one cell.
+
+    Returns ``(index, payload, seconds, cache_hit, cache_counters)``.
+    """
+    index, name, letter, width, scale, cache_dir, keep_schedules = task
+    started = time.perf_counter()
+    cache = DiskCache(cache_dir) if cache_dir is not None else None
+    config = paper_config(letter, width)
+    if cache is not None:
+        result = cache.load_result(name, scale, config)
+        if result is not None:
+            return (index, result.to_payload(),
+                    time.perf_counter() - started, True, cache.stats())
+    trace, branch, loads = _cell_inputs(name, scale, cache_dir)
+    prediction = loads if config.load_spec == "real" else None
+    result = WindowScheduler(trace, config, branch, prediction).run()
+    if not keep_schedules:
+        result.issue_cycles = None
+    if cache is not None:
+        cache.store_result(result, name, scale, config)
+    return (index, result.to_payload(), time.perf_counter() - started,
+            False, cache.stats() if cache is not None else {})
+
+
+class SweepProfile:
+    """Observability for one sweep: per-cell wall time + cache counters."""
+
+    def __init__(self):
+        self.cells = []          # (name, letter, width, seconds, source)
+        self.cache_counters = {}
+        self.wall_seconds = 0.0
+
+    def record(self, cell, seconds, cache_hit):
+        name, letter, width = cell
+        self.cells.append((name, letter, width, seconds,
+                           "cache" if cache_hit else "sim"))
+
+    def merge_cache_counters(self, counters):
+        for key, value in counters.items():
+            self.cache_counters[key] = \
+                self.cache_counters.get(key, 0) + value
+
+    @property
+    def hits(self):
+        return sum(1 for cell in self.cells if cell[4] == "cache")
+
+    @property
+    def misses(self):
+        return len(self.cells) - self.hits
+
+    @property
+    def cell_seconds(self):
+        return sum(cell[3] for cell in self.cells)
+
+    def summary_line(self):
+        return ("%d cells in %.1f s wall (%.1f s of cell work; "
+                "%d from cache, %d simulated)"
+                % (len(self.cells), self.wall_seconds, self.cell_seconds,
+                   self.hits, self.misses))
+
+    def render(self, limit=12):
+        """Profile table (slowest cells first) via metrics.tables."""
+        ordered = sorted(self.cells, key=lambda cell: -cell[3])
+        rows = [[name, letter, width, seconds, source]
+                for name, letter, width, seconds, source
+                in ordered[:limit]]
+        text = render_table(
+            ["workload", "config", "width", "seconds", "source"], rows,
+            title="sweep profile — %s" % (self.summary_line(),),
+            precision=3)
+        if self.cache_counters:
+            pairs = ", ".join("%s=%d" % (key, self.cache_counters[key])
+                              for key in sorted(self.cache_counters))
+            text += "\n(cache counters: %s)" % (pairs,)
+        return text
+
+
+def _progress(stream, done, total, cell, cache_hit):
+    name, letter, width = cell
+    stream.write("\r[%*d/%d] %s/w%-4d %-10s%s"
+                 % (len(str(total)), done, total, letter, width, name,
+                    " (cache)" if cache_hit else "        "))
+    if done == total:
+        stream.write("\n")
+    stream.flush()
+
+
+def run_cells(cells, scale, jobs=1, cache_dir=None, keep_schedules=False,
+              progress=None):
+    """Run every ``(name, letter, width)`` cell; return results + profile.
+
+    Results come back in the order of ``cells`` regardless of ``jobs``,
+    so downstream figures and tables are identical to a serial run.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; ``1`` runs inline (no pool, no pickling).
+    cache_dir:
+        Optional persistent cache directory (see :mod:`repro.cache`).
+    progress:
+        ``True`` for a stderr progress line, a callable
+        ``(done, total, cell, cache_hit)`` for custom reporting.
+    """
+    cells = [tuple(cell) for cell in cells]
+    cache_dir = str(cache_dir) if cache_dir is not None else None
+    tasks = [(index, name, letter, width, scale, cache_dir,
+              keep_schedules)
+             for index, (name, letter, width) in enumerate(cells)]
+    profile = SweepProfile()
+    started = time.perf_counter()
+    results = [None] * len(cells)
+    if progress is True:
+        stream = sys.stderr
+        progress = (lambda done, total, cell, hit:
+                    _progress(stream, done, total, cell, hit))
+
+    def consume(outcomes):
+        done = 0
+        for index, payload, seconds, cache_hit, counters in outcomes:
+            results[index] = SimResult.from_payload(payload)
+            profile.record(cells[index], seconds, cache_hit)
+            profile.merge_cache_counters(counters)
+            done += 1
+            if progress is not None:
+                progress(done, len(cells), cells[index], cache_hit)
+
+    if jobs <= 1 or len(tasks) <= 1:
+        consume(map(_run_cell, tasks))
+    else:
+        with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+            consume(pool.imap_unordered(_run_cell, tasks))
+    profile.wall_seconds = time.perf_counter() - started
+    return results, profile

@@ -2,16 +2,22 @@
 
 Usage::
 
-    python -m repro.experiments.report [scale] [output]
+    python -m repro.experiments.report [scale] [output] \
+        [--jobs N] [--cache-dir PATH] [--profile]
 
 ``scale`` defaults to 1.0 (a few minutes of pure-Python simulation);
 ``output`` defaults to ``EXPERIMENTS.md`` in the current directory.
+``--jobs`` fans the A-E x width simulation grid out over worker
+processes, ``--cache-dir`` persists traces and results across runs, and
+``--profile`` appends a per-cell timing / cache-hit table (see
+docs/PERFORMANCE.md).
 """
 
+import argparse
 import sys
 import time
 
-from ..core.config import PAPER_ISSUE_WIDTHS
+from ..core.config import CONFIG_LETTERS, PAPER_ISSUE_WIDTHS
 from .figures import ALL_FIGURES
 from .runner import ExperimentRunner
 from .tables import ALL_TABLES
@@ -131,10 +137,20 @@ def shape_checks(runner):
 
 
 def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
-             include_extensions=True):
-    """Build the full EXPERIMENTS.md text."""
-    runner = ExperimentRunner(scale=scale, widths=widths)
+             include_extensions=True, jobs=1, cache_dir=None,
+             profile=False, progress=None):
+    """Build the full EXPERIMENTS.md text.
+
+    ``jobs``/``cache_dir`` parallelise and persist the simulation grid
+    (exhibit content is identical regardless); ``profile`` appends the
+    sweep-profile table.
+    """
+    runner = ExperimentRunner(scale=scale, widths=widths, jobs=jobs,
+                              cache_dir=cache_dir, progress=progress)
     started = time.time()
+    # Resolve the full A-E x width grid up front so exhibit assembly is
+    # pure memo lookups (and actually parallel when jobs > 1).
+    runner.prefetch(CONFIG_LETTERS)
     parts = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -175,6 +191,13 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
         parts.append("")
     if include_extensions:
         parts.extend(_extension_sections(runner))
+    if profile:
+        parts.append("## Sweep profile")
+        parts.append("")
+        parts.append("```")
+        parts.append(runner.profile.render())
+        parts.append("```")
+        parts.append("")
     parts.append("_Generated in %.0f s._" % (time.time() - started,))
     parts.append("")
     return "\n".join(parts)
@@ -213,13 +236,24 @@ def _extension_sections(runner):
 
 
 def main(argv=None):
-    argv = list(sys.argv[1:] if argv is None else argv)
-    scale = float(argv[0]) if argv else 1.0
-    output = argv[1] if len(argv) > 1 else "EXPERIMENTS.md"
-    text = generate(scale=scale)
-    with open(output, "w") as handle:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.report",
+        description="Regenerate EXPERIMENTS.md (all paper exhibits)")
+    parser.add_argument("scale", nargs="?", type=float, default=1.0)
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation grid")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent trace/result cache directory")
+    parser.add_argument("--profile", action="store_true",
+                        help="append the per-cell timing/cache table")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    text = generate(scale=args.scale, jobs=args.jobs,
+                    cache_dir=args.cache_dir, profile=args.profile,
+                    progress=True if args.jobs > 1 else None)
+    with open(args.output, "w") as handle:
         handle.write(text)
-    print("wrote %s (scale %.2f)" % (output, scale))
+    print("wrote %s (scale %.2f)" % (args.output, args.scale))
 
 
 if __name__ == "__main__":

@@ -1,15 +1,34 @@
-"""Experiment runner with per-trace memoisation.
+"""Experiment runner with per-trace memoisation, optional parallelism,
+and an optional persistent disk cache.
 
 All paper exhibits share (trace, configuration) simulation results; the
-runner caches them so regenerating every figure and table costs each
-simulation once.  Branch- and address-prediction passes are likewise
-cached per trace (they are configuration independent).
+runner caches them in memory so regenerating every figure and table
+costs each simulation once.  Branch- and address-prediction passes are
+likewise cached per trace (they are configuration independent).
+
+Two optional layers sit under the in-memory memo:
+
+- ``cache_dir`` plugs in a :class:`repro.cache.DiskCache`, so results
+  (and traces) persist across processes and invocations;
+- ``jobs > 1`` makes :meth:`prefetch` / :meth:`sweep` fan cells out over
+  a process pool (:mod:`repro.experiments.parallel`) instead of
+  simulating serially.  Results are reassembled in deterministic order,
+  so exhibits are identical either way.
 """
 
-from ..core.config import PAPER_ISSUE_WIDTHS, paper_config
+import time
+
+from ..cache import DiskCache
+from ..core.config import CONFIG_LETTERS, PAPER_ISSUE_WIDTHS, paper_config
 from ..core.scheduler import WindowScheduler
 from ..core.simulator import branch_outcomes, load_outcomes
 from ..workloads.registry import SUITE, cached_trace
+from .parallel import SweepProfile, run_cells
+
+
+def _branch_from_payload(payload):
+    from ..bpred.runner import BranchRunResult
+    return BranchRunResult.from_payload(payload)
 
 
 class ExperimentRunner:
@@ -24,10 +43,17 @@ class ExperimentRunner:
         Issue widths to sweep; defaults to the paper's 4/8/16/32/2048.
     names:
         Workload subset; defaults to the whole suite.
+    jobs:
+        Process count for :meth:`prefetch`/:meth:`sweep`; 1 = serial.
+    cache_dir:
+        Directory for the persistent disk cache; ``None`` disables it.
+    progress:
+        Passed through to the parallel engine (``True`` = stderr line).
     """
 
     def __init__(self, scale=1.0, widths=PAPER_ISSUE_WIDTHS, names=None,
-                 keep_schedules=False):
+                 keep_schedules=False, jobs=1, cache_dir=None,
+                 progress=None):
         self.scale = scale
         self.widths = tuple(widths)
         self.names = tuple(names) if names is not None \
@@ -36,6 +62,14 @@ class ExperimentRunner:
         #: only needed for schedule-level verification and cost O(trace)
         #: memory per cached cell)
         self.keep_schedules = keep_schedules
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.cache = DiskCache(cache_dir) if cache_dir is not None \
+            else None
+        self.progress = progress
+        #: accumulated per-cell wall times and cache counters for every
+        #: cell resolved through this runner (the ``--profile`` source)
+        self.profile = SweepProfile()
         self._results = {}
         self._branch = {}
         self._loads = {}
@@ -43,12 +77,29 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def trace(self, name):
+        if self.cache is not None:
+            return self.cache.get_trace(
+                name, self.scale, lambda: cached_trace(name, self.scale))
         return cached_trace(name, self.scale)
 
     def branch(self, name):
         if name not in self._branch:
-            self._branch[name] = branch_outcomes(self.trace(name))
+            self._branch[name] = self.cached_blob(
+                "branch-pass", {"name": name, "scale": repr(self.scale)},
+                lambda: branch_outcomes(self.trace(name)).to_payload(),
+                decode=_branch_from_payload)
         return self._branch[name]
+
+    def cached_blob(self, kind, key, compute, decode=None):
+        """Disk-cached JSON payload; ``compute`` runs only on a miss."""
+        if self.cache is None:
+            payload = compute()
+        else:
+            payload = self.cache.load_blob(kind, key)
+            if payload is None:
+                payload = compute()
+                self.cache.store_blob(kind, key, payload)
+        return decode(payload) if decode is not None else payload
 
     def load_prediction(self, name):
         if name not in self._loads:
@@ -56,27 +107,117 @@ class ExperimentRunner:
         return self._loads[name]
 
     def result(self, name, letter, width):
-        """Simulation result for one cell, memoised."""
+        """Simulation result for one cell, memoised (and disk-cached)."""
         key = (name, letter, width)
         if key not in self._results:
+            started = time.perf_counter()
             config = paper_config(letter, width)
-            prediction = (self.load_prediction(name)
-                          if config.load_spec == "real" else None)
+            result = None
+            if self.cache is not None:
+                result = self.cache.load_result(name, self.scale, config)
+            cache_hit = result is not None
+            if result is None:
+                prediction = (self.load_prediction(name)
+                              if config.load_spec == "real" else None)
+                scheduler = WindowScheduler(self.trace(name), config,
+                                            self.branch(name), prediction)
+                result = scheduler.run()
+                if not self.keep_schedules:
+                    result.issue_cycles = None
+                if self.cache is not None:
+                    self.cache.store_result(result, name, self.scale,
+                                            config)
+            self._results[key] = result
+            self.profile.record(key, time.perf_counter() - started,
+                                cache_hit)
+        return self._results[key]
+
+    def simulate(self, name, config, extra_key=None, load_prediction=None,
+                 value_prediction=None):
+        """Disk-cached, profiled simulation of an *arbitrary* config
+        (extension exhibits: elimination/value-speculation variants,
+        alternative address predictors).
+
+        ``load_prediction`` / ``value_prediction`` may be zero-argument
+        callables; they run only on a cache miss, so a warm cache skips
+        the predictor passes along with the simulation.  ``extra_key``
+        must distinguish any simulation input the config fingerprint
+        cannot express (e.g. which predictor table produced
+        ``load_prediction``).
+        """
+        started = time.perf_counter()
+        result = None
+        if self.cache is not None:
+            result = self.cache.load_result(name, self.scale, config,
+                                            extra=extra_key)
+        cache_hit = result is not None
+        if result is None:
+            prediction = load_prediction
+            if callable(prediction):
+                prediction = prediction()
+            elif prediction is None and config.load_spec == "real":
+                prediction = self.load_prediction(name)
+            values = value_prediction
+            if callable(values):
+                values = values()
             scheduler = WindowScheduler(self.trace(name), config,
-                                        self.branch(name), prediction)
+                                        self.branch(name), prediction,
+                                        values)
             result = scheduler.run()
             if not self.keep_schedules:
                 result.issue_cycles = None
-            self._results[key] = result
-        return self._results[key]
+            if self.cache is not None:
+                self.cache.store_result(result, name, self.scale, config,
+                                        extra=extra_key)
+        self.profile.record((name, config.name, config.issue_width),
+                            time.perf_counter() - started, cache_hit)
+        return result
 
     def results(self, letter, width, names=None):
         """Results for each workload at one (configuration, width)."""
         return [self.result(name, letter, width)
                 for name in (names or self.names)]
 
+    # ------------------------------------------------------------------
+
+    def missing_cells(self, letters=CONFIG_LETTERS, names=None,
+                      widths=None):
+        """Cross-product cells not yet resolved in the in-memory memo."""
+        return [(name, letter, width)
+                for name in (names or self.names)
+                for letter in letters
+                for width in (widths or self.widths)
+                if (name, letter, width) not in self._results]
+
+    def prefetch(self, letters=CONFIG_LETTERS, names=None, widths=None):
+        """Resolve the whole (names x letters x widths) grid up front.
+
+        With ``jobs > 1`` the missing cells fan out over a process pool;
+        either way, subsequent :meth:`result` calls are memo hits.
+        Returns the number of cells resolved by this call.
+        """
+        cells = self.missing_cells(letters, names, widths)
+        if not cells:
+            return 0
+        if self.jobs <= 1:
+            for name, letter, width in cells:
+                self.result(name, letter, width)
+            return len(cells)
+        results, profile = run_cells(
+            cells, self.scale, jobs=self.jobs, cache_dir=self.cache_dir,
+            keep_schedules=self.keep_schedules, progress=self.progress)
+        for cell, result in zip(cells, results):
+            self._results[cell] = result
+        self.profile.cells.extend(profile.cells)
+        self.profile.wall_seconds += profile.wall_seconds
+        self.profile.merge_cache_counters(profile.cache_counters)
+        if self.cache is not None:
+            self.cache.merge_counters(profile.cache_counters)
+        return len(cells)
+
     def sweep(self, letters, names=None):
         """Mapping (letter, width) -> list of per-workload results."""
+        self.prefetch(letters, names)
         out = {}
         for letter in letters:
             for width in self.widths:

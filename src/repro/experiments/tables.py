@@ -96,8 +96,11 @@ def _signature_table(runner, key, title, chains, top):
     # Rank rows by their share at the largest width (the paper sorts by
     # the 2k column).
     largest = runner.widths[-1]
-    total_largest = max(1, sum(per_width[largest].values()))
-    ranked = [sigs for sigs, _ in per_width[largest].most_common(top)]
+    # Ties break by signature so the ranking does not depend on Counter
+    # insertion order (serial vs. cache-decoded results would differ).
+    ranked = [sigs for sigs, _ in
+              sorted(per_width[largest].items(),
+                     key=lambda item: (-item[1], item[0]))[:top]]
     ops = max((len(sigs) for sigs in ranked), default=2)
     headers = ["op%d" % (i + 1) for i in range(ops)]
     headers += [WIDTH_LABELS.get(w, str(w)) for w in

@@ -40,7 +40,21 @@ def geometric_mean(values):
 
 
 def mean_ipc(results):
-    """Harmonic-mean IPC over a list of SimResults (Figure 2 style)."""
+    """Harmonic-mean IPC over a list of SimResults (Figure 2 style).
+
+    A zero-cycle result (empty or degenerate trace) has IPC 0.0, which
+    the harmonic mean cannot absorb; fail with the offending trace names
+    instead of the generic positivity error.
+    """
+    results = list(results)
+    if not results:
+        raise ReproError("mean_ipc of no results")
+    degenerate = [r.trace_name for r in results if not r.cycles]
+    if degenerate:
+        raise ReproError(
+            "mean_ipc: zero-cycle (empty or degenerate) results for %s; "
+            "regenerate the traces at a larger scale or drop them from "
+            "the set" % (", ".join(sorted(set(degenerate))),))
     return harmonic_mean(r.ipc for r in results)
 
 
@@ -56,16 +70,21 @@ def issue_distribution(result):
     if result.issue_cycles is None:
         raise ReproError("result carries no schedule; simulate with "
                          "keep_schedules or use simulate_trace directly")
-    per_cycle = Counter(c for c in result.issue_cycles if c >= 0)
+    # Eliminated instructions never occupy an issue slot: their
+    # issue_cycles entries record the fold-away cycle (core/results.py),
+    # so counting them would let a cycle appear to issue more than
+    # issue_width instructions.
+    eliminated = result.eliminated_positions
+    per_cycle = Counter(
+        c for position, c in enumerate(result.issue_cycles)
+        if c >= 0 and position not in eliminated)
     total_cycles = max(1, result.cycles)
     distribution = Counter(per_cycle.values())
-    busy = sum(distribution.values())
-    out = {count: cycles / total_cycles
-           for count, cycles in sorted(distribution.items())}
-    idle = total_cycles - busy
+    idle = total_cycles - sum(distribution.values())
     if idle > 0:
-        out[0] = idle / total_cycles
-    return out
+        distribution[0] = idle
+    return {count: cycles / total_cycles
+            for count, cycles in sorted(distribution.items())}
 
 
 def mean_speedup(results, baselines):

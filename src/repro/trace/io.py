@@ -1,17 +1,23 @@
 """Binary save/load for dynamic traces.
 
-Format (version 1), all little-endian:
+Format (version 1), all little-endian, every block length-prefixed with
+a u32 byte count:
 
 - 8-byte magic ``b"REPROTR1"``;
-- a JSON header (length-prefixed, u32) with trace name and column counts;
-- the static table: fixed-width numeric columns as ``array`` dumps and the
-  signature strings as a length-prefixed UTF-8 blob;
-- the dynamic columns: ``sidx`` (u32), ``eff_addr`` (u64), ``taken``
-  (packed bytes).
+- a JSON header block with trace name, version, and column counts;
+- the static table: the numeric columns (``cls``, ``lat``, ``dest``,
+  ``src1``, ``src2``, ``datasrc``, ``leaves``, ``zeros``, ``pc``) as
+  signed 8-byte (``array("q")``) dumps, the boolean columns
+  (``writes_cc``, ``reads_cc``, ``producer_ok``, ``consumer_ok``) as one
+  byte per entry, and the signature strings as one newline-joined UTF-8
+  blob;
+- the dynamic columns, in order: ``sidx`` (signed 8-byte ``"q"``),
+  ``eff_addr`` (signed 8-byte ``"q"``), ``taken`` (one byte per entry),
+  ``mem_value`` (signed 8-byte ``"q"``).
 
 Traces regenerate quickly from workloads, so this exists mainly to let the
-benchmark harness cache expensive traces across processes and to make
-traces portable artifacts.
+benchmark harness and the experiment disk cache (``repro.cache``) share
+expensive traces across processes and to make traces portable artifacts.
 """
 
 import json
@@ -105,7 +111,10 @@ def load_trace(path):
         values = array("q")
         values.frombytes(_read_block(handle))
         trace.mem_value = list(values)
-        if not (len(trace.sidx) == len(trace.eff_addr) == len(trace.taken)
-                == len(trace.mem_value) == header["dyn_len"]):
-            raise TraceFormatError("dynamic column length mismatch")
+        for column in ("sidx", "eff_addr", "taken", "mem_value"):
+            length = len(getattr(trace, column))
+            if length != header["dyn_len"]:
+                raise TraceFormatError(
+                    "dynamic column %r length mismatch: %d != %d"
+                    % (column, length, header["dyn_len"]))
         return trace

@@ -9,6 +9,7 @@ experiments reuse the same workloads.
 
 from functools import lru_cache
 
+from ..errors import ReproError
 from .compress import CompressWorkload
 from .espresso import EspressoWorkload
 from .eqntott import EqntottWorkload
@@ -33,12 +34,12 @@ NON_POINTER_CHASING = tuple(w.name for w in SUITE if not w.pointer_chasing)
 
 
 def get_workload(name):
-    """Look up a workload by name; raises KeyError with suggestions."""
+    """Look up a workload by name; raises ReproError with suggestions."""
     try:
         return WORKLOADS[name]
     except KeyError:
-        raise KeyError("unknown workload %r (available: %s)"
-                       % (name, ", ".join(sorted(WORKLOADS))))
+        raise ReproError("unknown workload %r (available: %s)"
+                         % (name, ", ".join(sorted(WORKLOADS)))) from None
 
 
 @lru_cache(maxsize=64)

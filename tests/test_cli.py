@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.errors import ReproError
 
 
 def run_cli(capsys, *argv):
@@ -103,5 +104,34 @@ def test_unknown_command_rejected():
 
 
 def test_unknown_workload_raises(capsys):
-    with pytest.raises(KeyError):
+    with pytest.raises(ReproError, match="unknown workload 'gcc'"):
         main(["simulate", "gcc", "--scale", "0.03"])
+
+
+def test_workload_name_not_shadowed_by_stray_file(tmp_path, capsys,
+                                                  monkeypatch):
+    """A file in the CWD named like a workload must not be parsed as a
+    trace file: registered names always win in _load_target."""
+    (tmp_path / "compress").write_bytes(b"definitely not a trace")
+    monkeypatch.chdir(tmp_path)
+    code, output = run_cli(capsys, "stats", "compress", "--scale", "0.03")
+    assert code == 0
+    assert "trace statistics: compress" in output
+
+
+def test_sweep_parallel_and_cached_matches_serial(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    code, serial = run_cli(capsys, "sweep", "eqntott",
+                           "--scale", "0.03", "--widths", "4,8")
+    code, cold = run_cli(capsys, "sweep", "eqntott", "--scale", "0.03",
+                         "--widths", "4,8", "--jobs", "2",
+                         "--cache-dir", cache)
+    code, warm = run_cli(capsys, "sweep", "eqntott", "--scale", "0.03",
+                         "--widths", "4,8", "--jobs", "2",
+                         "--cache-dir", cache)
+    assert code == 0
+    table = lambda text: [line for line in text.splitlines()
+                          if "|" in line or "-+-" in line]
+    assert table(cold) == table(serial)
+    assert table(warm) == table(serial)
+    assert "10 from cache" in warm

@@ -67,6 +67,16 @@ def test_mean_ipc():
     assert mean_ipc(results) == pytest.approx(harmonic_mean([1.0, 2.0]))
 
 
+def test_mean_ipc_zero_cycle_result_names_the_trace():
+    """Regression: a degenerate (cycles == 0) result used to surface as
+    the generic 'harmonic mean needs positive values' error."""
+    results = [_FakeResult("a", 100), _FakeResult("empty", 0)]
+    with pytest.raises(ReproError, match="zero-cycle.*empty"):
+        mean_ipc(results)
+    with pytest.raises(ReproError, match="no results"):
+        mean_ipc([])
+
+
 def test_mean_speedup_matches_by_trace_name():
     baselines = [_FakeResult("a", 100), _FakeResult("b", 100)]
     results = [_FakeResult("b", 50), _FakeResult("a", 100)]

@@ -63,7 +63,8 @@ def test_suite_composition():
 
 
 def test_get_workload_unknown():
-    with pytest.raises(KeyError):
+    from repro.errors import ReproError
+    with pytest.raises(ReproError, match="unknown workload 'gcc'"):
         get_workload("gcc")
 
 
