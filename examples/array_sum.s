@@ -1,0 +1,30 @@
+! array_sum.s — minimal clean kernel for `repro lint` / `repro simulate`.
+!
+!   PYTHONPATH=src python -m repro lint examples/array_sum.s --bounds
+!
+! Sums an 8-word array with a cmp/bl loop and stores the result; every
+! register is initialized before use, the loop condition codes are set
+! immediately before each branch, and the single exit path ends in halt
+! — so the linter reports it clean.  The add/ld address chain also gives
+! the static collapse-bound pass a few opportunities to report.
+
+        .equ N, 8
+        .text
+main:
+        set     array, %o0          ! element cursor
+        mov     0, %o1              ! running sum
+        mov     0, %o2              ! index
+loop:
+        ld      [%o0], %o3
+        add     %o1, %o3, %o1
+        add     %o0, 4, %o0
+        inc     %o2
+        cmp     %o2, N
+        bl      loop
+        set     result, %o4
+        st      %o1, [%o4]
+        halt
+
+        .data
+array:  .word   3, 1, 4, 1, 5, 9, 2, 6
+result: .word   0

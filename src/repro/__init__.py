@@ -10,9 +10,12 @@ The package is layered bottom-up:
   prediction;
 - :mod:`repro.collapse` — dependence-collapsing rules and statistics;
 - :mod:`repro.core` — the windowed timing model (the paper's study);
-- :mod:`repro.workloads` — six self-validating SPECINT-analog kernels;
+- :mod:`repro.workloads` — self-validating SPECINT-analog kernels (the
+  paper's six plus extras);
 - :mod:`repro.metrics`, :mod:`repro.experiments` — aggregation and one
-  driver per paper table/figure.
+  driver per paper table/figure;
+- :mod:`repro.lint` — static dataflow analyzer for the assembly kernels
+  and the runtime scheduler sanitizer (see docs/LINT.md).
 
 Quick start::
 

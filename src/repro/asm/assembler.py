@@ -214,8 +214,14 @@ class Assembler:
             text = stmt.operands[0]
             if len(text) < 2 or text[0] != '"' or text[-1] != '"':
                 raise AssemblyError(".asciz needs a quoted string", line)
-            body = text[1:-1].encode("latin-1").decode("unicode_escape")
-            data.extend(body.encode("latin-1"))
+            try:
+                body = text[1:-1].encode("latin-1") \
+                    .decode("unicode_escape")
+                encoded = body.encode("latin-1")
+            except (UnicodeDecodeError, UnicodeEncodeError) as exc:
+                raise AssemblyError(
+                    ".asciz string %s: %s" % (text, exc), line) from None
+            data.extend(encoded)
             data.append(0)
         else:
             raise AssemblyError("unknown directive %r" % (m,), line)
@@ -246,6 +252,10 @@ class Assembler:
             if m == ".equ":
                 if len(stmt.operands) != 2 or not is_name(stmt.operands[0]):
                     raise AssemblyError(".equ needs name, expr", stmt.line)
+                if stmt.operands[0] in self.symbols:
+                    raise AssemblyError(
+                        "duplicate symbol %r" % (stmt.operands[0],),
+                        stmt.line)
                 # .equ values may reference earlier symbols only.
                 self.symbols[stmt.operands[0]] = self.eval_expr(
                     stmt.operands[1], stmt.line)

@@ -23,6 +23,16 @@ report
     Regenerate EXPERIMENTS.md (all paper exhibits).  Supports the same
     ``--jobs``/``--cache-dir`` flags plus ``--profile`` for a per-cell
     timing and cache-hit table (see docs/PERFORMANCE.md).
+lint TARGET...
+    Static dataflow analysis (docs/LINT.md) of workload kernels or
+    ``.s`` files: uninitialized reads, dead register writes, unreachable
+    code, missing condition-code setters, fallthrough past ``.text``.
+    Exits non-zero when any finding is reported.  ``--cross-check``
+    additionally simulates each workload target and verifies the static
+    collapse upper bound against the dynamic collapse count.
+
+``simulate`` and ``report`` accept ``--sanitize`` to attach the
+scheduler invariant checker to every simulation they perform.
 """
 
 import argparse
@@ -54,15 +64,20 @@ def _load_target(target, scale):
 
 
 def cmd_list(args):
+    suite_names = {workload.name for workload in SUITE}
     rows = []
-    for workload in SUITE:
+    for workload in list(SUITE) + [WORKLOADS[name]
+                                   for name in sorted(WORKLOADS)
+                                   if name not in suite_names]:
         rows.append([workload.name,
+                     "suite" if workload.name in suite_names else "extra",
                      "yes" if workload.pointer_chasing else "no",
                      workload.nominal_length,
                      workload.description])
     print(render_table(
-        ["name", "pointer chasing", "~dyn length @1.0", "description"],
-        rows, title="workload suite (paper Table 1 selection)"))
+        ["name", "set", "pointer chasing", "~dyn length @1.0",
+         "description"],
+        rows, title="registered workloads (suite = paper Table 1)"))
     return 0
 
 
@@ -122,8 +137,10 @@ def _build_config(args):
 def cmd_simulate(args):
     trace = _load_target(args.workload, args.scale)
     config = _build_config(args)
-    result = simulate_trace(trace, config)
+    result = simulate_trace(trace, config, sanitize=args.sanitize)
     print("%s on %s" % (config.name, trace.name))
+    if args.sanitize:
+        print("  sanitize     : ok (model invariants held)")
     print("  instructions : %d" % result.instructions)
     print("  cycles       : %d" % result.cycles)
     print("  IPC          : %.3f" % result.ipc)
@@ -183,8 +200,63 @@ def cmd_report(args):
         argv += ["--cache-dir", args.cache_dir]
     if args.profile:
         argv.append("--profile")
+    if args.sanitize:
+        argv.append("--sanitize")
     report_main(argv)
     return 0
+
+
+def _lint_cross_check(name, report, scale):
+    """Simulate the workload and verify the static collapse bound."""
+    from .workloads import cached_trace
+    trace = cached_trace(name, scale)
+    config = paper_config("C", 8)
+    result = simulate_trace(trace, config, sanitize=True)
+    bound = report.collapse_bound.bound_for_trace(trace)
+    ok = bound >= result.collapse.events
+    print("  cross-check %s: static bound %d %s dynamic events %d "
+          "(C/8, sanitized)"
+          % (name, bound, ">=" if ok else "<", result.collapse.events))
+    return ok
+
+
+def cmd_lint(args):
+    from .lint import lint_path, lint_workload
+
+    targets = list(args.targets)
+    if args.all:
+        targets += [name for name in sorted(WORKLOADS)
+                    if name not in targets]
+    if not targets:
+        print("repro lint: no targets (give workload names, .s files, "
+              "or --all)", file=sys.stderr)
+        return 2
+    failed = False
+    for target in targets:
+        if target in WORKLOADS:
+            report = lint_workload(target, scale=args.scale)
+            name = target
+        else:
+            report = lint_path(target)
+            name = None
+        print(report.render())
+        if report.findings:
+            failed = True
+        if args.bounds and report.collapse_bound is not None:
+            rows = report.collapse_bound.summary_rows()
+            if rows:
+                print(render_table(
+                    ["index", "line", "signature", "arcs", "bound"],
+                    [list(row) for row in rows],
+                    title="static collapse opportunities: %s"
+                          % (report.target,)))
+            print("  static per-execution bound: %d collapse events"
+                  % (report.collapse_bound.static_bound,))
+        if args.cross_check and name is not None \
+                and report.collapse_bound is not None:
+            if not _lint_cross_check(name, report, args.scale):
+                failed = True
+    return 1 if failed else 0
 
 
 def build_parser():
@@ -224,6 +296,9 @@ def build_parser():
                        help="node-elimination extension (Figure 1.f)")
     p_sim.add_argument("--vspec", action="store_true",
                        help="load-value speculation extension (Fig 1.d)")
+    p_sim.add_argument("--sanitize", action="store_true",
+                       help="re-check scheduler invariants during the "
+                            "run (repro.lint.sanitize)")
 
     p_sweep = sub.add_parser("sweep", help="A-E x width IPC table")
     p_sweep.add_argument("workload")
@@ -243,6 +318,25 @@ def build_parser():
                           help="persistent trace/result cache directory")
     p_report.add_argument("--profile", action="store_true",
                           help="append the per-cell timing/cache table")
+    p_report.add_argument("--sanitize", action="store_true",
+                          help="re-check scheduler invariants on every "
+                               "simulation")
+
+    p_lint = sub.add_parser(
+        "lint", help="static dataflow analysis of kernels / .s files")
+    p_lint.add_argument("targets", nargs="*",
+                        help="workload names or assembly source files")
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint every registered workload")
+    p_lint.add_argument("--scale", type=float, default=0.05,
+                        help="scale for workload kernel generation")
+    p_lint.add_argument("--bounds", action="store_true",
+                        help="print the static collapse-opportunity "
+                             "table")
+    p_lint.add_argument("--cross-check", dest="cross_check",
+                        action="store_true",
+                        help="simulate workload targets and verify the "
+                             "static collapse bound >= dynamic events")
 
     return parser
 
@@ -255,6 +349,7 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "report": cmd_report,
+    "lint": cmd_lint,
 }
 
 

@@ -49,6 +49,18 @@ class Group:
 
         Returns the category string (``3-1``/``4-1``/``0-op``) when the
         merge is legal and performed, or ``None`` when it is not.
+
+        The ``0-op`` category credits *enabled-by-zero-detection*
+        merges, not merely merges whose expression contains zeros: a
+        merge is 0-op exactly when it is legal under
+        ``rules.zero_detection`` but would have been rejected without it
+        — either ``raw_leaves`` (zeros included) exceeds
+        ``rules.max_leaves`` while the zero-free ``leaves`` fits, or the
+        member count needs the one-extra-instruction allowance
+        (``size == max_group + 1``, again justified only by zeros).  A
+        merge whose raw count already fits is credited ``3-1``/``4-1``
+        by its zero-free leaf count even when zeros are present, because
+        the same collapse happens on a device without zero detection.
         """
         size = self.size + producer.size
         leaves, raw = self.merged_counts(producer, uses)

@@ -64,10 +64,14 @@ class WindowScheduler:
     load_prediction: LoadPredictionResult or None
         Precomputed two-delta outcomes; required when
         ``config.load_spec == "real"``.
+    sanitizer: SchedulerSanitizer or None
+        Optional invariant checker (see ``repro.lint.sanitize``); it is
+        notified of window entry, every dependence relaxation, and every
+        issue, and re-checks the schedule from independent bookkeeping.
     """
 
     def __init__(self, trace, config, branch_result, load_prediction=None,
-                 value_prediction=None):
+                 value_prediction=None, sanitizer=None):
         if config.load_spec == LOAD_SPEC_REAL and load_prediction is None:
             raise ValueError("real load-speculation needs predictor output")
         if config.value_spec and value_prediction is None:
@@ -78,6 +82,7 @@ class WindowScheduler:
         self.branch_result = branch_result
         self.load_prediction = load_prediction
         self.value_prediction = value_prediction
+        self.sanitizer = sanitizer
 
     # ------------------------------------------------------------------
 
@@ -133,6 +138,7 @@ class WindowScheduler:
         window_limit = config.window_size
         fetch_break = config.fetch_taken_break
         taken_col = trace.taken
+        san = self.sanitizer
 
         # Per-position simulation state.
         issue_cycle = [-1] * n
@@ -165,6 +171,8 @@ class WindowScheduler:
         # --------------------------------------------------------------
         def enter(i, now):
             nonlocal block_fetch, block_counter, issued, window_count
+            if san is not None:
+                san.on_enter(i, now)
             s = sidx[i]
             cls = cls_col[s]
             is_mem = cls == LD or cls == ST
@@ -215,6 +223,8 @@ class WindowScheduler:
                     # consumer uses the predicted load value and does not
                     # wait for the load at all.  The load itself still
                     # executes to verify the prediction.
+                    if san is not None:
+                        san.on_value_bypass(i, p, kind)
                     continue
                 if issue_cycle[p] >= 0:
                     comp = completion[p]
@@ -240,6 +250,8 @@ class WindowScheduler:
                     if legal:
                         category = group.try_merge(groups[p], uses, rules)
                         if category is not None:
+                            if san is not None:
+                                san.on_collapse(i, p, kind, group)
                             collapse_stats.record_event(
                                 category, distance, tuple(group.sigs),
                                 tuple(group.positions))
@@ -269,6 +281,8 @@ class WindowScheduler:
                     pending = [arc for arc in pending
                                if arc[1] != _KIND_ADDR]
                     b_addr = 0
+                    if san is not None:
+                        san.on_load_spec(i)
                 elif load_spec == LOAD_SPEC_REAL:
                     if lp_attempted.get(i, False):
                         if lp_correct.get(i, False):
@@ -276,6 +290,8 @@ class WindowScheduler:
                             pending = [arc for arc in pending
                                        if arc[1] != _KIND_ADDR]
                             b_addr = 0
+                            if san is not None:
+                                san.on_load_spec(i)
                         else:
                             load_stats.record(LOAD_PRED_INCORRECT)
                     else:
@@ -295,6 +311,8 @@ class WindowScheduler:
                             or consumers.get(p):
                         continue
                     eliminated.add(p)
+                    if san is not None:
+                        san.on_eliminate(p, now)
                     collapse_stats.eliminated += 1
                     issue_cycle[p] = now
                     completion[p] = now
@@ -409,6 +427,8 @@ class WindowScheduler:
                     continue
                 issue_cycle[pos] = cycle
                 completion[pos] = cycle + lat_col[sidx[pos]]
+                if san is not None:
+                    san.on_issue(pos, cycle)
                 issued += 1
                 issued_now += 1
                 window_count -= 1
@@ -439,6 +459,8 @@ class WindowScheduler:
                 cycle += 1
 
         collapse_stats.trace_length = n
+        if san is not None:
+            san.finish()
         return SimResult(
             config=config,
             trace_name=trace.name,

@@ -31,9 +31,23 @@ def value_outcomes(trace, table=None):
     return run_value_predictor(trace, table)
 
 
+def make_sanitizer(trace, config, branch_result=None):
+    """Build a :class:`~repro.lint.sanitize.SchedulerSanitizer` for one
+    (trace, config, branch outcome) triple."""
+    from ..lint.sanitize import SchedulerSanitizer
+    mispredicted = branch_result.mispredicted if branch_result is not None \
+        else {}
+    return SchedulerSanitizer(trace, config, mispredicted)
+
+
 def simulate_trace(trace, config, branch_result=None, load_prediction=None,
-                   value_prediction=None):
-    """Simulate ``trace`` on ``config`` and return a ``SimResult``."""
+                   value_prediction=None, sanitize=False):
+    """Simulate ``trace`` on ``config`` and return a ``SimResult``.
+
+    With ``sanitize=True`` the run carries a scheduler sanitizer that
+    re-checks the model invariants and raises
+    :class:`~repro.lint.sanitize.SanitizeError` on any violation.
+    """
     if branch_result is None:
         branch_result = branch_outcomes(trace,
                                         perfect=config.perfect_branches)
@@ -41,12 +55,15 @@ def simulate_trace(trace, config, branch_result=None, load_prediction=None,
         load_prediction = load_outcomes(trace)
     if value_prediction is None and config.value_spec:
         value_prediction = value_outcomes(trace)
+    sanitizer = make_sanitizer(trace, config, branch_result) if sanitize \
+        else None
     scheduler = WindowScheduler(trace, config, branch_result,
-                                load_prediction, value_prediction)
+                                load_prediction, value_prediction,
+                                sanitizer=sanitizer)
     return scheduler.run()
 
 
-def simulate_many(trace, configs):
+def simulate_many(trace, configs, sanitize=False):
     """Simulate ``trace`` on several configurations, sharing predictor
     passes.  Returns a list of ``SimResult`` in the order of ``configs``.
     """
@@ -71,5 +88,6 @@ def simulate_many(trace, configs):
             prediction = load_prediction
         results.append(simulate_trace(trace, config,
                                       branch_result=branch_result,
-                                      load_prediction=prediction))
+                                      load_prediction=prediction,
+                                      sanitize=sanitize))
     return results

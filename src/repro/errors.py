@@ -19,6 +19,9 @@ class AssemblyError(ReproError):
 
     def __init__(self, message, line=None):
         self.line = line
+        #: the message without the ``line N:`` prefix, for tools (the
+        #: linter) that place the location themselves
+        self.bare_message = message
         if line is not None:
             message = "line %d: %s" % (line, message)
         super().__init__(message)

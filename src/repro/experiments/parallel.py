@@ -53,7 +53,8 @@ def _run_cell(task):
 
     Returns ``(index, payload, seconds, cache_hit, cache_counters)``.
     """
-    index, name, letter, width, scale, cache_dir, keep_schedules = task
+    (index, name, letter, width, scale, cache_dir, keep_schedules,
+     sanitize) = task
     started = time.perf_counter()
     cache = DiskCache(cache_dir) if cache_dir is not None else None
     config = paper_config(letter, width)
@@ -64,7 +65,12 @@ def _run_cell(task):
                     time.perf_counter() - started, True, cache.stats())
     trace, branch, loads = _cell_inputs(name, scale, cache_dir)
     prediction = loads if config.load_spec == "real" else None
-    result = WindowScheduler(trace, config, branch, prediction).run()
+    sanitizer = None
+    if sanitize:
+        from ..core.simulator import make_sanitizer
+        sanitizer = make_sanitizer(trace, config, branch)
+    result = WindowScheduler(trace, config, branch, prediction,
+                             sanitizer=sanitizer).run()
     if not keep_schedules:
         result.issue_cycles = None
     if cache is not None:
@@ -137,7 +143,7 @@ def _progress(stream, done, total, cell, cache_hit):
 
 
 def run_cells(cells, scale, jobs=1, cache_dir=None, keep_schedules=False,
-              progress=None):
+              progress=None, sanitize=False):
     """Run every ``(name, letter, width)`` cell; return results + profile.
 
     Results come back in the order of ``cells`` regardless of ``jobs``,
@@ -156,7 +162,7 @@ def run_cells(cells, scale, jobs=1, cache_dir=None, keep_schedules=False,
     cells = [tuple(cell) for cell in cells]
     cache_dir = str(cache_dir) if cache_dir is not None else None
     tasks = [(index, name, letter, width, scale, cache_dir,
-              keep_schedules)
+              keep_schedules, sanitize)
              for index, (name, letter, width) in enumerate(cells)]
     profile = SweepProfile()
     started = time.perf_counter()

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.experiments.report [scale] [output] \
-        [--jobs N] [--cache-dir PATH] [--profile]
+        [--jobs N] [--cache-dir PATH] [--profile] [--sanitize]
 
 ``scale`` defaults to 1.0 (a few minutes of pure-Python simulation);
 ``output`` defaults to ``EXPERIMENTS.md`` in the current directory.
@@ -138,15 +138,18 @@ def shape_checks(runner):
 
 def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
              include_extensions=True, jobs=1, cache_dir=None,
-             profile=False, progress=None):
+             profile=False, progress=None, sanitize=False):
     """Build the full EXPERIMENTS.md text.
 
     ``jobs``/``cache_dir`` parallelise and persist the simulation grid
     (exhibit content is identical regardless); ``profile`` appends the
-    sweep-profile table.
+    sweep-profile table.  ``sanitize`` attaches the scheduler sanitizer
+    to every simulation: the report only completes if every run holds
+    the model invariants (violations raise ``SanitizeError``).
     """
     runner = ExperimentRunner(scale=scale, widths=widths, jobs=jobs,
-                              cache_dir=cache_dir, progress=progress)
+                              cache_dir=cache_dir, progress=progress,
+                              sanitize=sanitize)
     started = time.time()
     # Resolve the full A-E x width grid up front so exhibit assembly is
     # pure memo lookups (and actually parallel when jobs > 1).
@@ -191,6 +194,11 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
         parts.append("")
     if include_extensions:
         parts.extend(_extension_sections(runner))
+    if sanitize:
+        parts.append("_Sanitized run: %d simulations re-checked against "
+                     "the model invariants, zero violations (see "
+                     "docs/LINT.md)._" % (runner.sanitized_runs,))
+        parts.append("")
     if profile:
         parts.append("## Sweep profile")
         parts.append("")
@@ -247,10 +255,14 @@ def main(argv=None):
                         help="persistent trace/result cache directory")
     parser.add_argument("--profile", action="store_true",
                         help="append the per-cell timing/cache table")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="re-check scheduler invariants on every "
+                             "simulation (repro.lint.sanitize)")
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
     text = generate(scale=args.scale, jobs=args.jobs,
                     cache_dir=args.cache_dir, profile=args.profile,
-                    progress=True if args.jobs > 1 else None)
+                    progress=True if args.jobs > 1 else None,
+                    sanitize=args.sanitize)
     with open(args.output, "w") as handle:
         handle.write(text)
     print("wrote %s (scale %.2f)" % (args.output, args.scale))

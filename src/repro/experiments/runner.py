@@ -49,11 +49,15 @@ class ExperimentRunner:
         Directory for the persistent disk cache; ``None`` disables it.
     progress:
         Passed through to the parallel engine (``True`` = stderr line).
+    sanitize:
+        Attach a scheduler sanitizer (``repro.lint.sanitize``) to every
+        simulation this runner performs; any invariant violation raises.
+        Cache hits are results of *previous* runs and are not re-checked.
     """
 
     def __init__(self, scale=1.0, widths=PAPER_ISSUE_WIDTHS, names=None,
                  keep_schedules=False, jobs=1, cache_dir=None,
-                 progress=None):
+                 progress=None, sanitize=False):
         self.scale = scale
         self.widths = tuple(widths)
         self.names = tuple(names) if names is not None \
@@ -67,6 +71,9 @@ class ExperimentRunner:
         self.cache = DiskCache(cache_dir) if cache_dir is not None \
             else None
         self.progress = progress
+        self.sanitize = sanitize
+        #: simulations that ran (and passed) under the sanitizer
+        self.sanitized_runs = 0
         #: accumulated per-cell wall times and cache counters for every
         #: cell resolved through this runner (the ``--profile`` source)
         self.profile = SweepProfile()
@@ -106,6 +113,13 @@ class ExperimentRunner:
             self._loads[name] = load_outcomes(self.trace(name))
         return self._loads[name]
 
+    def _make_sanitizer(self, name, config):
+        if not self.sanitize:
+            return None
+        from ..core.simulator import make_sanitizer
+        return make_sanitizer(self.trace(name), config,
+                              self.branch(name))
+
     def result(self, name, letter, width):
         """Simulation result for one cell, memoised (and disk-cached)."""
         key = (name, letter, width)
@@ -119,9 +133,13 @@ class ExperimentRunner:
             if result is None:
                 prediction = (self.load_prediction(name)
                               if config.load_spec == "real" else None)
-                scheduler = WindowScheduler(self.trace(name), config,
-                                            self.branch(name), prediction)
+                scheduler = WindowScheduler(
+                    self.trace(name), config, self.branch(name),
+                    prediction,
+                    sanitizer=self._make_sanitizer(name, config))
                 result = scheduler.run()
+                if self.sanitize:
+                    self.sanitized_runs += 1
                 if not self.keep_schedules:
                     result.issue_cycles = None
                 if self.cache is not None:
@@ -160,10 +178,12 @@ class ExperimentRunner:
             values = value_prediction
             if callable(values):
                 values = values()
-            scheduler = WindowScheduler(self.trace(name), config,
-                                        self.branch(name), prediction,
-                                        values)
+            scheduler = WindowScheduler(
+                self.trace(name), config, self.branch(name), prediction,
+                values, sanitizer=self._make_sanitizer(name, config))
             result = scheduler.run()
+            if self.sanitize:
+                self.sanitized_runs += 1
             if not self.keep_schedules:
                 result.issue_cycles = None
             if self.cache is not None:
@@ -205,7 +225,10 @@ class ExperimentRunner:
             return len(cells)
         results, profile = run_cells(
             cells, self.scale, jobs=self.jobs, cache_dir=self.cache_dir,
-            keep_schedules=self.keep_schedules, progress=self.progress)
+            keep_schedules=self.keep_schedules, progress=self.progress,
+            sanitize=self.sanitize)
+        if self.sanitize:
+            self.sanitized_runs += profile.misses
         for cell, result in zip(cells, results):
             self._results[cell] = result
         self.profile.cells.extend(profile.cells)

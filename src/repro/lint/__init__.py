@@ -1,0 +1,46 @@
+"""Static dataflow analysis and runtime invariant checking.
+
+Two halves share this package:
+
+- the **static analyzer** (:func:`lint_program` and friends) builds a
+  CFG over assembled programs and runs dataflow checks — uninitialized
+  register reads, dead register writes, unreachable code, fallthrough
+  past ``.text``, condition-code def-use — plus a static
+  collapsing-opportunity pass (:class:`StaticCollapseBound`) whose
+  per-program upper bound is cross-checkable against the simulator's
+  dynamic :class:`~repro.collapse.stats.CollapseStats`;
+- the **runtime sanitizer** (:class:`SchedulerSanitizer`, CLI flag
+  ``--sanitize``) instruments the window scheduler to assert the model
+  invariants every cycle and raises :class:`SanitizeError` on any
+  violation.
+
+See ``docs/LINT.md`` for the check catalogue and rationale.
+"""
+
+from .analyzer import (
+    LINT_CHECKS,
+    lint_path,
+    lint_program,
+    lint_source,
+    lint_workload,
+)
+from .cfg import ControlFlowGraph
+from .collapse_bound import StaticCollapseBound
+from .findings import SEV_ERROR, SEV_WARNING, Finding, LintReport
+from .sanitize import SanitizeError, SchedulerSanitizer
+
+__all__ = [
+    "ControlFlowGraph",
+    "Finding",
+    "LintReport",
+    "LINT_CHECKS",
+    "SanitizeError",
+    "SchedulerSanitizer",
+    "SEV_ERROR",
+    "SEV_WARNING",
+    "StaticCollapseBound",
+    "lint_path",
+    "lint_program",
+    "lint_source",
+    "lint_workload",
+]

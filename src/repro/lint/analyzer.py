@@ -1,0 +1,74 @@
+"""Lint driver: run every check over a program, source text, file or
+registered workload and collect a :class:`LintReport`.
+
+An assembly failure is itself a located finding (check ``assemble``)
+rather than an exception, so ``repro lint`` reports broken files in the
+same ``file:line`` format as semantic findings.
+"""
+
+from ..asm.assembler import assemble
+from ..errors import AssemblyError
+from .cfg import ControlFlowGraph
+from .collapse_bound import StaticCollapseBound
+from .dataflow import (
+    check_assignment,
+    check_dead_results,
+    check_off_end,
+    check_unreachable,
+)
+from .findings import Finding, LintReport
+
+#: check name -> callable(program, cfg, file) for the dataflow passes
+LINT_CHECKS = {
+    "uninit-read": check_assignment,       # also emits cc-missing
+    "dead-store": check_dead_results,
+    "unreachable": check_unreachable,
+    "fallthrough-end": check_off_end,
+}
+
+
+def lint_program(program, target="<program>", rules=None):
+    """Run all static checks over an assembled program."""
+    cfg = ControlFlowGraph(program)
+    findings = []
+    for check in (check_unreachable, check_off_end, check_assignment,
+                  check_dead_results):
+        findings.extend(check(program, cfg, file=target))
+    report = LintReport(target, findings)
+    report.instructions = cfg.n
+    report.blocks = len(cfg.leaders)
+    report.collapse_bound = StaticCollapseBound(program, rules=rules,
+                                               cfg=cfg)
+    return report
+
+
+def lint_source(text, target="<source>", rules=None):
+    """Assemble source text and lint it; assembly errors become
+    findings."""
+    try:
+        program = assemble(text)
+    except AssemblyError as exc:
+        report = LintReport(target, [Finding(
+            "assemble", exc.bare_message, file=target, line=exc.line)])
+        return report
+    return lint_program(program, target=target, rules=rules)
+
+
+def lint_path(path, rules=None):
+    """Lint one ``.s`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return lint_source(text, target=str(path), rules=rules)
+
+
+def lint_workload(name, scale=0.05, rules=None):
+    """Lint the assembly a registered workload generates at ``scale``."""
+    from ..workloads.registry import get_workload
+    workload = get_workload(name)
+    program = workload.build(scale=scale)
+    return lint_program(program, target="<workload:%s>" % (name,),
+                        rules=rules)
+
+
+__all__ = ["lint_program", "lint_source", "lint_path", "lint_workload",
+           "LINT_CHECKS"]

@@ -1,0 +1,333 @@
+"""Runtime scheduler sanitizer (``--sanitize``).
+
+:class:`SchedulerSanitizer` rides along inside
+:class:`~repro.core.scheduler.WindowScheduler` and re-checks, from its
+own independent bookkeeping, the model invariants the paper's schedule
+semantics promise (the always-on version of ``test_scheduler_verify``):
+
+- at most ``issue_width`` instructions issue per cycle;
+- window occupancy never exceeds ``window_size``, and fetch never
+  proceeds past an unissued mispredicted branch;
+- no instruction issues before the completion times of its producers —
+  where "producers" are re-derived here from the trace's architectural
+  state in program order, *minus* the relaxations the scheduler reports
+  (collapse merges, correct load-address speculation, value-speculation
+  bypasses, node elimination);
+- every reported collapse merge satisfies the
+  :class:`~repro.collapse.rules.CollapseRules` device limits
+  (``max_group`` members, ``max_leaves`` operands, the one-extra-member
+  zero-detection exception);
+- instructions following a mispredicted branch issue strictly after it;
+- every position enters and issues exactly once and the window drains.
+
+The sanitizer maintains its own register/memory last-writer map and per
+-position requirement sets, so a scheduler bug in arc construction or
+readiness tracking surfaces as a violation rather than silently skewing
+IPC.  Violations accumulate and :meth:`finish` raises
+:class:`SanitizeError`; a completed sanitized run therefore implies
+zero violations.
+"""
+
+from ..errors import ReproError
+from ..trace.records import BRC, CTI, LD, ST
+
+_KIND_ADDR = 0
+_KIND_OTHER = 1
+
+
+class SanitizeError(ReproError):
+    """Raised when a sanitized run violates a model invariant."""
+
+
+class SchedulerSanitizer:
+    """Invariant checker attached to one scheduler run."""
+
+    #: cap on recorded violation messages (the count keeps rising)
+    MAX_RECORDED = 20
+
+    def __init__(self, trace, config, mispredicted=None):
+        self.trace = trace
+        self.config = config
+        self.mispredicted = mispredicted if mispredicted is not None \
+            else {}
+        self.violations = []
+        self.violation_count = 0
+        #: counters reported by :meth:`summary`
+        self.checked_instructions = 0
+        self.checked_merges = 0
+        self.relaxed_arcs = 0
+
+        static = trace.static
+        self._sidx = trace.sidx
+        self._eff_addr = trace.eff_addr
+        self._cls = static.cls
+        self._lat = static.lat
+        self._dest = static.dest
+        self._src1 = static.src1
+        self._src2 = static.src2
+        self._datasrc = static.datasrc
+        self._writes_cc = static.writes_cc
+        self._reads_cc = static.reads_cc
+
+        n = len(trace)
+        self._n = n
+        self._reg_writer = [-1] * 33
+        self._mem_writer = {}
+        self._require = {}         # pos -> set of (producer, kind)
+        self._consumers = {}       # producer -> set of consumers
+        self._issue_cycle = [None] * n
+        self._completion = [None] * n
+        self._entered = [False] * n
+        self._eliminated = set()
+        self._occupancy = 0
+        self._fence_pos = None     # latest mispredicted branch entered
+        self._fence_issue = None
+        self._cycle = -1
+        self._issued_this_cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def _violate(self, message):
+        self.violation_count += 1
+        if len(self.violations) < self.MAX_RECORDED:
+            self.violations.append(message)
+
+    def _arcs(self, i):
+        """Model-defined producer arcs of position ``i``, re-derived
+        from the sanitizer's own architectural replay."""
+        s = self._sidx[i]
+        cls = self._cls[s]
+        expr_kind = _KIND_ADDR if cls == LD or cls == ST else _KIND_OTHER
+        arcs = set()
+        reg_writer = self._reg_writer
+        src1 = self._src1[s]
+        src2 = self._src2[s]
+        if src1 >= 0 and reg_writer[src1] >= 0:
+            arcs.add((reg_writer[src1], expr_kind))
+        if src2 >= 0 and src2 != src1 and reg_writer[src2] >= 0:
+            arcs.add((reg_writer[src2], expr_kind))
+        if cls == ST:
+            data_reg = self._datasrc[s]
+            if data_reg >= 0 and reg_writer[data_reg] >= 0:
+                arcs.add((reg_writer[data_reg], _KIND_OTHER))
+        if self._reads_cc[s] and reg_writer[32] >= 0:
+            arcs.add((reg_writer[32], _KIND_OTHER))
+        if cls == LD:
+            p = self._mem_writer.get(self._eff_addr[i] >> 2, -1)
+            if p >= 0:
+                arcs.add((p, _KIND_OTHER))
+        return arcs
+
+    # -- hooks called by the scheduler ---------------------------------
+
+    def on_enter(self, i, cycle):
+        """Position ``i`` enters the window at ``cycle``."""
+        if self._entered[i]:
+            self._violate("position %d entered the window twice" % (i,))
+            return
+        self._entered[i] = True
+        self.checked_instructions += 1
+        if self._fence_pos is not None and self._fence_issue is None \
+                and i > self._fence_pos:
+            self._violate(
+                "position %d fetched past unissued mispredicted branch "
+                "at position %d" % (i, self._fence_pos))
+        self._occupancy += 1
+        if self._occupancy > self.config.window_size:
+            self._violate(
+                "window occupancy %d exceeds size %d at position %d"
+                % (self._occupancy, self.config.window_size, i))
+        require = self._arcs(i)
+        self._require[i] = require
+        for p, _ in require:
+            self._consumers.setdefault(p, set()).add(i)
+        # Architectural update, program order (mirrors the emulator).
+        s = self._sidx[i]
+        dest = self._dest[s]
+        if dest >= 0:
+            self._reg_writer[dest] = i
+        if self._writes_cc[s]:
+            self._reg_writer[32] = i
+        cls = self._cls[s]
+        if cls == ST:
+            self._mem_writer[self._eff_addr[i] >> 2] = i
+        if (cls == BRC or cls == CTI) and i in self.mispredicted:
+            self._fence_pos = i
+            self._fence_issue = None
+
+    def on_collapse(self, i, p, kind, group):
+        """The scheduler merged producer ``p`` into consumer ``i``'s
+        dependence expression; ``i`` inherits ``p``'s own producers."""
+        self.checked_merges += 1
+        rules = self.config.collapse_rules
+        arc = (p, kind)
+        require = self._require.get(i)
+        if require is None or arc not in require:
+            self._violate(
+                "collapse of %d into %d relaxes a dependence arc the "
+                "model does not define" % (p, i))
+        else:
+            require.discard(arc)
+            self._consumers.get(p, set()).discard(i)
+            for q, _ in self._require.get(p, ()):
+                require.add((q, kind))
+                self._consumers.setdefault(q, set()).add(i)
+            self.relaxed_arcs += 1
+        if rules is None:
+            self._violate("collapse event with collapsing disabled")
+            return
+        size = group.size
+        limit = rules.max_group
+        if rules.zero_detection:
+            if size > limit + 1:
+                self._violate(
+                    "merged group at %d has %d members (max %d, +1 with "
+                    "zero detection)" % (i, size, limit))
+            elif size > limit and not (group.raw_leaves > group.leaves
+                                       and group.leaves
+                                       <= rules.max_leaves):
+                self._violate(
+                    "oversized group at %d not justified by zero "
+                    "detection" % (i,))
+            if group.leaves > rules.max_leaves:
+                self._violate(
+                    "merged group at %d has %d operands (max_leaves %d)"
+                    % (i, group.leaves, rules.max_leaves))
+        else:
+            if size > limit:
+                self._violate(
+                    "merged group at %d has %d members (max %d)"
+                    % (i, size, limit))
+            if group.raw_leaves > rules.max_leaves:
+                self._violate(
+                    "merged group at %d has %d raw operands "
+                    "(max_leaves %d, no zero detection)"
+                    % (i, group.raw_leaves, rules.max_leaves))
+
+    def on_load_spec(self, i):
+        """Load ``i`` uses a (correct or ideal) predicted address: its
+        address-generation dependences are dropped."""
+        require = self._require.get(i)
+        if require is None:
+            self._violate("load speculation on unentered position %d"
+                          % (i,))
+            return
+        dropped = {arc for arc in require if arc[1] == _KIND_ADDR}
+        for arc in dropped:
+            require.discard(arc)
+            self._consumers.get(arc[0], set()).discard(i)
+        self.relaxed_arcs += len(dropped)
+
+    def on_value_bypass(self, i, p, kind):
+        """Consumer ``i`` uses the correctly predicted value of load
+        ``p`` and does not wait for it."""
+        require = self._require.get(i)
+        if require is not None:
+            require.discard((p, kind))
+            self._consumers.get(p, set()).discard(i)
+        self.relaxed_arcs += 1
+
+    def on_eliminate(self, p, cycle):
+        """Producer ``p`` is removed without executing (its sole reader
+        absorbed its expression)."""
+        if self._issue_cycle[p] is not None:
+            self._violate("position %d eliminated after issuing" % (p,))
+        waiting = {c for c in self._consumers.get(p, ())
+                   if self._issue_cycle[c] is None
+                   and any(arc[0] == p
+                           for arc in self._require.get(c, ()))}
+        if waiting:
+            self._violate(
+                "position %d eliminated while positions %s still "
+                "depend on it"
+                % (p, sorted(waiting)[:4]))
+        self._eliminated.add(p)
+        self._issue_cycle[p] = cycle
+        self._completion[p] = cycle
+        self._occupancy -= 1
+        # An eliminated position can no longer be merged into, so its
+        # requirement set is dead (mirrors on_issue).
+        self._require.pop(p, None)
+        self._consumers.pop(p, None)
+
+    def on_issue(self, i, cycle):
+        """Position ``i`` issues at ``cycle``."""
+        if not self._entered[i]:
+            self._violate("position %d issued without entering the "
+                          "window" % (i,))
+        if self._issue_cycle[i] is not None:
+            self._violate("position %d issued twice" % (i,))
+        if cycle < self._cycle:
+            self._violate("issue cycle moved backwards (%d after %d)"
+                          % (cycle, self._cycle))
+        if cycle != self._cycle:
+            self._cycle = cycle
+            self._issued_this_cycle = 0
+        self._issued_this_cycle += 1
+        if self._issued_this_cycle > self.config.issue_width:
+            self._violate(
+                "cycle %d issued %d instructions (width %d)"
+                % (cycle, self._issued_this_cycle,
+                   self.config.issue_width))
+        for p, _ in self._require.get(i, ()):
+            comp = self._completion[p]
+            if self._issue_cycle[p] is None or comp is None:
+                self._violate(
+                    "position %d issued before its producer %d"
+                    % (i, p))
+            elif comp > cycle:
+                self._violate(
+                    "position %d issued at cycle %d before producer "
+                    "%d completes at %d" % (i, cycle, p, comp))
+        if self._fence_pos is not None and i > self._fence_pos:
+            if self._fence_issue is None:
+                self._violate(
+                    "position %d issued while mispredicted branch %d "
+                    "is unissued" % (i, self._fence_pos))
+            elif cycle <= self._fence_issue:
+                self._violate(
+                    "position %d issued at cycle %d, not after "
+                    "mispredicted branch %d (issued %d)"
+                    % (i, cycle, self._fence_pos, self._fence_issue))
+        if i == self._fence_pos:
+            self._fence_issue = cycle
+        self._issue_cycle[i] = cycle
+        self._completion[i] = cycle + self._lat[self._sidx[i]]
+        self._occupancy -= 1
+        # Issued positions can no longer be merged into, so the
+        # requirement set has served its purpose; keep memory bounded
+        # by the window size rather than the trace length.
+        self._require.pop(i, None)
+
+    # ------------------------------------------------------------------
+
+    def finish(self):
+        """End-of-run checks; raises on any accumulated violation."""
+        for i in range(self._n):
+            if not self._entered[i]:
+                self._violate("position %d never entered the window"
+                              % (i,))
+            elif self._issue_cycle[i] is None:
+                self._violate("position %d never issued" % (i,))
+        if self._occupancy != 0 and not self.violations:
+            self._violate("window occupancy %d at end of run"
+                          % (self._occupancy,))
+        if self.violation_count:
+            shown = "\n  ".join(self.violations)
+            more = self.violation_count - len(self.violations)
+            if more > 0:
+                shown += "\n  ... and %d more" % (more,)
+            raise SanitizeError(
+                "sanitizer found %d invariant violation%s in %s:\n  %s"
+                % (self.violation_count,
+                   "" if self.violation_count == 1 else "s",
+                   self.trace.name or "<trace>", shown))
+
+    def summary(self):
+        return ("sanitize: %d instructions, %d merges, %d relaxed arcs "
+                "checked; %d violations"
+                % (self.checked_instructions, self.checked_merges,
+                   self.relaxed_arcs, self.violation_count))
+
+
+__all__ = ["SchedulerSanitizer", "SanitizeError"]

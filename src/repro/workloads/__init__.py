@@ -1,4 +1,4 @@
-"""Six benchmark kernels mirroring the paper's SPECINT selection."""
+"""Benchmark kernels: the paper's six SPECINT analogs plus extras."""
 
 from .base import LCG, Workload, WorkloadError
 from .compress import CompressWorkload
@@ -7,7 +7,9 @@ from .eqntott import EqntottWorkload
 from .go import GoWorkload
 from .ijpeg import IjpegWorkload
 from .li import LiWorkload
+from .vortex import VortexWorkload
 from .registry import (
+    EXTRAS,
     NON_POINTER_CHASING,
     POINTER_CHASING,
     SUITE,
@@ -20,7 +22,7 @@ from .registry import (
 __all__ = [
     "LCG", "Workload", "WorkloadError",
     "CompressWorkload", "EspressoWorkload", "EqntottWorkload",
-    "GoWorkload", "IjpegWorkload", "LiWorkload",
-    "NON_POINTER_CHASING", "POINTER_CHASING", "SUITE", "WORKLOADS",
-    "cached_trace", "get_workload", "suite_traces",
+    "GoWorkload", "IjpegWorkload", "LiWorkload", "VortexWorkload",
+    "EXTRAS", "NON_POINTER_CHASING", "POINTER_CHASING", "SUITE",
+    "WORKLOADS", "cached_trace", "get_workload", "suite_traces",
 ]

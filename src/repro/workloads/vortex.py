@@ -1,0 +1,286 @@
+"""vortex analog: hash-bucket object store with call/ret (pointer chasing).
+
+SPEC 147.vortex is an object-oriented database: its hot loops insert,
+look up, and delete records held in hash-chained memory objects, with the
+manipulation routines reached through real subroutine calls.  This kernel
+reproduces that shape:
+
+- a bucket table of chain heads plus a bump-pointer node pool; nodes are
+  ``[key, value, next, pad]`` and chains are walked by loading ``next``
+  (the loaded value *is* the next address — no stride to predict);
+- an LCG-driven operation stream: 50% lookups, 25% insert-at-head (or
+  value bump when the key exists), 25% delete-first-match;
+- a shared ``find`` subroutine (``call``/``ret``) returning both the
+  matching node and the link slot that points at it, so deletion unlinks
+  through the returned slot exactly like a C ``**prev`` idiom;
+- a final bucket-order checksum walk over every surviving chain.
+
+It registers outside the paper's six-benchmark suite (Table 1 is fixed);
+``repro list`` shows it as an extra, and it doubles as the linter's
+call/ret coverage: ``find`` is only reachable through the call edge and
+returns through ``jmpl``.
+"""
+
+from .base import LCG, Workload, expect_equal, read_word_array, \
+    words_directive
+
+_BASE_OPS = 4000
+_NBUCKETS = 16
+_KEYSPACE = 64
+_INITIAL = 40
+_NODE_WORDS = 4
+_SEED = 0x2E81
+_VALUE_SEED = 0x517D
+
+_SOURCE = """
+        .equ OPS, {ops}
+        .equ KMASK, {kmask}
+        .equ BMASK, {bmask}
+        .equ NBUCKETS, {nbuckets}
+        .text
+main:
+        set     buckets, %i0        ! bucket-head table
+        set     poolptr, %o0
+        ld      [%o0], %i1          ! bump allocator cursor
+        set     1103515245, %i4
+        set     12345, %i5
+        set     {seed}, %o5         ! LCG state
+        mov     0, %i2              ! hits
+        mov     0, %i3              ! sum of values found
+        mov     0, %l4              ! deletes
+        mov     0, %l5              ! inserts
+        mov     0, %l6              ! op counter
+oploop:
+        smul    %o5, %i4, %o5
+        add     %o5, %i5, %o5
+        srl     %o5, 16, %l0
+        and     %l0, KMASK, %l0     ! key
+        and     %l0, BMASK, %l1
+        sll     %l1, 2, %l1
+        add     %i0, %l1, %o0       ! &buckets[key & BMASK]
+        mov     %l0, %o1
+        srl     %o5, 9, %l2
+        and     %l2, 3, %l2         ! op selector
+        call    find
+        cmp     %l2, 2
+        be      do_insert
+        cmp     %l2, 3
+        be      do_delete
+        ! ---- lookup (selectors 0 and 1)
+        cmp     %o2, 0
+        be      op_next             ! miss
+        ld      [%o2 + 4], %l3      ! node->value
+        add     %i3, %l3, %i3
+        inc     %i2
+        ba      op_next
+do_insert:
+        cmp     %o2, 0
+        bne     ins_update          ! key already stored: bump its value
+        st      %l0, [%i1]          ! node->key = key
+        srl     %o5, 3, %l3
+        and     %l3, 255, %l3
+        st      %l3, [%i1 + 4]      ! node->value
+        ld      [%o0], %l3
+        st      %l3, [%i1 + 8]      ! node->next = old head
+        st      %i1, [%o0]          ! head = node
+        add     %i1, 16, %i1        ! bump the pool cursor
+        inc     %l5
+        ba      op_next
+ins_update:
+        ld      [%o2 + 4], %l3
+        srl     %o5, 3, %l1
+        and     %l1, 255, %l1
+        add     %l3, %l1, %l3
+        st      %l3, [%o2 + 4]
+        ba      op_next
+do_delete:
+        cmp     %o2, 0
+        be      op_next             ! nothing to delete
+        ld      [%o2 + 8], %l3      ! node->next
+        st      %l3, [%o3]          ! *link = node->next (unlink)
+        inc     %l4
+op_next:
+        inc     %l6
+        cmp     %l6, OPS
+        bl      oploop
+
+        ! ---- bucket-order checksum over the surviving chains
+        mov     0, %l3              ! cksum
+        mov     0, %l6              ! bucket index
+ckbucket:
+        sll     %l6, 2, %l1
+        add     %i0, %l1, %l1
+        ld      [%l1], %l2          ! p = bucket head
+ckwalk:
+        cmp     %l2, 0
+        be      ckdone
+        ld      [%l2], %o1          ! p->key
+        sll     %l3, 5, %o2         ! cksum = cksum*31 + key
+        sub     %o2, %l3, %l3
+        add     %l3, %o1, %l3
+        ld      [%l2 + 8], %l2      ! p = p->next (pointer chase)
+        ba      ckwalk
+ckdone:
+        inc     %l6
+        cmp     %l6, NBUCKETS
+        bl      ckbucket
+        set     hits, %o0
+        st      %i2, [%o0]
+        set     sum, %o0
+        st      %i3, [%o0]
+        set     inserts, %o0
+        st      %l5, [%o0]
+        set     deletes, %o0
+        st      %l4, [%o0]
+        set     cksum, %o0
+        st      %l3, [%o0]
+        halt
+
+        ! ---- find(%o0 = &head, %o1 = key)
+        !      returns %o2 = node (0 on miss), %o3 = link slot -> node
+find:
+        mov     %o0, %o3
+        ld      [%o0], %o2
+floop:
+        cmp     %o2, 0
+        be      fdone
+        ld      [%o2], %l7          ! node->key
+        cmp     %l7, %o1
+        be      fdone
+        add     %o2, 8, %o3         ! link = &node->next
+        ld      [%o2 + 8], %o2      ! node = node->next (pointer chase)
+        ba      floop
+fdone:
+        ret
+
+        .data
+buckets:
+{bucket_words}
+pool:
+{pool_words}
+        .space  {pool_tail_bytes}
+poolptr: .word  {pool_cursor}
+hits:   .word   0
+sum:    .word   0
+inserts: .word  0
+deletes: .word  0
+cksum:  .word   0
+"""
+
+# Bucket table lives at DATA_BASE; the pool follows it immediately.
+from ..asm.program import DATA_BASE as _DATA_BASE
+
+_POOL_BASE = _DATA_BASE + _NBUCKETS * 4
+
+
+def _initial_entries():
+    """The pre-seeded records: distinct keys, LCG-drawn values."""
+    rng = LCG(_VALUE_SEED)
+    return [((7 * i + 3) & (_KEYSPACE - 1), rng.next() & 0xFFFF)
+            for i in range(_INITIAL)]
+
+
+def _initial_store():
+    """Chains after pre-seeding, as ``bucket -> [[key, value], ...]``
+    in head-to-tail order (insert-at-head, like the kernel)."""
+    buckets = [[] for _ in range(_NBUCKETS)]
+    for key, value in _initial_entries():
+        buckets[key & (_NBUCKETS - 1)].insert(0, [key, value])
+    return buckets
+
+
+def _layout():
+    """Returns (bucket_heads, seeded_pool_words, pool_cursor)."""
+    heads = [0] * _NBUCKETS
+    pool = [0] * (_INITIAL * _NODE_WORDS)
+    for i, (key, value) in enumerate(_initial_entries()):
+        address = _POOL_BASE + 4 * _NODE_WORDS * i
+        bucket = key & (_NBUCKETS - 1)
+        base = i * _NODE_WORDS
+        pool[base + 0] = key
+        pool[base + 1] = value
+        pool[base + 2] = heads[bucket]
+        heads[bucket] = address
+    return heads, pool, _POOL_BASE + 4 * _NODE_WORDS * _INITIAL
+
+
+def _reference(ops):
+    """Replay the operation stream on the seeded store.
+
+    Returns (hits, value_sum, inserts, deletes, cksum); ``inserts``
+    counts pool allocations only (value bumps on present keys do not
+    allocate), which also sizes the assembly-side node pool exactly.
+    """
+    buckets = _initial_store()
+    state = _SEED
+    hits = value_sum = inserts = deletes = 0
+    for _ in range(ops):
+        state = (state * LCG.MULTIPLIER + LCG.INCREMENT) & 0xFFFFFFFF
+        key = (state >> 16) & (_KEYSPACE - 1)
+        selector = (state >> 9) & 3
+        chain = buckets[key & (_NBUCKETS - 1)]
+        position = next((j for j, node in enumerate(chain)
+                         if node[0] == key), None)
+        if selector == 2:
+            bump = (state >> 3) & 255
+            if position is None:
+                chain.insert(0, [key, bump])
+                inserts += 1
+            else:
+                chain[position][1] = (chain[position][1] + bump) \
+                    & 0xFFFFFFFF
+        elif selector == 3:
+            if position is not None:
+                del chain[position]
+                deletes += 1
+        elif position is not None:
+            hits += 1
+            value_sum = (value_sum + chain[position][1]) & 0xFFFFFFFF
+    cksum = 0
+    for chain in buckets:
+        for key, _ in chain:
+            cksum = (cksum * 31 + key) & 0xFFFFFFFF
+    return hits, value_sum, inserts, deletes, cksum
+
+
+class VortexWorkload(Workload):
+    name = "vortex"
+    pointer_chasing = True
+    description = "hash-chained object store with call/ret (147.vortex " \
+                  "analog; extra, outside the paper's Table 1 suite)"
+    nominal_length = 150_000
+
+    def operations(self, scale):
+        return max(4, round(_BASE_OPS * scale))
+
+    def source(self, scale):
+        ops = self.operations(scale)
+        heads, pool, cursor = _layout()
+        # Size the pool exactly: the reference replay counts allocations.
+        allocations = _reference(ops)[2]
+        tail_bytes = 4 * _NODE_WORDS * allocations
+        return _SOURCE.format(
+            ops=ops,
+            kmask=_KEYSPACE - 1,
+            bmask=_NBUCKETS - 1,
+            nbuckets=_NBUCKETS,
+            seed=_SEED,
+            bucket_words=words_directive(heads),
+            pool_words=words_directive(pool),
+            pool_tail_bytes=tail_bytes,
+            pool_cursor=cursor,
+        )
+
+    def validate(self, machine, program, scale):
+        hits, value_sum, inserts, deletes, cksum = \
+            _reference(self.operations(scale))
+        expect_equal(read_word_array(machine, program, "hits", 1)[0],
+                     hits, "vortex lookup hits")
+        expect_equal(read_word_array(machine, program, "sum", 1)[0],
+                     value_sum, "vortex value sum")
+        expect_equal(read_word_array(machine, program, "inserts", 1)[0],
+                     inserts, "vortex insert count")
+        expect_equal(read_word_array(machine, program, "deletes", 1)[0],
+                     deletes, "vortex delete count")
+        expect_equal(read_word_array(machine, program, "cksum", 1)[0],
+                     cksum, "vortex chain checksum")

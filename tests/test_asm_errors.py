@@ -54,6 +54,30 @@ def test_word_with_undefined_symbol():
     reject(".data\n.word missing", "undefined symbol")
 
 
+def test_asciz_bad_escape_carries_line():
+    """A malformed escape must surface as a located AssemblyError, not a
+    raw UnicodeDecodeError from the codec."""
+    error = reject('.data\n\ns: .asciz "bad \\x"', ".asciz string")
+    assert "line 3" in str(error)
+    assert error.line == 3
+    assert error.bare_message.startswith(".asciz string")
+
+
+def test_asciz_good_escapes_still_work():
+    from repro.asm import assemble
+    program = assemble('.text\nhalt\n.data\ns: .asciz "a\\tb\\n"')
+    assert bytes(program.data) == b"a\tb\n\x00"
+
+
+def test_equ_redefinition_rejected():
+    error = reject(".equ N, 1\n.equ N, 2", "duplicate symbol")
+    assert error.line == 2
+
+
+def test_equ_clashing_with_label_rejected():
+    reject(".text\nN: halt\n.equ N, 2", "duplicate symbol")
+
+
 def test_equ_bad_form():
     reject(".equ 5, 5", ".equ needs")
 

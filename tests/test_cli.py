@@ -98,6 +98,60 @@ def test_report_command(tmp_path, capsys):
     assert "Figure 2" in text
 
 
+def test_lint_clean_workload(capsys):
+    code, output = run_cli(capsys, "lint", "eqntott", "--scale", "0.03")
+    assert code == 0
+    assert "clean" in output
+
+
+def test_lint_all_workloads_with_bounds(capsys):
+    code, output = run_cli(capsys, "lint", "--all", "--scale", "0.03")
+    assert code == 0
+    for name in ("compress", "espresso", "eqntott", "li", "go", "ijpeg",
+                 "vortex"):
+        assert "<workload:%s>: clean" % (name,) in output
+
+
+def test_lint_bad_file_exits_nonzero(tmp_path, capsys):
+    bad = tmp_path / "bad.s"
+    bad.write_text(".text\nmain: add %g1, 1, %g2\nmov 9, %g3")
+    code, output = run_cli(capsys, "lint", str(bad))
+    assert code == 1
+    assert "bad.s:2: error: [uninit-read]" in output
+    assert "[fallthrough-end]" in output
+    assert "[dead-store]" in output
+
+
+def test_lint_broken_file_reports_assembly_error(tmp_path, capsys):
+    bad = tmp_path / "broken.s"
+    bad.write_text(".text\nmain: add %q1, 1, %g2\nhalt")
+    code, output = run_cli(capsys, "lint", str(bad))
+    assert code == 1
+    assert "broken.s:2: error: [assemble]" in output
+
+
+def test_lint_without_targets_exits_2(capsys):
+    code = main(["lint"])
+    assert code == 2
+
+
+def test_lint_bounds_and_cross_check(capsys):
+    code, output = run_cli(capsys, "lint", "li", "--scale", "0.03",
+                           "--bounds", "--cross-check")
+    assert code == 0
+    assert "static per-execution bound" in output
+    assert "cross-check li: static bound" in output
+    assert ">= dynamic events" in output
+
+
+def test_simulate_sanitized(capsys):
+    code, output = run_cli(capsys, "simulate", "li", "--config", "D",
+                           "--width", "8", "--scale", "0.03",
+                           "--sanitize")
+    assert code == 0
+    assert "sanitize" in output and "ok" in output
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -100,6 +100,52 @@ def test_zero_detection_disabled_blocks_those_collapses():
     assert load.try_merge(srl, 1, rules) is None
 
 
+def test_leaves_exactly_at_limit_is_legal_4_1():
+    """Boundary: merged leaves == max_leaves must pass, not be rejected."""
+    consumer = group(1, leaves=2)
+    producer = group(0, leaves=3)
+    assert consumer.try_merge(producer, 1, RULES) == CAT_4_1
+    assert consumer.leaves == RULES.max_leaves == 4
+
+
+def test_zeros_without_need_are_not_credited_0op():
+    """Boundary: raw_leaves == max_leaves with zeros present.  The merge
+    would succeed on a device without zero detection, so it is credited
+    by its zero-free leaf count (3-1 here), not 0-op."""
+    consumer = Group(1, "ldr0", leaves=1, zeros=1)
+    producer = group(0, leaves=2)
+    assert consumer.try_merge(producer, 1, RULES) == CAT_3_1
+    assert consumer.leaves == 2 and consumer.raw_leaves == 3
+    rules = CollapseRules.no_zero_detection()
+    consumer = Group(1, "ldr0", leaves=1, zeros=1)
+    assert consumer.try_merge(group(0, leaves=2), 1, rules) == CAT_3_1
+
+
+def test_raw_leaves_past_limit_needs_zero_detection():
+    """Boundary: raw_leaves == max_leaves + 1 is the first raw count that
+    flips the credit to 0-op — and the first that fails without zero
+    detection."""
+    consumer = Group(1, "ldr0", leaves=1, zeros=1)
+    producer = group(0, leaves=4)           # raw 5, zero-free 4
+    assert consumer.try_merge(producer, 1, RULES) == CAT_0OP
+    assert consumer.raw_leaves == 5 and consumer.leaves == 4
+    consumer = Group(1, "ldr0", leaves=1, zeros=1)
+    assert consumer.try_merge(group(0, leaves=4), 1,
+                              CollapseRules.no_zero_detection()) is None
+
+
+def test_extra_member_allowance_requires_zeros():
+    """size == max_group + 1 is only legal when zeros justify it: a
+    zero-free four-chain stays illegal even with zero detection on."""
+    b = group(1, leaves=1)
+    b.try_merge(group(0, leaves=1), 1, RULES)
+    c = group(2, leaves=1)
+    c.try_merge(b, 1, RULES)
+    d = group(3, leaves=1)                   # raw == leaves: no zeros
+    assert d.try_merge(c, 1, RULES) is None
+    assert d.size == 1 and d.leaves == 1
+
+
 def test_branch_collapse_with_compare():
     brc = Group(1, "brc", leaves=1, zeros=0)
     category = brc.try_merge(group(0, "arri", leaves=2), 1, RULES)

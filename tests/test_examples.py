@@ -73,6 +73,16 @@ def test_future_predictors(capsys):
 
 
 @pytest.mark.parametrize("name", sorted(
+    f for f in os.listdir(EXAMPLES) if f.endswith(".s")))
+def test_example_assembly_lints_clean(name):
+    """CI runs ``repro lint`` over examples/*.s; keep them clean."""
+    from repro.lint import lint_path
+    report = lint_path(os.path.join(EXAMPLES, name))
+    assert report.ok, report.render()
+    assert not report.findings
+
+
+@pytest.mark.parametrize("name", sorted(
     f for f in os.listdir(EXAMPLES) if f.endswith(".py")))
 def test_every_example_is_covered(name):
     """Adding an example without a smoke test here should fail."""

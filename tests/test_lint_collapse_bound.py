@@ -1,0 +1,123 @@
+"""Static collapse-opportunity bound vs. dynamic CollapseStats.
+
+The soundness claim under test: for any trace of a program and any
+schedule the model can produce, ``StaticCollapseBound.bound_for_trace``
+is an upper bound on the scheduler's ``CollapseStats.events``.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.collapse import CAT_0OP, CAT_3_1, CollapseRules
+from repro.core.config import paper_config
+from repro.core.simulator import simulate_trace
+from repro.lint import StaticCollapseBound
+from repro.workloads import WORKLOADS, cached_trace, get_workload
+
+SCALE = 0.04
+
+
+def bound_and_events(name, letter="C", width=8, rules=None):
+    workload = get_workload(name)
+    program = workload.build(scale=SCALE)
+    trace = cached_trace(name, SCALE)
+    kwargs = {} if rules is None else {"rules": rules}
+    config = paper_config(letter, width, **kwargs)
+    result = simulate_trace(trace, config)
+    bound = StaticCollapseBound(
+        program, rules=config.collapse_rules).bound_for_trace(trace)
+    return bound, result.collapse.events
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_bound_dominates_dynamic_events(name):
+    bound, events = bound_and_events(name)
+    assert events > 0
+    assert bound >= events
+
+
+@pytest.mark.parametrize("letter,width", [("C", 4), ("D", 8), ("E", 32)])
+def test_bound_holds_across_configs(letter, width):
+    bound, events = bound_and_events("eqntott", letter, width)
+    assert bound >= events
+
+
+def test_bound_holds_without_zero_detection():
+    bound, events = bound_and_events(
+        "li", rules=CollapseRules.no_zero_detection())
+    assert bound >= events
+
+
+def test_straightline_chain_bound():
+    """a->b->c chain: b and c each have one collapsible operand arc."""
+    program = assemble(
+        ".text\nmain: mov 1, %g1\nadd %g1, 1, %g2\nadd %g2, 1, %g3\n"
+        "st %g3, [%sp]\nhalt")
+    sb = StaticCollapseBound(program)
+    assert sb.ub[1] == 1                    # add <- mov
+    assert sb.ub[2] == 1                    # add <- add
+    # The store's address base is %sp (no in-program writer) and its
+    # data register is not an expression operand the scheduler merges
+    # on, so the store contributes nothing.
+    assert sb.ub[3] == 0
+    assert sb.static_bound == 2
+
+
+def test_loads_stop_collapsible_chains():
+    """A load is not a collapsible producer: its consumers get no arc."""
+    program = assemble(
+        ".text\nmain: ld [%sp], %g1\nadd %g1, 1, %g2\n"
+        "st %g2, [%sp]\nhalt")
+    sb = StaticCollapseBound(program)
+    assert sb.ub[1] == 0                    # add's producer is a load
+
+
+def test_cap_limits_operand_rich_consumers():
+    """With three producer arcs, the bound caps at max_group - 1 (+1
+    with zero detection)."""
+    source = (".text\nmain: mov 1, %g1\nmov 2, %g2\ncmp %g1, %g2\n"
+              "be main\nhalt")
+    sb = StaticCollapseBound(assemble(source))
+    # cmp has two register arcs; be has one cc arc.
+    assert sb.arc_count[2] == 2
+    assert sb.ub[2] == 2
+    assert sb.arc_count[3] == 1
+
+
+def test_no_zero_detection_excludes_wide_fresh_consumers():
+    """Without zero detection a consumer whose fresh raw operand count
+    already exceeds max_leaves can never merge."""
+    rules = CollapseRules.no_zero_detection()
+    source = (".text\nmain: mov 1, %g1\nld [%g1], %g2\n"
+              "st %g2, [%sp]\nhalt")
+    sb = StaticCollapseBound(assemble(source), rules=rules)
+    paper_sb = StaticCollapseBound(assemble(source))
+    # ld [%g1 + 0]: one real operand plus a zero displacement.
+    assert paper_sb.ub[1] == 1
+    assert sb.ub[1] == 1                    # raw 2 <= max_leaves: fine
+
+
+def test_pair_profile_is_diagnostic():
+    program = get_workload("eqntott").build(scale=SCALE)
+    sb = StaticCollapseBound(program)
+    assert sum(sb.pair_categories.values()) \
+        == sum(sb.pair_signatures.values())
+    assert CAT_3_1 in sb.pair_categories or CAT_0OP in sb.pair_categories
+
+
+def test_summary_rows_carry_lines():
+    program = get_workload("compress").build(scale=SCALE)
+    sb = StaticCollapseBound(program)
+    rows = sb.summary_rows()
+    assert rows
+    for index, line, sig, arcs, bound in rows:
+        assert bound >= 1 and arcs >= bound
+        assert line > 0
+        assert sb.ub[index] == bound
+
+
+def test_unreachable_consumers_contribute_nothing():
+    source = (".text\nmain: mov 1, %g1\nba out\n"
+              "dead: add %g1, 1, %g2\nout: st %g1, [%sp]\nhalt")
+    sb = StaticCollapseBound(assemble(source))
+    assert sb.ub[2] == 0

@@ -8,7 +8,7 @@ MODULES = [
     "repro", "repro.isa", "repro.asm", "repro.emu", "repro.trace",
     "repro.bpred", "repro.addrpred", "repro.vpred", "repro.collapse",
     "repro.core", "repro.workloads", "repro.metrics",
-    "repro.experiments", "repro.analysis", "repro.cli",
+    "repro.experiments", "repro.analysis", "repro.cli", "repro.lint",
 ]
 
 

@@ -10,6 +10,7 @@ import pytest
 from repro.trace.records import BRC, LD
 from repro.trace.stats import TraceStats
 from repro.workloads import (
+    EXTRAS,
     NON_POINTER_CHASING,
     POINTER_CHASING,
     SUITE,
@@ -26,6 +27,7 @@ SMALL = {
     "li": 0.05,
     "go": 0.25,
     "ijpeg": 0.1,
+    "vortex": 0.05,
 }
 
 
@@ -60,6 +62,32 @@ def test_suite_composition():
     assert set(POINTER_CHASING) == {"li", "go"}
     assert set(NON_POINTER_CHASING) == {"compress", "espresso",
                                         "eqntott", "ijpeg"}
+    # Extras are registered but stay out of the paper's Table 1 sets.
+    assert [w.name for w in EXTRAS] == ["vortex"]
+    assert set(WORKLOADS) == \
+        {w.name for w in SUITE} | {w.name for w in EXTRAS}
+    assert "vortex" not in POINTER_CHASING + NON_POINTER_CHASING
+
+
+def test_vortex_uses_call_and_ret():
+    """vortex exists partly to exercise call/jmpl paths (CFG, emulator,
+    linter); make sure the kernel actually contains them."""
+    from repro.isa.opcodes import Opcode
+    program = get_workload("vortex").build(scale=SMALL["vortex"])
+    opcodes = {ins.opcode for ins in program.instructions}
+    assert Opcode.CALL in opcodes
+    assert Opcode.JMPL in opcodes
+
+
+def test_vortex_reference_counters_are_consistent():
+    from repro.workloads.vortex import _initial_store, _reference
+    hits, value_sum, inserts, deletes, _ = _reference(300)
+    assert hits > 0 and inserts > 0 and deletes > 0
+    assert sum(len(chain) for chain in _initial_store()) == 40
+    # The op stream is a deterministic sequence, so every counter of a
+    # prefix run bounds the longer run's.
+    h2, _, i2, d2, _ = _reference(600)
+    assert h2 >= hits and i2 >= inserts and d2 >= deletes
 
 
 def test_get_workload_unknown():
