@@ -1,0 +1,70 @@
+"""Worked example: static address classification vs the two-delta
+predictor on a strided / pointer-chasing kernel pair.
+
+The loop/induction-variable pass (`repro.lint.addrclass`, docs/LINT.md)
+proves strided_walk.s's load is constant-stride and pointer_chase.s's
+loads are load-to-load chases — *before running anything*.  This script
+then traces both kernels, runs the two-delta predictor with per-PC
+histograms, and shows the dynamic behaviour matching the static
+verdicts: near-perfect steady accuracy and coverage on the stride load,
+no confidence on the chase loads.
+
+Run:  python examples/address_classes.py
+"""
+
+import os
+
+from repro.addrpred import run_address_predictor
+from repro.asm import assemble
+from repro.emu import trace_program
+from repro.lint import AddressClassification, cross_check
+from repro.metrics import render_table
+
+EXAMPLES = os.path.dirname(os.path.abspath(__file__))
+
+
+def study(filename):
+    with open(os.path.join(EXAMPLES, filename)) as handle:
+        program = assemble(handle.read())
+    classification = AddressClassification(program)
+    trace, _, _ = trace_program(program, name=filename)
+    result = run_address_predictor(trace, per_pc=True)
+    check = cross_check(classification, trace, result)
+
+    rows = []
+    for site in classification.sites:
+        stat = result.per_pc.get(site.pc)
+        rows.append([
+            site.line,
+            site.cls,
+            site.stride if site.stride is not None else "-",
+            stat.count if stat else 0,
+            "%.0f%%" % (100 * stat.steady_accuracy) if stat else "-",
+            "%.0f%%" % (100 * stat.coverage) if stat else "-",
+            stat.delta_changes if stat else "-",
+        ])
+    print(render_table(
+        ["line", "static class", "stride", "loads", "steady acc",
+         "coverage", "delta changes"],
+        rows, title="%s — static claim vs dynamic behaviour"
+        % (filename,)))
+    print("cross-check: %s (coverage bound %.2f >= dynamic %.2f)"
+          % ("ok" if check.ok else "FAILED",
+             check.coverage_bound, check.dynamic_coverage))
+    print()
+    return check
+
+
+def main():
+    stride_check = study("strided_walk.s")
+    chase_check = study("pointer_chase.s")
+    print("the pair, side by side:")
+    print("  strided_walk  : statically `stride`, dynamic coverage "
+          "%.2f — the predictor locks on" % (stride_check.dynamic_coverage,))
+    print("  pointer_chase : statically `chase`,  dynamic coverage "
+          "%.2f — confidence never builds" % (chase_check.dynamic_coverage,))
+    assert stride_check.ok and chase_check.ok
+
+
+if __name__ == "__main__":
+    main()

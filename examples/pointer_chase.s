@@ -1,0 +1,44 @@
+! pointer_chase.s — the *unpredictable* half of the address-class pair
+! (see strided_walk.s for the other half and address_classes.py for
+! the worked comparison).
+!
+!   PYTHONPATH=src python -m repro lint examples/pointer_chase.s --addr
+!
+! Walks a statically-linked list summing node values.  Both loads take
+! their address from the previous iteration's load result (%o0 <- [%o0])
+! — the load-to-load address dependence of Section 4's pointer-chasing
+! benchmarks — so they classify as `chase`: no induction variable
+! exists and the two-delta predictor cannot build confidence on the
+! address stream.
+
+        .equ PASSES, 4
+        .text
+main:
+        mov     PASSES, %o4         ! walk the list several times
+        mov     0, %o1              ! running sum
+pass:
+        set     head, %o0           ! node cursor (follows memory)
+walk:
+        ld      [%o0 + 4], %o2      ! node value
+        add     %o1, %o2, %o1
+        ld      [%o0], %o0          ! next pointer: load feeds address
+        cmp     %o0, 0
+        bne     walk
+        subcc   %o4, 1, %o4
+        bne     pass
+        set     result, %o3
+        st      %o1, [%o3]
+        halt
+
+! Each node is [next, value]; the chain is laid out in a deliberately
+! shuffled order so even the *memory* order of the walk is irregular.
+        .data
+head:   .word   n4, 3
+n1:     .word   n6, 1
+n2:     .word   n7, 4
+n3:     .word   n1, 1
+n4:     .word   n3, 5
+n5:     .word   0, 9
+n6:     .word   n2, 2
+n7:     .word   n5, 6
+result: .word   0

@@ -1,0 +1,34 @@
+! strided_walk.s — the *predictable* half of the address-class pair
+! (see pointer_chase.s for the other half and address_classes.py for
+! the worked comparison).
+!
+!   PYTHONPATH=src python -m repro lint examples/strided_walk.s --addr
+!
+! Sums the even-indexed words of a 16-word table.  The cursor %o0 is a
+! basic induction variable (one `add %o0, 8, %o0` per iteration), so
+! the loop load classifies as `stride` with stride 8 and the two-delta
+! predictor covers it almost perfectly after warmup.
+
+        .equ N, 32
+        .text
+main:
+        set     table, %o0          ! element cursor (basic IV)
+        mov     0, %o1              ! running sum
+        mov     0, %o2              ! index
+loop:
+        ld      [%o0], %o3          ! even elements only
+        add     %o1, %o3, %o1
+        add     %o0, 8, %o0         ! stride 8: skip the odd words
+        inc     %o2
+        cmp     %o2, N
+        bl      loop
+        set     result, %o4
+        st      %o1, [%o4]
+        halt
+
+        .data
+table:  .word   3, 0, 1, 0, 4, 0, 1, 0, 5, 0, 9, 0, 2, 0, 6, 0
+        .word   5, 0, 3, 0, 5, 0, 8, 0, 9, 0, 7, 0, 9, 0, 3, 0
+        .word   2, 0, 3, 0, 8, 0, 4, 0, 6, 0, 2, 0, 6, 0, 4, 0
+        .word   3, 0, 3, 0, 8, 0, 3, 0, 2, 0, 7, 0, 9, 0, 5, 0
+result: .word   0

@@ -1,11 +1,12 @@
 """Stride-based load-address prediction (two-delta with confidence)."""
 
 from .markov import HybridTable, MarkovTable
-from .runner import LoadPredictionResult, run_address_predictor
+from .runner import LoadPredictionResult, PerPCStat, \
+    run_address_predictor
 from .two_delta import LastStrideTable, TwoDeltaEntry, TwoDeltaTable
 
 __all__ = [
-    "LoadPredictionResult", "run_address_predictor",
+    "LoadPredictionResult", "PerPCStat", "run_address_predictor",
     "LastStrideTable", "TwoDeltaEntry", "TwoDeltaTable",
     "HybridTable", "MarkovTable",
 ]

@@ -5,10 +5,96 @@ the table state but only not ready loads use the table"), so the
 prediction outcome of every dynamic load is timing-independent and can be
 computed in one pass.  The timing simulator later decides *readiness*
 (which is timing-dependent) and combines it with these outcomes.
+
+Two accuracy views are reported:
+
+- ``raw_accuracy`` counts every dynamic load, including the first
+  access of each PC — which is always a miss (the table entry is cold),
+  so the raw number systematically understates what the predictor does
+  in steady state, especially at small trace scales;
+- ``steady_accuracy`` excludes that unavoidable first prediction per
+  PC, isolating the trained behaviour.
+
+With ``per_pc=True`` the pass additionally keeps one
+:class:`PerPCStat` histogram per static load address — accuracy,
+confidence-gate coverage, and the number of *delta changes* in the
+address stream.  The static address classification
+(``repro.lint.addrclass``) cross-checks its per-site claims against
+exactly these histograms.
 """
 
 from ..trace.records import LD
 from .two_delta import TwoDeltaTable
+
+#: observations before a cold two-delta entry can predict (first access
+#: seeds the address, the stride must then be seen twice)
+PC_WARMUP = 3
+
+
+class PerPCStat:
+    """Dynamic predictor behaviour of one static load (one PC).
+
+    ``delta_changes`` counts observations whose address delta differs
+    from the previous delta at the same PC — the quantity that bounds
+    two-delta misses from above (each change costs at most two misses
+    before the table re-locks; see ``repro.lint.addrclass``).
+    """
+
+    __slots__ = ("pc", "count", "correct", "attempted",
+                 "attempted_correct", "warm_correct", "delta_changes",
+                 "_last_address", "_last_delta")
+
+    def __init__(self, pc):
+        self.pc = pc
+        self.count = 0
+        self.correct = 0
+        self.attempted = 0
+        self.attempted_correct = 0
+        #: correct predictions beyond the first PC_WARMUP observations
+        self.warm_correct = 0
+        self.delta_changes = 0
+        self._last_address = None
+        self._last_delta = None
+
+    def observe(self, address, would_use, correct):
+        self.count += 1
+        if correct:
+            self.correct += 1
+            if self.count > PC_WARMUP:
+                self.warm_correct += 1
+        if would_use:
+            self.attempted += 1
+            if correct:
+                self.attempted_correct += 1
+        if self._last_address is not None:
+            delta = (address - self._last_address) & 0xFFFFFFFF
+            if self._last_delta is not None \
+                    and delta != self._last_delta:
+                self.delta_changes += 1
+            self._last_delta = delta
+        self._last_address = address
+
+    @property
+    def accuracy(self):
+        return self.correct / self.count if self.count else 0.0
+
+    @property
+    def steady_accuracy(self):
+        """Accuracy over observations past the per-PC warmup."""
+        steady = self.count - PC_WARMUP
+        if steady <= 0:
+            return 0.0
+        return self.warm_correct / steady
+
+    @property
+    def coverage(self):
+        """Fraction of observations the confidence gate opened for."""
+        return self.attempted / self.count if self.count else 0.0
+
+    def __repr__(self):
+        return "<PerPCStat pc=0x%x n=%d acc=%.2f cov=%.2f changes=%d>" \
+            % (self.pc, self.count, self.accuracy, self.coverage,
+               self.delta_changes)
 
 
 class LoadPredictionResult:
@@ -17,28 +103,51 @@ class LoadPredictionResult:
     ``attempted`` and ``correct`` are dicts keyed by trace position,
     populated only for loads: ``attempted[pos]`` is True when confidence
     allowed using the prediction; ``correct[pos]`` is True when the
-    predicted address matched.
+    predicted address matched.  ``per_pc`` maps PC -> :class:`PerPCStat`
+    when the run collected histograms, else None.
     """
 
-    __slots__ = ("attempted", "correct", "loads", "would_correct")
+    __slots__ = ("attempted", "correct", "loads", "would_correct",
+                 "first_misses", "warm_would_correct", "per_pc")
 
     def __init__(self):
         self.attempted = {}
         self.correct = {}
         self.loads = 0
         self.would_correct = 0
+        #: dynamic loads that were the first access of their PC (the
+        #: table entry was cold: such a prediction can never be right)
+        self.first_misses = 0
+        #: correct predictions among non-first accesses
+        self.warm_would_correct = 0
+        self.per_pc = None
 
     @property
     def raw_accuracy(self):
         """Fraction of loads whose table prediction was correct,
-        independent of confidence (diagnostic)."""
+        independent of confidence (diagnostic; includes the always-miss
+        first access of every PC)."""
         if not self.loads:
             return 0.0
         return self.would_correct / self.loads
 
+    @property
+    def steady_accuracy(self):
+        """Accuracy excluding the first access of every PC, whose miss
+        is structural (cold entry) rather than a predictor failure."""
+        warm = self.loads - self.first_misses
+        if warm <= 0:
+            return 0.0
+        return self.warm_would_correct / warm
 
-def run_address_predictor(trace, table=None):
-    """One program-order pass of the address predictor over ``trace``."""
+
+def run_address_predictor(trace, table=None, per_pc=False):
+    """One program-order pass of the address predictor over ``trace``.
+
+    ``per_pc=True`` additionally collects a :class:`PerPCStat` per
+    static load address in ``result.per_pc`` (costs one dict lookup per
+    load; leave off in the simulator hot path).
+    """
     if table is None:
         table = TwoDeltaTable()
     static = trace.static
@@ -49,13 +158,33 @@ def run_address_predictor(trace, table=None):
     observe = table.observe
     attempted = result.attempted
     correct_map = result.correct
+    seen_pcs = set()
+    histograms = {} if per_pc else None
     for position, sidx in enumerate(trace.sidx):
         if cls[sidx] != LD:
             continue
-        would_use, correct, _ = observe(pcs[sidx], addresses[position])
+        pc = pcs[sidx]
+        address = addresses[position]
+        would_use, correct, _ = observe(pc, address)
         result.loads += 1
-        if correct:
-            result.would_correct += 1
+        if pc in seen_pcs:
+            if correct:
+                result.would_correct += 1
+                result.warm_would_correct += 1
+        else:
+            seen_pcs.add(pc)
+            result.first_misses += 1
+            if correct:
+                # Possible only for address 0 (the cold entry predicts
+                # last_address 0 + stride 0); count it in the raw view.
+                result.would_correct += 1
         attempted[position] = would_use
         correct_map[position] = correct
+        if histograms is not None:
+            stat = histograms.get(pc)
+            if stat is None:
+                stat = histograms[pc] = PerPCStat(pc)
+            stat.observe(address, would_use, correct)
+    if histograms is not None:
+        result.per_pc = histograms
     return result

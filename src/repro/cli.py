@@ -26,10 +26,17 @@ report
 lint TARGET...
     Static dataflow analysis (docs/LINT.md) of workload kernels or
     ``.s`` files: uninitialized reads, dead register writes, unreachable
-    code, missing condition-code setters, fallthrough past ``.text``.
-    Exits non-zero when any finding is reported.  ``--cross-check``
-    additionally simulates each workload target and verifies the static
-    collapse upper bound against the dynamic collapse count.
+    code, missing condition-code setters, fallthrough past ``.text``,
+    untracked load addresses.  Exits non-zero when any finding is
+    reported.  ``--cross-check`` additionally simulates each workload
+    target and verifies the static collapse upper bound against the
+    dynamic collapse count.  ``--addr`` prints the per-load address
+    classification (loop/induction-variable pass, docs/LINT.md);
+    ``--addr-check`` runs the two-delta predictor with per-PC
+    histograms over each workload target and verifies the static
+    classification: predictable sites must satisfy the re-lock miss
+    bound and their delta-change budget, and the static coverage bound
+    must dominate the dynamic predictor coverage.
 
 ``simulate`` and ``report`` accept ``--sanitize`` to attach the
 scheduler invariant checker to every simulation they perform.
@@ -101,6 +108,24 @@ def cmd_stats(args):
                 for sig, share in signature_mix(trace, top=12)]
     print(render_table(["signature", "share (%)"], mix_rows,
                        title="dynamic signature mix"))
+    if args.addr_pred:
+        from .addrpred import run_address_predictor
+        result = run_address_predictor(trace, per_pc=True)
+        stats_by_count = sorted(result.per_pc.values(),
+                                key=lambda s: -s.count)
+        rows = [["0x%x" % stat.pc, stat.count,
+                 100.0 * stat.accuracy, 100.0 * stat.steady_accuracy,
+                 100.0 * stat.coverage, stat.delta_changes]
+                for stat in stats_by_count[:16]]
+        print()
+        print(render_table(
+            ["pc", "loads", "acc (%)", "steady (%)", "cov (%)",
+             "delta changes"],
+            rows, title="per-PC two-delta predictor stats (top 16)"))
+        print("loads %d  raw accuracy %.3f  steady accuracy %.3f "
+              "(%d cold first accesses excluded)"
+              % (result.loads, result.raw_accuracy,
+                 result.steady_accuracy, result.first_misses))
     return 0
 
 
@@ -220,6 +245,27 @@ def _lint_cross_check(name, report, scale):
     return ok
 
 
+def _lint_addr_check(name, report, scale):
+    """Run the per-PC predictor and verify the address classification."""
+    from .addrpred import run_address_predictor
+    from .lint import cross_check
+    from .workloads import cached_trace
+    trace = cached_trace(name, scale)
+    result = run_address_predictor(trace, per_pc=True)
+    check = cross_check(report.addr_classes, trace, result)
+    print("  addr-check %s: %s — %d sites checked (%d aliased, %d "
+          "short), coverage bound %.3f %s dynamic %.3f, steady "
+          "accuracy %.3f"
+          % (name, "ok" if check.ok else "FAILED", check.checked_sites,
+             check.skipped_aliased, check.skipped_short,
+             check.coverage_bound,
+             ">=" if check.coverage_bound >= check.dynamic_coverage
+             else "<", check.dynamic_coverage, check.steady_accuracy))
+    for violation in check.violations:
+        print("    " + violation)
+    return check.ok
+
+
 def cmd_lint(args):
     from .lint import lint_path, lint_workload
 
@@ -252,9 +298,24 @@ def cmd_lint(args):
                           % (report.target,)))
             print("  static per-execution bound: %d collapse events"
                   % (report.collapse_bound.static_bound,))
+        if args.addr and report.addr_classes is not None:
+            rows = report.addr_classes.summary_rows()
+            if rows:
+                print(render_table(
+                    ["index", "line", "class", "stride", "loop line",
+                     "depth"],
+                    [list(row) for row in rows],
+                    title="load address classes: %s" % (report.target,)))
+            counts = report.addr_classes.class_counts()
+            print("  address classes: " + "  ".join(
+                "%s %d" % (cls, n) for cls, n in counts.items() if n))
         if args.cross_check and name is not None \
                 and report.collapse_bound is not None:
             if not _lint_cross_check(name, report, args.scale):
+                failed = True
+        if args.addr_check and name is not None \
+                and report.addr_classes is not None:
+            if not _lint_addr_check(name, report, args.scale):
                 failed = True
     return 1 if failed else 0
 
@@ -276,6 +337,10 @@ def build_parser():
     p_stats = sub.add_parser("stats", help="trace statistics")
     p_stats.add_argument("target", help="workload name or trace file")
     p_stats.add_argument("--scale", type=float, default=0.2)
+    p_stats.add_argument("--addr-pred", dest="addr_pred",
+                         action="store_true",
+                         help="append per-PC two-delta predictor stats "
+                              "and warmup-excluded accuracy")
 
     p_dis = sub.add_parser("disasm", help="print the assembled kernel")
     p_dis.add_argument("workload")
@@ -337,6 +402,14 @@ def build_parser():
                         action="store_true",
                         help="simulate workload targets and verify the "
                              "static collapse bound >= dynamic events")
+    p_lint.add_argument("--addr", action="store_true",
+                        help="print the per-load address-class table "
+                             "(loop/induction-variable pass)")
+    p_lint.add_argument("--addr-check", dest="addr_check",
+                        action="store_true",
+                        help="run the two-delta predictor per PC on "
+                             "workload targets and verify the static "
+                             "address classification")
 
     return parser
 

@@ -194,6 +194,7 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
         parts.append("")
     if include_extensions:
         parts.extend(_extension_sections(runner))
+    parts.extend(_addr_class_section(runner))
     if sanitize:
         parts.append("_Sanitized run: %d simulations re-checked against "
                      "the model invariants, zero violations (see "
@@ -241,6 +242,49 @@ def _extension_sections(runner):
         parts.append("```")
         parts.append("")
     return parts
+
+
+def _addr_class_section(runner):
+    """Static load-address classification vs dynamic predictor, per
+    workload (docs/LINT.md, ``repro lint --addr-check``)."""
+    from ..addrpred import run_address_predictor
+    from ..lint.addrclass import (
+        ALL_CLASSES,
+        AddressClassification,
+        cross_check,
+    )
+    from ..metrics import render_table
+    from ..workloads.registry import get_workload
+    headers = ["workload"] + list(ALL_CLASSES) \
+        + ["static bound", "dynamic cov", "steady acc", "check"]
+    rows = []
+    for name in runner.names:
+        program = get_workload(name).build(scale=runner.scale)
+        classification = AddressClassification(program)
+        trace = runner.trace(name)
+        prediction = run_address_predictor(trace, per_pc=True)
+        check = cross_check(classification, trace, prediction)
+        counts = classification.class_counts()
+        rows.append([name] + [counts[cls] for cls in ALL_CLASSES]
+                    + ["%.3f" % check.coverage_bound,
+                       "%.3f" % check.dynamic_coverage,
+                       "%.3f" % check.steady_accuracy,
+                       "ok" if check.ok else "FAILED"])
+    return [
+        "## Static load-address classification",
+        "",
+        "*Per-workload static load sites by address class "
+        "(loop/induction-variable pass, docs/LINT.md), the static "
+        "coverage upper bound vs the dynamic two-delta coverage, and "
+        "the per-PC cross-check verdict (`repro lint --addr-check`).*",
+        "",
+        "```",
+        render_table(headers, rows,
+                     title="load address classes and predictor "
+                           "cross-check"),
+        "```",
+        "",
+    ]
 
 
 def main(argv=None):

@@ -8,7 +8,12 @@ Two halves share this package:
   past ``.text``, condition-code def-use — plus a static
   collapsing-opportunity pass (:class:`StaticCollapseBound`) whose
   per-program upper bound is cross-checkable against the simulator's
-  dynamic :class:`~repro.collapse.stats.CollapseStats`;
+  dynamic :class:`~repro.collapse.stats.CollapseStats`, and a
+  loop/induction-variable pass (:class:`LoopForest`,
+  :class:`AddressClassification`) that classifies every static load's
+  address predictability and cross-checks it (:func:`cross_check`,
+  CLI flag ``--addr-check``) against per-PC two-delta predictor
+  histograms;
 - the **runtime sanitizer** (:class:`SchedulerSanitizer`, CLI flag
   ``--sanitize``) instruments the window scheduler to assert the model
   invariants every cycle and raises :class:`SanitizeError` on any
@@ -17,6 +22,13 @@ Two halves share this package:
 See ``docs/LINT.md`` for the check catalogue and rationale.
 """
 
+from .addrclass import (
+    AddressCheck,
+    AddressClassification,
+    PREDICTABLE_CLASSES,
+    check_addr_untracked,
+    cross_check,
+)
 from .analyzer import (
     LINT_CHECKS,
     lint_path,
@@ -27,18 +39,27 @@ from .analyzer import (
 from .cfg import ControlFlowGraph
 from .collapse_bound import StaticCollapseBound
 from .findings import SEV_ERROR, SEV_WARNING, Finding, LintReport
+from .loops import DominatorTree, Loop, LoopForest
 from .sanitize import SanitizeError, SchedulerSanitizer
 
 __all__ = [
+    "AddressCheck",
+    "AddressClassification",
     "ControlFlowGraph",
+    "DominatorTree",
     "Finding",
     "LintReport",
     "LINT_CHECKS",
+    "Loop",
+    "LoopForest",
+    "PREDICTABLE_CLASSES",
     "SanitizeError",
     "SchedulerSanitizer",
     "SEV_ERROR",
     "SEV_WARNING",
     "StaticCollapseBound",
+    "check_addr_untracked",
+    "cross_check",
     "lint_path",
     "lint_program",
     "lint_source",

@@ -8,6 +8,7 @@ same ``file:line`` format as semantic findings.
 
 from ..asm.assembler import assemble
 from ..errors import AssemblyError
+from .addrclass import AddressClassification, check_addr_untracked
 from .cfg import ControlFlowGraph
 from .collapse_bound import StaticCollapseBound
 from .dataflow import (
@@ -24,6 +25,7 @@ LINT_CHECKS = {
     "dead-store": check_dead_results,
     "unreachable": check_unreachable,
     "fallthrough-end": check_off_end,
+    "addr-untracked": check_addr_untracked,
 }
 
 
@@ -32,13 +34,14 @@ def lint_program(program, target="<program>", rules=None):
     cfg = ControlFlowGraph(program)
     findings = []
     for check in (check_unreachable, check_off_end, check_assignment,
-                  check_dead_results):
+                  check_dead_results, check_addr_untracked):
         findings.extend(check(program, cfg, file=target))
     report = LintReport(target, findings)
     report.instructions = cfg.n
     report.blocks = len(cfg.leaders)
     report.collapse_bound = StaticCollapseBound(program, rules=rules,
                                                cfg=cfg)
+    report.addr_classes = AddressClassification(program, cfg)
     return report
 
 

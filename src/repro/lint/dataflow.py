@@ -85,12 +85,20 @@ def _def_mask(ins):
 # Forward: definite assignment (uninitialized reads, cc before branch).
 # ----------------------------------------------------------------------
 
-def check_assignment(program, cfg, file="<program>"):
+def definite_assignment(program, cfg):
+    """Forward must-be-assigned masks, one per instruction.
+
+    ``result[i]`` has bit ``r`` set when register ``r`` is definitely
+    written on *every* strict path from the entry to instruction ``i``
+    (bit :data:`CC_BIT` for the condition codes).  Shared by the
+    uninit-read/cc-missing checks and the address-classification pass's
+    ``addr-untracked`` finding.
+    """
     instrs = program.instructions
     n = cfg.n
-    if not n:
-        return []
     live_in = [ALL_MASK] * n
+    if not n:
+        return live_in
     live_in[cfg.entry] = ENTRY_MASK
     work = [cfg.entry]
     while work:
@@ -108,6 +116,14 @@ def check_assignment(program, cfg, file="<program>"):
             if new != live_in[s]:
                 live_in[s] = new
                 work.append(s)
+    return live_in
+
+
+def check_assignment(program, cfg, file="<program>"):
+    instrs = program.instructions
+    if not cfg.n:
+        return []
+    live_in = definite_assignment(program, cfg)
     findings = []
     for i in sorted(cfg.reachable):
         ins = instrs[i]
@@ -229,5 +245,5 @@ def check_off_end(program, cfg, file="<program>"):
 
 
 __all__ = ["check_assignment", "check_dead_results", "check_unreachable",
-           "check_off_end", "reg_reads", "reg_defs", "ALL_MASK",
-           "ENTRY_MASK", "CC_BIT"]
+           "check_off_end", "definite_assignment", "reg_reads",
+           "reg_defs", "ALL_MASK", "ENTRY_MASK", "CC_BIT"]

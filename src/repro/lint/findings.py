@@ -54,6 +54,8 @@ class LintReport:
         self.findings = sorted(findings or [], key=Finding.sort_key)
         #: filled in by the analyzer: StaticCollapseBound or None
         self.collapse_bound = None
+        #: filled in by the analyzer: AddressClassification or None
+        self.addr_classes = None
         #: instruction / basic-block counts for the summary line
         self.instructions = 0
         self.blocks = 0

@@ -115,3 +115,61 @@ def test_runner_only_tracks_loads():
     result = run_address_predictor(builder.build())
     assert result.loads == 1
     assert set(result.attempted) == {2}
+
+
+# ------------------------------------------------------- per-PC stats
+
+def test_steady_accuracy_excludes_first_access_per_pc():
+    result = run_address_predictor(strided_load_loop(300))
+    # One static load PC: exactly one structural cold miss.
+    assert result.first_misses == 1
+    assert result.steady_accuracy >= result.raw_accuracy
+    assert result.warm_would_correct <= result.loads - 1
+
+
+def test_per_pc_disabled_by_default():
+    result = run_address_predictor(strided_load_loop(50))
+    assert result.per_pc is None
+
+
+def test_per_pc_histogram_strided():
+    result = run_address_predictor(strided_load_loop(200), per_pc=True)
+    assert len(result.per_pc) == 1
+    (stat,) = result.per_pc.values()
+    assert stat.count == 200
+    # A constant-stride stream never changes delta and is near-perfect
+    # once warm.
+    assert stat.delta_changes == 0
+    assert stat.steady_accuracy == 1.0
+    assert stat.coverage > 0.9
+    assert stat.correct == sum(
+        1 for ok in result.correct.values() if ok)
+
+
+def test_per_pc_histogram_pointer_chase():
+    result = run_address_predictor(pointer_chase_loop(200), per_pc=True)
+    (stat,) = result.per_pc.values()
+    # A random walk changes delta nearly every access and stays
+    # unpredictable.
+    assert stat.delta_changes > 0.8 * stat.count
+    assert stat.accuracy < 0.1
+    assert stat.coverage < 0.1
+
+
+def test_per_pc_relock_bound_holds_on_stride_change():
+    """The two-delta theorem: misses <= warmup + 2 * delta changes."""
+    from repro.trace.records import TraceBuilder
+
+    builder = TraceBuilder()
+    position = builder.load(dest=2, addr_reg=1, addr=0)
+    address = 0
+    # Three regimes: stride 4, then 16, then 4 again.
+    for stride in (4, 16, 4):
+        for _ in range(40):
+            address += stride
+            builder.repeat(position, eff_addr=address)
+    result = run_address_predictor(builder.build(), per_pc=True)
+    (stat,) = result.per_pc.values()
+    assert stat.delta_changes == 2
+    misses = stat.count - stat.correct
+    assert misses <= 3 + 2 * stat.delta_changes

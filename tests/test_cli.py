@@ -189,3 +189,44 @@ def test_sweep_parallel_and_cached_matches_serial(tmp_path, capsys):
     assert table(cold) == table(serial)
     assert table(warm) == table(serial)
     assert "10 from cache" in warm
+
+
+def test_lint_addr_table(capsys):
+    code, output = run_cli(capsys, "lint", "li", "--scale", "0.03",
+                           "--addr")
+    assert code == 0
+    assert "load address classes" in output
+    assert "chase" in output
+    assert "address classes:" in output
+
+
+def test_lint_addr_check(capsys):
+    code, output = run_cli(capsys, "lint", "compress", "--scale", "0.03",
+                           "--addr-check")
+    assert code == 0
+    assert "addr-check compress: ok" in output
+    assert "coverage bound" in output
+    assert ">= dynamic" in output
+
+
+def test_lint_addr_untracked_finding(tmp_path, capsys):
+    bad = tmp_path / "untracked.s"
+    bad.write_text(".text\n"
+                   "main: cmp %g2, 0\n"
+                   "be skip\n"
+                   "set buffer, %g1\n"
+                   "skip: ld [%g1], %g3\n"
+                   "halt\n"
+                   ".data\n"
+                   "buffer: .word 1\n")
+    code, output = run_cli(capsys, "lint", str(bad))
+    assert "[addr-untracked]" in output
+
+
+def test_stats_addr_pred(capsys):
+    code, output = run_cli(capsys, "stats", "compress", "--scale",
+                           "0.03", "--addr-pred")
+    assert code == 0
+    assert "per-PC two-delta predictor stats" in output
+    assert "steady accuracy" in output
+    assert "cold first accesses excluded" in output

@@ -65,6 +65,15 @@ def test_extensions_study(capsys):
     assert "value locality" in output
 
 
+def test_address_classes(capsys):
+    run_example("address_classes.py")
+    output = capsys.readouterr().out
+    assert "static claim vs dynamic behaviour" in output
+    assert "stride" in output and "chase" in output
+    assert "cross-check: ok" in output
+    assert "FAILED" not in output
+
+
 def test_future_predictors(capsys):
     run_example("future_predictors.py", "0.02", "8")
     output = capsys.readouterr().out
@@ -89,5 +98,5 @@ def test_every_example_is_covered(name):
     covered = {"quickstart.py", "paper_headline.py",
                "pointer_chasing_study.py", "custom_workload.py",
                "collapse_anatomy.py", "extensions_study.py",
-               "future_predictors.py"}
+               "future_predictors.py", "address_classes.py"}
     assert name in covered

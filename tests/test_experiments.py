@@ -173,3 +173,6 @@ def test_report_generation(tmp_path, runner):
     assert "Table 6" in text
     # All shape checks should pass at this scale.
     assert "- [ ]" not in text.split("## Table 1")[0]
+    # The address-classification section reports every workload clean.
+    assert "## Static load-address classification" in text
+    assert "FAILED" not in text
