@@ -1,0 +1,61 @@
+! recurrence_chain.s — the two faces of a loop recurrence
+! (`repro lint --recur`, docs/LINT.md "Loop-recurrence bounds").
+!
+!   PYTHONPATH=src python -m repro lint examples/recurrence_chain.s --recur
+!
+! Two innermost loops with opposite fates under the paper's machines:
+!
+! * `acc` carries its sum through TWO dependent adds — a 2-cycle
+!   recurrence on machine A (recMII 2, at most body/recMII = 2.0 IPC).
+!   Both links are collapsible ALU arcs, so configuration C's group
+!   merge dissolves the cycle entirely: no static cycle survives and
+!   the collapsed recMII drops to 0 (ceiling "inf" = this loop no
+!   longer bounds the machine).
+!
+! * `chase` walks a circular linked list: `ld [%o0], %o0` feeds its own
+!   address, a carried 2-cycle *load* recurrence.  Loads are not
+!   collapsible producers, and a chase-class address is exactly what
+!   d-speculation cannot predict — so recMII stays 2 in A, C *and* E.
+!   Restructuring helps the accumulator; nothing helps the chase.
+!
+! Expected `--recur` table (line/body/nodes/cycles, recMII and IPC
+! ceiling per variant):
+!
+!   line | body | nodes | cycles | recMII A | recMII C | recMII E | ceil A | ceil C | ceil E | note
+!   -----+------+-------+--------+----------+----------+----------+--------+--------+--------+-----
+!     35 |    4 |     4 |      2 |        2 |        0 |        0 |    2.0 |    inf |    inf |    -
+!     41 |    3 |     3 |      2 |        2 |        2 |        2 |    1.5 |    1.5 |    1.5 |    -
+
+        .equ N, 16
+        .equ LAPS, 8
+        .text
+main:
+        mov     N, %g1              ! accumulator-loop counter
+        mov     0, %o1              ! running sum
+acc:    add     %o1, 3, %o1         ! first link of the carried chain
+        add     %o1, 1, %o1         ! second link: 2 cycles per lap (A)
+        subcc   %g1, 1, %g1
+        bne     acc
+        set     head, %o0           ! list cursor (follows memory)
+        mov     LAPS, %g2           ! chase-loop counter
+chase:  ld      [%o0], %o0          ! next pointer: load feeds address
+        subcc   %g2, 1, %g2
+        bne     chase
+        set     result, %o3
+        st      %o1, [%o3]
+        halt
+
+! The list is circular (n8 -> n1) so a fixed lap count never reaches a
+! null pointer; the walk order is shuffled to keep the address stream
+! irregular, as in pointer_chase.s.
+        .data
+head:   .word   n4
+n1:     .word   n6
+n2:     .word   n7
+n3:     .word   n1
+n4:     .word   n3
+n5:     .word   n8
+n6:     .word   n2
+n7:     .word   n5
+n8:     .word   n1
+result: .word   0

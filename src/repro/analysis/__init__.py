@@ -1,5 +1,11 @@
 """Dependence-graph analysis: dataflow limits (paper Section 1)."""
 
-from .depgraph import DependenceGraph, collapsed_critical_path
+from .depgraph import (
+    DependenceGraph,
+    collapsed_critical_path,
+    collapsed_depths,
+    restructured_depths,
+)
 
-__all__ = ["DependenceGraph", "collapsed_critical_path"]
+__all__ = ["DependenceGraph", "collapsed_critical_path",
+           "collapsed_depths", "restructured_depths"]

@@ -34,9 +34,18 @@ class DependenceGraph:
     ``"data"`` for store data).
     """
 
-    def __init__(self, trace):
+    def __init__(self, trace, cut_addr_loads=None):
+        """``cut_addr_loads`` is an optional set of *static* indices of
+        loads whose address-input register edges are removed — the graph
+        ideal address speculation executes (the load's start no longer
+        waits for address generation).  Memory and store-data edges are
+        kept: speculation breaks address *generation* dependences only.
+        """
         self.trace = trace
+        self.cut_addr_loads = frozenset(cut_addr_loads) \
+            if cut_addr_loads else frozenset()
         self.preds = []          # per position: list of (producer, kind)
+        self._depths = None
         self._build()
 
     def _build(self):
@@ -51,6 +60,7 @@ class DependenceGraph:
         dest_col = static.dest
         cls_col = static.cls
         eff_addr = trace.eff_addr
+        cut = self.cut_addr_loads
 
         reg_writer = [-1] * 33
         mem_writer = {}
@@ -58,9 +68,10 @@ class DependenceGraph:
         for i, s in enumerate(sidx):
             cls = cls_col[s]
             plist = []
-            for src in (src1_col[s], src2_col[s]):
-                if src >= 0 and reg_writer[src] >= 0:
-                    plist.append((reg_writer[src], "reg"))
+            if not (cls == LD and s in cut):
+                for src in (src1_col[s], src2_col[s]):
+                    if src >= 0 and reg_writer[src] >= 0:
+                        plist.append((reg_writer[src], "reg"))
             if cls == ST:
                 data = datasrc_col[s]
                 if data >= 0 and reg_writer[data] >= 0:
@@ -95,8 +106,12 @@ class DependenceGraph:
         """Earliest dataflow completion time per position.
 
         ``depth[i] = max over producers p of depth[p]`` plus i's own
-        latency — the longest dependence path ending at i.
+        latency — the longest dependence path ending at i.  The array is
+        computed once and cached (the graph is immutable after
+        ``_build``); treat the returned list as read-only.
         """
+        if self._depths is not None:
+            return self._depths
         lat = self.trace.static.lat
         sidx = self.trace.sidx
         depths = [0] * len(self.preds)
@@ -106,6 +121,7 @@ class DependenceGraph:
                 if depths[p] > start:
                     start = depths[p]
             depths[i] = start + lat[sidx[i]]
+        self._depths = depths
         return depths
 
     def critical_path(self):
@@ -160,16 +176,106 @@ class DependenceGraph:
         return len(self.preds) / cycles
 
 
-def collapsed_critical_path(trace, rules):
-    """Critical path when every legal collapse is applied greedily.
+def restructured_depths(trace, collapse=False, cut_addr_loads=None,
+                        cut_all_loads=False):
+    """Per-position depths of the *restructured* dependence graph
+    (Figure 1.e): the sound dataflow limit of the collapsing /
+    speculating machines.
+
+    ``collapse=True`` contracts every collapsible-class arc (register
+    or condition-code edge between ``COLLAPSIBLE_PRODUCERS`` and
+    ``COLLAPSIBLE_CONSUMERS`` classes): the consumer's start waits for
+    the producer's *start*, not its completion.  This matches — and
+    lower-bounds — the window scheduler's group merge, which makes a
+    merged consumer inherit the producer's still-pending input arcs
+    and never wait out the producer's latency; applying the contraction
+    to *every* such arc with no group-size cap makes the resulting
+    critical path a lower bound on the cycles of any legal collapse
+    schedule (the greedy :func:`collapsed_depths` is an achievable
+    estimate, not a bound — group-size interactions can make the real
+    machine beat it).
+
+    ``cut_addr_loads`` (a set of static indices) or
+    ``cut_all_loads=True`` additionally removes the address-input
+    register arcs of those loads, the edges address speculation
+    breaks.  Ideal speculation (configuration E) clears a load's
+    pending address arcs *including* arcs inherited from a merged
+    address producer, so cutting the arcs entirely — with
+    ``cut_all_loads`` for the ideal machine — under-estimates it
+    soundly.  Memory and store-data arcs are never contracted or cut.
+    """
+    static = trace.static
+    sidx = trace.sidx
+    lat_col = static.lat
+    cls_col = static.cls
+    src1_col = static.src1
+    src2_col = static.src2
+    datasrc_col = static.datasrc
+    reads_cc_col = static.reads_cc
+    writes_cc_col = static.writes_cc
+    dest_col = static.dest
+    producer_ok = static.producer_ok
+    consumer_ok = static.consumer_ok
+    eff_addr = trace.eff_addr
+    cut_set = frozenset(cut_addr_loads) if cut_addr_loads else frozenset()
+
+    reg_writer = [-1] * 33
+    mem_writer = {}
+    n = len(trace)
+    starts = [0] * n
+    depths = [0] * n
+    for i, s in enumerate(sidx):
+        cls = cls_col[s]
+        start = 0
+        cut = cls == LD and (cut_all_loads or s in cut_set)
+        contract = collapse and consumer_ok[s]
+        if not cut:
+            for src in (src1_col[s], src2_col[s]):
+                if src >= 0 and reg_writer[src] >= 0:
+                    p = reg_writer[src]
+                    value = starts[p] if contract \
+                        and producer_ok[sidx[p]] else depths[p]
+                    if value > start:
+                        start = value
+        if cls == ST:
+            data = datasrc_col[s]
+            if data >= 0 and reg_writer[data] >= 0 \
+                    and depths[reg_writer[data]] > start:
+                start = depths[reg_writer[data]]
+        if reads_cc_col[s] and reg_writer[32] >= 0:
+            p = reg_writer[32]
+            value = starts[p] if contract and producer_ok[sidx[p]] \
+                else depths[p]
+            if value > start:
+                start = value
+        if cls == LD:
+            p = mem_writer.get(eff_addr[i] >> 2, -1)
+            if p >= 0 and depths[p] > start:
+                start = depths[p]
+        starts[i] = start
+        depths[i] = start + lat_col[s]
+        dest = dest_col[s]
+        if dest >= 0:
+            reg_writer[dest] = i
+        if writes_cc_col[s]:
+            reg_writer[32] = i
+        if cls == ST:
+            mem_writer[eff_addr[i] >> 2] = i
+    return depths
+
+
+def collapsed_depths(trace, rules, graph=None):
+    """Per-position depths when every legal collapse is applied greedily.
 
     This is the *unwindowed* analogue of the simulator's collapsing: with
     unlimited lookahead, each instruction merges its still-beneficial
     producers subject to ``rules`` (group size, operand count, zero
     detection).  Distance/window restrictions do not apply — the point is
-    the graph-restructuring limit of Figure 1.e.
+    the graph-restructuring limit of Figure 1.e.  Pass ``graph`` to reuse
+    an already-built :class:`DependenceGraph` of the same trace.
     """
-    graph = DependenceGraph(trace)
+    if graph is None:
+        graph = DependenceGraph(trace)
     static = trace.static
     sidx = trace.sidx
     lat = static.lat
@@ -212,4 +318,11 @@ def collapsed_critical_path(trace, rules):
                     start = producer_start
         depths[i] = start + lat[s]
         groups[i] = group
+    return depths
+
+
+def collapsed_critical_path(trace, rules):
+    """Critical path under greedy collapsing (max of
+    :func:`collapsed_depths`)."""
+    depths = collapsed_depths(trace, rules)
     return max(depths) if depths else 0

@@ -266,6 +266,42 @@ def _lint_addr_check(name, report, scale):
     return check.ok
 
 
+def _lint_recur_check(name, report, scale, widest=2048):
+    """Verify the static recurrence bounds against the dynamic
+    dependence graphs and the simulated machines (soundness chain:
+    static <= dynamic growth, static IPC bound >= dataflow IPC >=
+    simulated IPC at the widest machine)."""
+    from .lint import recurrence_cross_check
+    from .lint.recurrence import VARIANTS
+    from .workloads import cached_trace
+    trace = cached_trace(name, scale)
+    check = recurrence_cross_check(report.recurrence, trace,
+                                   widest=widest)
+    print("  recur-check %s: %s — %d loops, %d runs checked "
+          "(width %d)"
+          % (name, "ok" if check.ok else "FAILED",
+             check.loops_checked, check.runs_checked, check.widest))
+    from .lint.ipcbound import SIM_LETTERS
+    graph_keys = {"A": "A", "C": "C", "E": "E_ideal"}
+    for variant in VARIANTS:
+        bound = check.static_bound[variant]
+        line = ("    %s: static floor %d cycles, bound %s IPC >= "
+                "dataflow %.2f IPC"
+                % (variant, check.static_floor[variant],
+                   "%.2f" % bound if bound is not None else "inf",
+                   check.ipc[variant]))
+        sim = check.sim.get(SIM_LETTERS[variant])
+        if sim is not None:
+            key = graph_keys[variant]
+            if key != variant:
+                line += "; ideal-cut %.2f IPC" % (check.ipc[key],)
+            line += " >= simulated %.2f IPC" % (sim,)
+        print(line)
+    for violation in check.violations:
+        print("    " + violation)
+    return check.ok
+
+
 def cmd_lint(args):
     from .lint import lint_path, lint_workload
 
@@ -278,6 +314,7 @@ def cmd_lint(args):
               "or --all)", file=sys.stderr)
         return 2
     failed = False
+    violated = False
     for target in targets:
         if target in WORKLOADS:
             report = lint_workload(target, scale=args.scale)
@@ -309,6 +346,18 @@ def cmd_lint(args):
             counts = report.addr_classes.class_counts()
             print("  address classes: " + "  ".join(
                 "%s %d" % (cls, n) for cls, n in counts.items() if n))
+        if args.recur and report.recurrence is not None:
+            rows = report.recurrence.summary_rows()
+            if rows:
+                print(render_table(
+                    ["line", "body", "nodes", "cycles",
+                     "recMII A", "recMII C", "recMII E",
+                     "ceil A", "ceil C", "ceil E", "note"],
+                    [list(row) for row in rows],
+                    title="loop recurrence bounds: %s"
+                          % (report.target,)))
+            else:
+                print("  no innermost reducible loops to bound")
         if args.cross_check and name is not None \
                 and report.collapse_bound is not None:
             if not _lint_cross_check(name, report, args.scale):
@@ -317,6 +366,12 @@ def cmd_lint(args):
                 and report.addr_classes is not None:
             if not _lint_addr_check(name, report, args.scale):
                 failed = True
+        if args.recur_check and name is not None \
+                and report.recurrence is not None:
+            if not _lint_recur_check(name, report, args.scale):
+                violated = True
+    if violated:
+        return 2
     return 1 if failed else 0
 
 
@@ -410,6 +465,16 @@ def build_parser():
                         help="run the two-delta predictor per PC on "
                              "workload targets and verify the static "
                              "address classification")
+    p_lint.add_argument("--recur", action="store_true",
+                        help="print the per-loop recurrence (recMII) "
+                             "table for the base / collapsed / "
+                             "d-speculated graph variants")
+    p_lint.add_argument("--recur-check", dest="recur_check",
+                        action="store_true",
+                        help="verify the static recurrence bounds "
+                             "against the trace dependence graphs and "
+                             "the simulated machines (exit 2 on "
+                             "violation)")
 
     return parser
 

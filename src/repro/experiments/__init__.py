@@ -18,6 +18,7 @@ from .extensions import (
     elimination_counts,
     extension_figure,
     predictor_comparison,
+    recurrence_bounds,
 )
 from .parallel import SweepProfile, run_cells
 from .runner import ExperimentRunner
@@ -31,5 +32,5 @@ __all__ = [
     "figure8", "figure9", "figure10",
     "table1", "table2", "table3", "table4", "table5", "table6",
     "dataflow_limits", "elimination_counts", "extension_figure",
-    "predictor_comparison",
+    "predictor_comparison", "recurrence_bounds",
 ]

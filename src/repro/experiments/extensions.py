@@ -80,7 +80,7 @@ def dataflow_limits(runner):
     from ..analysis import DependenceGraph, collapsed_critical_path
     width = runner.widths[-1]
     headers = ["workload", "dataflow IPC", "collapsed-dataflow IPC",
-               "A @ widest", "C @ widest"]
+               "A @ widest", "C @ widest", "E @ widest"]
     rows = []
     for name in runner.names:
         def compute(name=name):
@@ -100,13 +100,75 @@ def dataflow_limits(runner):
             length / collapsed if collapsed else 0.0,
             runner.result(name, "A", width).ipc,
             runner.result(name, "C", width).ipc,
+            runner.result(name, "E", width).ipc,
         ])
     return Exhibit(
         "Dataflow", "Critical-path limits vs. simulated machines "
         "(widest width: %d)" % width, headers, rows,
         note="dataflow limits assume unbounded resources and perfect "
              "control; simulated machines add windows and real branch "
-             "prediction")
+             "prediction; the greedy collapsed limit is an estimate, "
+             "not a bound on E — see the recurrence exhibit")
+
+
+def recurrence_bounds(runner):
+    """Static loop-recurrence IPC ceilings vs the restructured
+    dependence graphs vs the simulated machines.
+
+    Per workload and graph variant (A base, C collapsed, E
+    d-speculated): the static ceiling ``instructions / recurrence
+    floor`` derived from program text by :mod:`repro.lint.recurrence`,
+    the dataflow-limit IPC of the matching restructured trace graph,
+    and the simulated IPC at the widest machine.  ``graph E`` cuts only
+    the loads the static pass classifies predictable (realizable
+    speculation); ``graph E*`` cuts every load's address arcs — the
+    oracle configuration E actually models, and the graph its simulated
+    IPC is checked against.
+    """
+    from ..lint.ipcbound import recurrence_cross_check
+    from ..lint.recurrence import VARIANTS, RecurrenceAnalysis
+    from ..workloads.registry import get_workload
+    width = runner.widths[-1]
+    headers = (["workload", "loops"]
+               + ["static %s" % v for v in VARIANTS]
+               + ["graph A", "graph C", "graph E", "graph E*"]
+               + ["%s @ widest" % v for v in VARIANTS]
+               + ["check"])
+    rows = []
+    for name in runner.names:
+        def compute(name=name):
+            program = get_workload(name).build(scale=runner.scale)
+            trace = runner.trace(name)
+            analysis = RecurrenceAnalysis(program)
+            check = recurrence_cross_check(analysis, trace,
+                                           simulate=False)
+            return [check.n, check.loops_checked,
+                    [check.static_floor[v] for v in VARIANTS],
+                    [check.cp[k] for k in ("A", "C", "E", "E_ideal")],
+                    len(check.violations)]
+
+        n, loops, floors, paths, violations = runner.cached_blob(
+            "recurrence-bounds",
+            {"name": name, "scale": repr(runner.scale)}, compute)
+        graph_ipc = [n / cp if cp else 0.0 for cp in paths]
+        sims = [runner.result(name, letter, width).ipc
+                for letter in VARIANTS]
+        ok = not violations
+        for limit, sim in zip((graph_ipc[0], graph_ipc[1],
+                               graph_ipc[3]), sims):
+            if limit * (1 + 1e-9) < sim:
+                ok = False
+        rows.append([name, loops]
+                    + [(n / f if f else "inf") for f in floors]
+                    + graph_ipc + sims
+                    + ["ok" if ok else "FAILED"])
+    return Exhibit(
+        "Recurrence", "Static recMII ceilings vs dependence-graph "
+        "limits vs simulated machines (widest width: %d)" % width,
+        headers, rows,
+        note="per variant: static ceiling >= matching graph limit >= "
+             "simulated IPC (E via graph E*, all address arcs cut); "
+             "'inf' = no once-per-iteration must-recurrence survives")
 
 
 def predictor_comparison(runner, width=16):

@@ -195,6 +195,7 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
     if include_extensions:
         parts.extend(_extension_sections(runner))
     parts.extend(_addr_class_section(runner))
+    parts.extend(_recurrence_section(runner))
     if sanitize:
         parts.append("_Sanitized run: %d simulations re-checked against "
                      "the model invariants, zero violations (see "
@@ -282,6 +283,28 @@ def _addr_class_section(runner):
         render_table(headers, rows,
                      title="load address classes and predictor "
                            "cross-check"),
+        "```",
+        "",
+    ]
+
+
+def _recurrence_section(runner):
+    """Static loop-recurrence IPC ceilings vs graphs vs machines
+    (docs/LINT.md, ``repro lint --recur-check``)."""
+    from .extensions import recurrence_bounds
+    exhibit = recurrence_bounds(runner)
+    return [
+        "## Static loop-recurrence bounds",
+        "",
+        "*Per-workload static recMII-derived IPC ceilings under the "
+        "base (A), collapsed (C) and d-speculated (E) dependence-graph "
+        "variants, the dataflow limits of the matching restructured "
+        "trace graphs, and the simulated IPC at the widest machine "
+        "(`repro lint --recur-check`).  Collapsing shortens recurrence "
+        "cycles; speculation breaks them (paper Figure 1.e).*",
+        "",
+        "```",
+        exhibit.render(),
         "```",
         "",
     ]

@@ -13,7 +13,12 @@ Two halves share this package:
   :class:`AddressClassification`) that classifies every static load's
   address predictability and cross-checks it (:func:`cross_check`,
   CLI flag ``--addr-check``) against per-PC two-delta predictor
-  histograms;
+  histograms, and a loop-recurrence pass
+  (:class:`RecurrenceAnalysis`, CLI flag ``--recur``) that derives
+  static per-loop recMII / IPC ceilings under base, collapsed and
+  d-speculated dependence-graph variants and cross-checks the whole
+  static -> dataflow -> simulator chain
+  (:func:`recurrence_cross_check`, CLI flag ``--recur-check``);
 - the **runtime sanitizer** (:class:`SchedulerSanitizer`, CLI flag
   ``--sanitize``) instruments the window scheduler to assert the model
   invariants every cycle and raises :class:`SanitizeError` on any
@@ -38,8 +43,11 @@ from .analyzer import (
 )
 from .cfg import ControlFlowGraph
 from .collapse_bound import StaticCollapseBound
+from .cycles import elementary_cycles
 from .findings import SEV_ERROR, SEV_WARNING, Finding, LintReport
+from .ipcbound import RecurrenceCheck, recurrence_cross_check
 from .loops import DominatorTree, Loop, LoopForest
+from .recurrence import LoopRecurrence, RecurrenceAnalysis
 from .sanitize import SanitizeError, SchedulerSanitizer
 
 __all__ = [
@@ -52,7 +60,10 @@ __all__ = [
     "LINT_CHECKS",
     "Loop",
     "LoopForest",
+    "LoopRecurrence",
     "PREDICTABLE_CLASSES",
+    "RecurrenceAnalysis",
+    "RecurrenceCheck",
     "SanitizeError",
     "SchedulerSanitizer",
     "SEV_ERROR",
@@ -60,8 +71,10 @@ __all__ = [
     "StaticCollapseBound",
     "check_addr_untracked",
     "cross_check",
+    "elementary_cycles",
     "lint_path",
     "lint_program",
     "lint_source",
     "lint_workload",
+    "recurrence_cross_check",
 ]

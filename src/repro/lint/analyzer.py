@@ -18,6 +18,7 @@ from .dataflow import (
     check_unreachable,
 )
 from .findings import Finding, LintReport
+from .recurrence import RecurrenceAnalysis
 
 #: check name -> callable(program, cfg, file) for the dataflow passes
 LINT_CHECKS = {
@@ -36,12 +37,18 @@ def lint_program(program, target="<program>", rules=None):
     for check in (check_unreachable, check_off_end, check_assignment,
                   check_dead_results, check_addr_untracked):
         findings.extend(check(program, cfg, file=target))
+    addr_classes = AddressClassification(program, cfg)
+    recurrence = RecurrenceAnalysis(program, cfg=cfg,
+                                    forest=addr_classes.forest,
+                                    classes=addr_classes)
+    findings.extend(recurrence.findings(file=target))
     report = LintReport(target, findings)
     report.instructions = cfg.n
     report.blocks = len(cfg.leaders)
     report.collapse_bound = StaticCollapseBound(program, rules=rules,
                                                cfg=cfg)
-    report.addr_classes = AddressClassification(program, cfg)
+    report.addr_classes = addr_classes
+    report.recurrence = recurrence
     return report
 
 

@@ -1,0 +1,160 @@
+"""Elementary-cycle enumeration (Johnson 1975).
+
+The recurrence analyzer (:mod:`repro.lint.recurrence`) needs every
+*elementary* cycle — a closed walk visiting no node twice — of the
+per-loop static dependence graph: each one is a candidate recurrence
+whose latency/distance ratio bounds the initiation interval.  Donald
+Johnson's algorithm enumerates them in output-polynomial time
+(``O((n + e)(c + 1))`` for ``c`` cycles) via the classic
+blocked/unblock machinery, processing one strongly connected component
+at a time so every cycle is reported exactly once, rooted at its
+smallest node.
+
+Graphs here are loop bodies — tens of nodes — but the enumeration is
+still capped (``limit``) because a pathological dependence mesh can
+hold exponentially many cycles.  Truncation is *sound* for the
+recurrence bounds (missing a cycle can only weaken them), but callers
+surface it as a note.
+"""
+
+
+def _scc_component(graph, start):
+    """The strongly connected component of ``start`` in ``graph``
+    (adjacency dict), or None when ``start`` lies on no cycle.
+
+    Iterative Tarjan restricted to nodes reachable from ``start``.
+    A single node counts only when it has a self edge.
+    """
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    result = [None]
+    counter = [0]
+    work = [(start, 0, None)]
+    while work:
+        v, pi, _ = work[-1]
+        if pi == 0:
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+        succs = graph.get(v, ())
+        recursed = False
+        while pi < len(succs):
+            w = succs[pi]
+            pi += 1
+            if w not in index:
+                work[-1] = (v, pi, None)
+                work.append((w, 0, None))
+                recursed = True
+                break
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if recursed:
+            continue
+        if low[v] == index[v]:
+            scc = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                scc.append(w)
+                if w == v:
+                    break
+            if start in scc and (len(scc) > 1
+                                 or start in graph.get(start, ())):
+                result[0] = frozenset(scc)
+        work.pop()
+        if work:
+            parent = work[-1][0]
+            low[parent] = min(low[parent], low[v])
+    return result[0]
+
+
+def elementary_cycles(graph, limit=1024):
+    """All elementary cycles of a directed graph.
+
+    ``graph`` maps each node to an iterable of successors (nodes must
+    be comparable and hashable; edges to nodes outside the dict are
+    ignored).  Returns ``(cycles, truncated)``: each cycle is a list of
+    nodes starting at its smallest member, in edge order; ``truncated``
+    is True when ``limit`` stopped the enumeration early.
+    """
+    nodes = sorted(graph)
+    adjacency = {u: sorted(w for w in set(graph[u]) if w in graph)
+                 for u in nodes}
+    cycles = []
+    truncated = False
+
+    for s in nodes:
+        if truncated:
+            break
+        # Subgraph induced on nodes >= s; only the SCC of s can hold
+        # cycles whose smallest node is s.
+        sub = {u: [w for w in adjacency[u] if w >= s]
+               for u in nodes if u >= s}
+        component = _scc_component(sub, s)
+        if component is None:
+            continue
+        comp_adj = {u: [w for w in sub[u] if w in component]
+                    for u in component}
+        blocked = set()
+        blocked_by = {}
+        path = []
+
+        def unblock(u):
+            queue = [u]
+            while queue:
+                v = queue.pop()
+                if v in blocked:
+                    blocked.discard(v)
+                    queue.extend(blocked_by.pop(v, ()))
+
+        # Iterative circuit(s): frames are (node, successor iterator,
+        # found-flag holder).
+        def circuit(root):
+            nonlocal truncated
+            found_any = False
+            frames = [[root, iter(comp_adj[root]), False]]
+            path.append(root)
+            blocked.add(root)
+            while frames:
+                frame = frames[-1]
+                v, succs, _ = frame
+                advanced = False
+                for w in succs:
+                    if len(cycles) >= limit:
+                        truncated = True
+                        break
+                    if w == root:
+                        cycles.append(list(path))
+                        frame[2] = True
+                    elif w not in blocked:
+                        frames.append([w, iter(comp_adj[w]), False])
+                        path.append(w)
+                        blocked.add(w)
+                        advanced = True
+                        break
+                if advanced:
+                    continue
+                frames.pop()
+                path.pop()
+                if frame[2]:
+                    unblock(v)
+                    found_any = True
+                    if frames:
+                        frames[-1][2] = True
+                else:
+                    for w in comp_adj[v]:
+                        blocked_by.setdefault(w, set()).add(v)
+                if truncated:
+                    while frames:
+                        frames.pop()
+                        path.pop()
+            return found_any
+
+        circuit(s)
+    return cycles, truncated
+
+
+__all__ = ["elementary_cycles"]

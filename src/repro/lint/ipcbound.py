@@ -1,0 +1,248 @@
+"""Dynamic and simulated cross-checks of the static recurrence bounds.
+
+:mod:`repro.lint.recurrence` derives, from program text alone, the
+per-iteration recurrence latency of every innermost reducible loop
+under three graph variants (base A, collapsed C, load-speculated E).
+This module asserts the full soundness chain against one trace of the
+same program:
+
+1. **static <= dynamic growth** — for every run of an analyzed loop
+   and every variant, the static per-lap recurrence latency is at most
+   the observed depth growth of the recurrence's anchor instruction in
+   the matching dynamic dependence graph: the base graph
+   (:meth:`DependenceGraph.depths`) for A, the freely-contracted graph
+   (:func:`restructured_depths`) for C, and the contracted graph with
+   the *statically predictable* loads' address arcs cut for E.
+
+2. **static IPC bound >= dataflow IPC** — the per-workload static
+   ceiling ``instructions / (best single-run recurrence floor)``
+   dominates the matching graph's dataflow-limit IPC.  Graph IPC uses
+   the *issue-based* critical path (``max(depth - latency) + 1``),
+   matching the simulator's cycle count (cycles end at the last issue,
+   not the last completion); the floor is a difference of same-
+   instruction depths — i.e. of issue times — so it never exceeds
+   that path.
+
+3. **dataflow IPC >= simulated IPC at the widest machine** — each
+   restructured graph's limit dominates the matching simulated
+   configuration: A against config A, contracted against config C,
+   and — because ideal speculation in the simulator breaks *every*
+   load's address dependences, not only the statically predictable
+   ones — the contracted graph with **all** load address arcs cut
+   against config E.  The statically-cut E graph is bridged to the
+   ideal one by ``CP(static cut) >= CP(all cut)``.
+
+A violation anywhere in the chain means a static must-edge does not
+materialize, a latency is mismodeled, or the scheduler outruns its
+own dependence graph — each worth a loud failure (exit code 2 in
+``repro lint --recur-check``).
+"""
+
+from ..analysis import DependenceGraph, restructured_depths
+from .addrclass import PREDICTABLE_CLASSES
+from .recurrence import VARIANTS
+
+#: simulated machine letter per graph variant
+SIM_LETTERS = {"A": "A", "C": "C", "E": "E"}
+
+_REL_TOL = 1e-9
+
+
+class RecurrenceCheck:
+    """Result of :func:`recurrence_cross_check` for one
+    (program, trace) pair."""
+
+    __slots__ = ("violations", "n", "cp", "ipc", "sim", "widest",
+                 "static_floor", "static_bound", "weighted",
+                 "loops_checked", "runs_checked")
+
+    def __init__(self):
+        self.violations = []
+        self.n = 0
+        #: variant -> critical path of the matching dynamic graph
+        #: (plus "E_ideal" for the all-loads-cut graph)
+        self.cp = {}
+        self.ipc = {}
+        self.sim = {}               # variant -> simulated IPC @ widest
+        self.widest = 0
+        #: variant -> largest single-run recurrence floor (cycles)
+        self.static_floor = dict.fromkeys(VARIANTS, 0)
+        #: variant -> n / floor, None when no run produced a floor
+        self.static_bound = dict.fromkeys(VARIANTS, None)
+        #: variant -> [loop-instructions, floor-cycles] summed over
+        #: runs: the descriptive trip-count-weighted ceiling
+        self.weighted = {variant: [0, 0] for variant in VARIANTS}
+        self.loops_checked = 0
+        self.runs_checked = 0
+
+    @property
+    def ok(self):
+        return not self.violations
+
+    def weighted_ceiling(self, variant):
+        instructions, cycles = self.weighted[variant]
+        if not cycles:
+            return None
+        return instructions / cycles
+
+
+def variant_depth_arrays(trace, classes):
+    """The four dynamic depth arrays the chain compares against:
+    ``A`` (base), ``C`` (freely contracted), ``E`` (contracted +
+    statically predictable loads cut) and ``E_ideal`` (contracted +
+    every load cut, the sound bound on ideal speculation)."""
+    predictable = {index for index, site in classes.by_index.items()
+                   if site.cls in PREDICTABLE_CLASSES}
+    return {
+        "A": DependenceGraph(trace).depths(),
+        "C": restructured_depths(trace, collapse=True),
+        "E": restructured_depths(trace, collapse=True,
+                                 cut_addr_loads=predictable),
+        "E_ideal": restructured_depths(trace, collapse=True,
+                                       cut_all_loads=True),
+    }
+
+
+def _scan_runs(analysis, trace):
+    """Per-loop runs of the trace: consecutive positions inside one
+    analyzed loop's body, with the positions of every variant's anchor
+    instruction.  Yields ``(rec, anchors, instructions)``."""
+    body_loop = {}
+    anchor_sets = {}
+    for rec in analysis.loops:
+        anchors = {rec.best[v].anchor for v in VARIANTS
+                   if rec.best[v] is not None}
+        if not anchors:
+            continue
+        anchor_sets[id(rec)] = anchors
+        for i in rec.loop.body:
+            body_loop[i] = rec
+    runs = []
+    current_rec = None
+    current_anchors = None
+    count = 0
+    for pos, s in enumerate(trace.sidx):
+        rec = body_loop.get(s)
+        if rec is not current_rec:
+            if current_rec is not None:
+                runs.append((current_rec, current_anchors, count))
+            current_rec = rec
+            current_anchors = {} if rec is not None else None
+            count = 0
+        if rec is not None:
+            count += 1
+            if s in anchor_sets[id(rec)]:
+                current_anchors.setdefault(s, []).append(pos)
+    if current_rec is not None:
+        runs.append((current_rec, current_anchors, count))
+    return runs
+
+
+def recurrence_cross_check(analysis, trace, sim_ipcs=None, widest=2048,
+                           simulate=True):
+    """Assert the static/dynamic/simulated soundness chain.
+
+    ``analysis`` is a :class:`repro.lint.recurrence.RecurrenceAnalysis`
+    of the program that produced ``trace``.  ``sim_ipcs`` may supply
+    precomputed ``{"A": ipc, "C": ipc, "E": ipc}`` at the widest
+    machine (e.g. from a report runner's cache); otherwise the three
+    configurations are simulated here at width ``widest`` unless
+    ``simulate`` is False, which skips link 3.
+    """
+    check = RecurrenceCheck()
+    check.n = len(trace)
+    check.widest = widest
+    depths = variant_depth_arrays(trace, analysis.classes)
+    lat = trace.static.lat
+    sidx = trace.sidx
+    for key, array in depths.items():
+        # Issue-based critical path (latest earliest-issue time + 1):
+        # the simulator counts cycles to the last *issue*, not the last
+        # completion, so the matching dataflow floor is max(start) + 1.
+        check.cp[key] = max(depth - lat[sidx[i]]
+                            for i, depth in enumerate(array)) + 1 \
+            if array else 0
+        check.ipc[key] = check.n / check.cp[key] if check.cp[key] \
+            else 0.0
+
+    # ---- link 1: static per-lap latency <= dynamic depth growth
+    checked_loops = set()
+    for rec, anchors, instructions in _scan_runs(analysis, trace):
+        check.runs_checked += 1
+        checked_loops.add(id(rec))
+        for variant in VARIANTS:
+            best = rec.best[variant]
+            if best is None:
+                continue
+            lat = best.latency[variant]
+            if not lat:
+                continue            # fully contracted: no constraint
+            positions = anchors.get(best.anchor, ())
+            laps = (len(positions) - 1) // best.dist
+            if laps < 1:
+                continue
+            array = depths[variant]
+            growth = array[positions[laps * best.dist]] \
+                - array[positions[0]]
+            need = laps * lat
+            if growth < need:
+                check.violations.append(
+                    "loop@%d variant %s: static recurrence floor %d "
+                    "cycles (%d laps x %d) exceeds dynamic depth "
+                    "growth %d at anchor #%d"
+                    % (rec.loop.header, variant, need, laps, lat,
+                       growth, best.anchor))
+            if need > check.static_floor[variant]:
+                check.static_floor[variant] = need
+            check.weighted[variant][0] += instructions
+            check.weighted[variant][1] += need
+    check.loops_checked = len(checked_loops)
+
+    # ---- link 2: static IPC bound >= dataflow IPC (matching graph)
+    for variant in VARIANTS:
+        floor = check.static_floor[variant]
+        if not floor:
+            continue
+        check.static_bound[variant] = check.n / floor
+        if floor > check.cp[variant]:
+            check.violations.append(
+                "variant %s: static cycle floor %d exceeds the "
+                "dataflow critical path %d — static IPC bound %.3f "
+                "undercuts the dataflow limit %.3f"
+                % (variant, floor, check.cp[variant],
+                   check.static_bound[variant], check.ipc[variant]))
+
+    # ---- link 3: dataflow IPC >= simulated IPC at the widest machine
+    if sim_ipcs is None and simulate:
+        from ..core.config import paper_config
+        from ..core.simulator import simulate_trace
+        sim_ipcs = {}
+        for variant, letter in SIM_LETTERS.items():
+            result = simulate_trace(trace,
+                                    paper_config(letter, widest))
+            sim_ipcs[variant] = result.ipc
+    if sim_ipcs:
+        check.sim = dict(sim_ipcs)
+        links = (("A", "A"), ("C", "C"), ("E", "E_ideal"))
+        for variant, graph_key in links:
+            sim = sim_ipcs.get(variant)
+            if sim is None:
+                continue
+            limit = check.ipc[graph_key]
+            if limit * (1 + _REL_TOL) < sim:
+                check.violations.append(
+                    "variant %s: dataflow limit %.3f IPC (graph %s) < "
+                    "simulated %.3f IPC at width %d — the scheduler "
+                    "outran its own dependence graph"
+                    % (variant, limit, graph_key, sim, widest))
+        if check.cp["E"] < check.cp["E_ideal"]:
+            check.violations.append(
+                "cutting every load's address arcs lengthened the "
+                "critical path (%d -> %d) — impossible for a pure "
+                "edge removal"
+                % (check.cp["E"], check.cp["E_ideal"]))
+    return check
+
+
+__all__ = ["RecurrenceCheck", "SIM_LETTERS", "recurrence_cross_check",
+           "variant_depth_arrays"]

@@ -2,9 +2,10 @@
 
 from helpers import sim
 
-from repro.analysis import DependenceGraph, collapsed_critical_path
+from repro.analysis import DependenceGraph, collapsed_critical_path, \
+    collapsed_depths, restructured_depths
 from repro.collapse import CollapseRules
-from repro.trace.records import TraceBuilder
+from repro.trace.records import LD, TraceBuilder
 from repro.trace.synth import dependent_chain, independent_stream, \
     random_trace
 
@@ -119,3 +120,59 @@ def test_empty_trace():
     assert graph.critical_path() == 0
     assert graph.dataflow_ipc() == 0.0
     assert graph.critical_path_members() == []
+
+
+def test_depths_memoized():
+    graph = DependenceGraph(random_trace(120, seed=7))
+    assert graph.depths() is graph.depths()
+
+
+def test_cut_addr_loads_removes_address_edges():
+    builder = TraceBuilder()
+    builder.add(dest=1, src1=9, imm=True)
+    builder.load(dest=2, addr_reg=1, addr=0x10)
+    builder.add(dest=3, src1=2, imm=True)
+    trace = builder.build()
+    plain = DependenceGraph(trace)
+    cut = DependenceGraph(trace, cut_addr_loads={trace.sidx[1]})
+    assert cut.critical_path() < plain.critical_path()
+    assert not any(kind == "reg" for _, kind in cut.edges_of(1))
+
+
+def test_restructured_matches_plain_without_options():
+    for seed in range(4):
+        trace = random_trace(200, seed=seed, load_frac=0.3)
+        assert restructured_depths(trace) \
+            == DependenceGraph(trace).depths()
+
+
+def test_restructured_contraction_pointwise_below_plain():
+    for seed in range(4):
+        trace = random_trace(200, seed=seed, load_frac=0.3)
+        plain = DependenceGraph(trace).depths()
+        contracted = restructured_depths(trace, collapse=True)
+        assert all(c <= p for c, p in zip(contracted, plain))
+
+
+def test_restructured_cut_ordering():
+    """Cutting more address arcs can only lower every depth."""
+    for seed in range(4):
+        trace = random_trace(250, seed=seed, load_frac=0.4)
+        loads = {s for i, s in enumerate(trace.sidx)
+                 if trace.static.cls[s] == LD}
+        some = set(sorted(loads)[: len(loads) // 2])
+        uncut = restructured_depths(trace, collapse=True)
+        part = restructured_depths(trace, collapse=True,
+                                   cut_addr_loads=some)
+        full = restructured_depths(trace, collapse=True,
+                                   cut_all_loads=True)
+        assert all(f <= p <= u for f, p, u in zip(full, part, uncut))
+
+
+def test_restructured_contraction_bounds_collapsed_estimate():
+    """Free contraction is a floor under the greedy group estimate."""
+    for seed in range(4):
+        trace = random_trace(250, seed=seed, load_frac=0.3)
+        free = restructured_depths(trace, collapse=True)
+        greedy = collapsed_depths(trace, PAPER)
+        assert all(f <= g for f, g in zip(free, greedy))

@@ -230,3 +230,30 @@ def test_stats_addr_pred(capsys):
     assert "per-PC two-delta predictor stats" in output
     assert "steady accuracy" in output
     assert "cold first accesses excluded" in output
+
+
+def test_lint_recur_table(capsys):
+    code, output = run_cli(capsys, "lint", "li", "--scale", "0.03",
+                           "--recur")
+    assert code == 0
+    assert "loop recurrence bounds" in output
+    assert "recMII A" in output and "ceil E" in output
+
+
+def test_lint_recur_check(capsys):
+    code, output = run_cli(capsys, "lint", "li", "--scale", "0.03",
+                           "--recur-check")
+    assert code == 0
+    assert "recur-check li: ok" in output
+    assert "static floor" in output
+    assert ">= dataflow" in output and ">= simulated" in output
+
+
+def test_lint_recur_on_plain_file(capsys, tmp_path):
+    simple = tmp_path / "tiny.s"
+    simple.write_text(
+        ".text\nmain: mov 4, %g1\n"
+        "loop: subcc %g1, 1, %g1\nbne loop\nhalt\n")
+    code, output = run_cli(capsys, "lint", str(simple), "--recur")
+    assert code == 0
+    assert "loop recurrence bounds" in output

@@ -51,3 +51,31 @@ def test_predictor_comparison_structure(runner):
     # ideal bounds everything.
     for row in exhibit.rows:
         assert row[4] >= max(row[1], row[2], row[3]) - 0.05
+
+
+def test_dataflow_limits_has_all_widest_columns(runner):
+    from repro.experiments import dataflow_limits
+    exhibit = dataflow_limits(runner)
+    assert exhibit.headers[-3:] == ["A @ widest", "C @ widest",
+                                    "E @ widest"]
+    for row in exhibit.rows:
+        # The plain dataflow limit dominates the simulated A machine.
+        assert row[1] >= row[3] - 1e-9
+
+
+def test_recurrence_bounds_chain_holds(runner):
+    from repro.experiments import recurrence_bounds
+    exhibit = recurrence_bounds(runner)
+    assert exhibit.headers[-1] == "check"
+    assert [row[0] for row in exhibit.rows] == list(runner.names)
+    cols = {h: i for i, h in enumerate(exhibit.headers)}
+    for row in exhibit.rows:
+        assert row[-1] == "ok", row
+        for variant, graph in (("A", "graph A"), ("C", "graph C"),
+                               ("E", "graph E")):
+            static = row[cols["static %s" % variant]]
+            if static != "inf":
+                assert static >= row[cols[graph]] - 1e-9, row
+        # The oracle graph (all address arcs cut) is never slower than
+        # the realizable one.
+        assert row[cols["graph E*"]] >= row[cols["graph E"]] - 1e-9
