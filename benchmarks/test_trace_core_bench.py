@@ -1,0 +1,128 @@
+"""SoA trace-core benches: scalar vs numpy kernels, plus the snapshot.
+
+Real multi-round timings of the paths the SoA refactor vectorized —
+fused dependence-depth propagation, the three predictor sweeps, SoA
+snapshot construction, and format-v2 save/load — each parametrized
+over ``REPRO_KERNEL`` so a run shows both sides.  The committed
+speedup snapshot lives in ``benchmarks/BENCH_trace_core.json``
+(refresh with ``python -m repro.bench.trace_core --write``); the
+measuring regression gate runs in CI via
+``python -m repro.bench.trace_core --check``, while here a cheap test
+validates the snapshot's shape and recorded acceptance floor.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy", reason="trace-core benches compare kernels", exc_type=ImportError)
+
+from repro import kernel
+from repro.addrpred import run_address_predictor
+from repro.bench.trace_core import DEPTH_FLOOR, GATED, SNAPSHOT
+from repro.bpred import run_branch_predictor
+from repro.trace.io import load_trace, save_trace
+from repro.vpred import run_value_predictor
+from repro.workloads import cached_trace
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.08"))
+KERNEL_MATRIX = ["python", "numpy"]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return cached_trace("espresso", BENCH_SCALE)
+
+
+def _kernelized(benchmark, kern, fn, rounds=3):
+    def run():
+        with kernel.kernel_override(kern):
+            return fn()
+    return benchmark.pedantic(run, rounds=rounds, iterations=1)
+
+
+@pytest.mark.parametrize("kern", KERNEL_MATRIX)
+def test_depth_kernel(benchmark, trace, kern):
+    from repro.analysis.depgraph import (DependenceGraph,
+                                         restructured_depths)
+    from repro.bench.trace_core import _clear_depth_cache
+
+    def all_variants():
+        # Cold each round: the numpy side re-derives its dependence
+        # columns, the scalar side re-walks the rename state.
+        _clear_depth_cache(trace)
+        DependenceGraph(trace).depths()
+        restructured_depths(trace, collapse=True)
+        restructured_depths(trace, collapse=True, cut_all_loads=True)
+        restructured_depths(trace, cut_all_loads=True)
+
+    _kernelized(benchmark, kern, all_variants)
+
+
+def test_depth_kernel_numpy_warm(benchmark, trace):
+    """The fused propagation alone, dependence columns pre-built —
+    the figure the >=10x acceptance criterion gates at scale 0.1."""
+    from repro.analysis.nkernel import _propagate, dep_columns
+
+    with kernel.kernel_override("numpy"):
+        columns = dep_columns(trace)
+        result = benchmark.pedantic(lambda: _propagate(columns),
+                                    rounds=5, iterations=1)
+    assert result.shape[0] == len(trace)
+
+
+@pytest.mark.parametrize("kern", KERNEL_MATRIX)
+def test_branch_sweep(benchmark, trace, kern):
+    result = _kernelized(benchmark, kern,
+                         lambda: run_branch_predictor(trace))
+    assert result.conditional > 0
+
+
+@pytest.mark.parametrize("kern", KERNEL_MATRIX)
+def test_address_sweep(benchmark, trace, kern):
+    result = _kernelized(
+        benchmark, kern,
+        lambda: run_address_predictor(trace, per_pc=True))
+    assert result.loads > 0
+
+
+@pytest.mark.parametrize("kern", KERNEL_MATRIX)
+def test_value_sweep(benchmark, trace, kern):
+    result = _kernelized(benchmark, kern,
+                         lambda: run_value_predictor(trace))
+    assert result.loads > 0
+
+
+def test_soa_snapshot_build(benchmark, trace):
+    def rebuild():
+        trace._soa = None
+        return trace.soa()
+    soa = benchmark.pedantic(rebuild, rounds=3, iterations=1)
+    assert soa.n == len(trace)
+
+
+def test_trace_v2_round_trip(benchmark, trace, tmp_path):
+    path = tmp_path / "bench.trace"
+
+    def round_trip():
+        save_trace(trace, path, version=2)
+        return load_trace(path, mmap=True)
+
+    loaded = benchmark.pedantic(round_trip, rounds=3, iterations=1)
+    assert len(loaded) == len(trace)
+
+
+def test_snapshot_records_acceptance_floor():
+    """The committed snapshot must exist, cover the gated fields, and
+    record the depth-kernel acceptance floor at scale 0.1."""
+    snapshot = json.loads(Path(SNAPSHOT).read_text())
+    assert snapshot["scale"] == 0.1
+    assert snapshot["workloads"], "empty snapshot"
+    for name, row in snapshot["workloads"].items():
+        for field in GATED:
+            assert field in row, (name, field)
+        assert row["depth_speedup"] >= DEPTH_FLOOR, \
+            (name, row["depth_speedup"])
+    assert snapshot["suite"]["depth_speedup_min"] >= DEPTH_FLOOR

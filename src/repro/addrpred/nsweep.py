@@ -1,0 +1,139 @@
+"""Vectorized two-delta address-predictor sweep (numpy kernel).
+
+Reproduces :func:`repro.addrpred.runner.run_address_predictor` with the
+default :class:`TwoDeltaTable` exactly.  Loads are bucketed by *table
+index* (aliasing included) with :func:`repro.nscan.segment_sort`; within
+a bucket the entry state unfolds without a sequential walk:
+
+- ``last_address`` / ``last_stride`` are segment shifts of the address
+  and observed-stride streams;
+- the *predicting* stride is the observed stride at the latest earlier
+  promotion (stride seen twice in a row), recovered with a running-max
+  forward fill over promotion positions, validated against the segment
+  start so promotions never leak across buckets;
+- the 2-bit confidence counter (+1 correct / -2 wrong) is a segmented
+  clamped-counter scan — correctness is stride-determined, so it can be
+  computed *before* the confidence pass.
+
+Per-PC histograms (:class:`repro.addrpred.runner.PerPCStat`) re-bucket
+the same outcome stream by PC, where occurrence ranks, warm hits and
+delta changes are segment arithmetic.
+"""
+
+import numpy as np
+
+from ..nscan import (
+    segment_first_index,
+    segment_shift,
+    segment_sort,
+    segmented_counter_states,
+)
+from ..trace.records import LD
+from .two_delta import TwoDeltaTable
+
+_MASK32 = np.int64(0xFFFFFFFF)
+
+
+def _load_stream(trace):
+    """(positions, pc, address) of every dynamic load, program order."""
+    soa = trace.soa()
+    mask = soa.gathered("cls") == LD
+    positions = np.flatnonzero(mask)
+    pc = soa.gathered("pc")[mask]
+    address = soa.dyn["eff_addr"][mask] & _MASK32
+    return positions, pc, address
+
+
+def two_delta_sweep(trace):
+    """Per-load ``(would_use, correct)`` of the default two-delta table.
+
+    Returns ``(positions, would_use, correct)`` aligned with the dynamic
+    load stream in program order.
+    """
+    positions, pc, address = _load_stream(trace)
+    n = positions.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=bool)
+        return positions, empty, empty
+    reference = TwoDeltaTable()
+    index = (pc >> 2) & reference.index_mask
+    order, seg_start, seg_id = segment_sort(index)
+
+    a = address[order]
+    last_address = segment_shift(a, seg_start, 0)
+    new_stride = (a - last_address) & _MASK32
+    promoted = new_stride == segment_shift(new_stride, seg_start, 0)
+
+    # Predicting stride before each event: the observed stride at the
+    # latest earlier promotion in the same bucket, else the initial 0.
+    slots = np.arange(n, dtype=np.int64)
+    latest = np.maximum.accumulate(np.where(promoted, slots, -1))
+    earlier = segment_shift(latest, seg_start, -1)
+    in_bucket = earlier >= segment_first_index(seg_start)
+    stride = np.where(in_bucket, new_stride[np.where(in_bucket, earlier, 0)],
+                      0)
+
+    predicted = (last_address + stride) & _MASK32
+    correct_sorted = predicted == a
+    confidence = segmented_counter_states(
+        seg_id, np.where(correct_sorted, reference.correct_reward,
+                         -reference.wrong_penalty),
+        0, reference.counter_max, 0)
+    would_sorted = confidence >= reference.confidence_threshold
+
+    correct = np.empty(n, dtype=bool)
+    correct[order] = correct_sorted
+    would_use = np.empty(n, dtype=bool)
+    would_use[order] = would_sorted
+    return positions, would_use, correct
+
+
+def per_pc_sweep(pc, address, would_use, correct):
+    """Vectorized :class:`PerPCStat` histograms, keyed by load PC.
+
+    Returns a dict ``pc -> field dict`` mirroring the scalar histogram
+    attributes; the runner wraps them back into ``PerPCStat`` objects.
+    """
+    from .runner import PC_WARMUP
+
+    order, seg_start, _ = segment_sort(pc)
+    a = address[order]
+    hit = correct[order]
+    used = would_use[order]
+    rank = np.arange(pc.shape[0], dtype=np.int64) \
+        - segment_first_index(seg_start) + 1
+
+    # Address deltas exist from the second occurrence of a PC on; a
+    # change is counted from the third (previous delta defined).
+    delta = (a - segment_shift(a, seg_start, 0)) & _MASK32
+    previous_delta = segment_shift(delta, seg_start, 0)
+    changed = (rank >= 3) & (delta != previous_delta)
+
+    starts = np.flatnonzero(seg_start)
+    counts = np.diff(np.append(starts, pc.shape[0]))
+    ends = starts + counts - 1
+
+    def _sums(values):
+        return np.add.reduceat(values.astype(np.int64), starts)
+
+    stats = {}
+    pc_sorted = pc[order]
+    correct_sums = _sums(hit)
+    warm_sums = _sums(hit & (rank > PC_WARMUP))
+    attempted_sums = _sums(used)
+    attempted_correct_sums = _sums(used & hit)
+    change_sums = _sums(changed)
+    for i, start in enumerate(starts.tolist()):
+        end = int(ends[i])
+        count = int(counts[i])
+        stats[int(pc_sorted[start])] = {
+            "count": count,
+            "correct": int(correct_sums[i]),
+            "attempted": int(attempted_sums[i]),
+            "attempted_correct": int(attempted_correct_sums[i]),
+            "warm_correct": int(warm_sums[i]),
+            "delta_changes": int(change_sums[i]),
+            "_last_address": int(a[end]),
+            "_last_delta": int(delta[end]) if count >= 2 else None,
+        }
+    return stats

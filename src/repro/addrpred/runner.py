@@ -23,6 +23,7 @@ address stream.  The static address classification
 exactly these histograms.
 """
 
+from .. import kernel
 from ..trace.records import LD
 from .two_delta import TwoDeltaTable
 
@@ -147,8 +148,15 @@ def run_address_predictor(trace, table=None, per_pc=False):
     ``per_pc=True`` additionally collects a :class:`PerPCStat` per
     static load address in ``result.per_pc`` (costs one dict lookup per
     load; leave off in the simulator hot path).
+
+    With the default table the pass dispatches to the vectorized sweep
+    (:mod:`repro.addrpred.nsweep`) under the numpy kernel; an explicit
+    ``table`` always runs the sequential loop, since the caller observes
+    its trained entries.
     """
     if table is None:
+        if kernel.use_numpy():
+            return _run_numpy(trace, per_pc)
         table = TwoDeltaTable()
     static = trace.static
     cls = static.cls
@@ -186,5 +194,48 @@ def run_address_predictor(trace, table=None, per_pc=False):
                 stat = histograms[pc] = PerPCStat(pc)
             stat.observe(address, would_use, correct)
     if histograms is not None:
+        result.per_pc = histograms
+    return result
+
+
+def _run_numpy(trace, per_pc):
+    """Vectorized pass, byte-identical to the sequential default run."""
+    from .nsweep import _load_stream, per_pc_sweep, two_delta_sweep
+
+    result = LoadPredictionResult()
+    positions, would_use, correct = two_delta_sweep(trace)
+    result.loads = int(positions.shape[0])
+    result.attempted = dict(zip(positions.tolist(), would_use.tolist()))
+    result.correct = dict(zip(positions.tolist(), correct.tolist()))
+    if not result.loads:
+        if per_pc:
+            result.per_pc = {}
+        return result
+
+    import numpy as np
+
+    _, pc, address = _load_stream(trace)
+    # First occurrence of each PC: a structurally cold table entry.
+    seen = np.zeros(len(pc), dtype=bool)
+    order = np.argsort(pc, kind="stable")
+    pc_sorted = pc[order]
+    first_sorted = np.empty(len(pc), dtype=bool)
+    first_sorted[0] = True
+    first_sorted[1:] = pc_sorted[1:] != pc_sorted[:-1]
+    seen[order] = ~first_sorted
+    result.first_misses = int(first_sorted.sum())
+    result.would_correct = int(correct.sum())
+    result.warm_would_correct = int((correct & seen).sum())
+
+    if per_pc:
+        stats = per_pc_sweep(pc, address, would_use, correct)
+        # Insert in first-occurrence program order, like the scalar pass.
+        histograms = {}
+        for index in np.sort(order[first_sorted]).tolist():
+            pc_value = int(pc[index])
+            stat = PerPCStat(pc_value)
+            for field, value in stats[pc_value].items():
+                setattr(stat, field, value)
+            histograms[pc_value] = stat
         result.per_pc = histograms
     return result

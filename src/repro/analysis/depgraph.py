@@ -22,6 +22,7 @@ Control dependences are ignored (perfect prediction), matching the
 its windowed results.
 """
 
+from .. import kernel
 from ..collapse.classify import Group
 from ..trace.records import LD, ST
 
@@ -32,6 +33,12 @@ class DependenceGraph:
     Edges point producer -> consumer; ``edges_of(pos)`` lists producer
     positions with their kinds (``"reg"``, ``"cc"``, ``"mem"``,
     ``"data"`` for store data).
+
+    The adjacency lists (``preds``) are built lazily: the numpy kernel
+    computes :meth:`depths` straight from the SoA dependence columns
+    (``repro.analysis.nkernel``) without materialising per-position
+    edge lists, so a graph used only for depth/critical-path queries
+    never pays for them.
     """
 
     def __init__(self, trace, cut_addr_loads=None):
@@ -44,9 +51,14 @@ class DependenceGraph:
         self.trace = trace
         self.cut_addr_loads = frozenset(cut_addr_loads) \
             if cut_addr_loads else frozenset()
-        self.preds = []          # per position: list of (producer, kind)
+        self._preds = None       # per position: list of (producer, kind)
         self._depths = None
-        self._build()
+
+    @property
+    def preds(self):
+        if self._preds is None:
+            self._build()
+        return self._preds
 
     def _build(self):
         trace = self.trace
@@ -64,7 +76,7 @@ class DependenceGraph:
 
         reg_writer = [-1] * 33
         mem_writer = {}
-        preds = self.preds
+        preds = self._preds = []
         for i, s in enumerate(sidx):
             cls = cls_col[s]
             plist = []
@@ -94,7 +106,7 @@ class DependenceGraph:
     # ------------------------------------------------------------------
 
     def __len__(self):
-        return len(self.preds)
+        return len(self.trace)
 
     def edges_of(self, position):
         return list(self.preds[position])
@@ -106,11 +118,16 @@ class DependenceGraph:
         """Earliest dataflow completion time per position.
 
         ``depth[i] = max over producers p of depth[p]`` plus i's own
-        latency — the longest dependence path ending at i.  The array is
-        computed once and cached (the graph is immutable after
-        ``_build``); treat the returned list as read-only.
+        latency — the longest dependence path ending at i.  Computed
+        once and cached; returned as a tuple so a mutating caller
+        cannot poison the cache (the recurrence cross-check and the
+        dataflow exhibits share this object).
         """
         if self._depths is not None:
+            return self._depths
+        if not self.cut_addr_loads and kernel.use_numpy():
+            from .nkernel import variant_depths
+            self._depths = tuple(variant_depths(self.trace).tolist())
             return self._depths
         lat = self.trace.static.lat
         sidx = self.trace.sidx
@@ -121,8 +138,8 @@ class DependenceGraph:
                 if depths[p] > start:
                     start = depths[p]
             depths[i] = start + lat[sidx[i]]
-        self._depths = depths
-        return depths
+        self._depths = tuple(depths)
+        return self._depths
 
     def critical_path(self):
         """Length of the longest dependence path (completion cycles)."""
@@ -204,6 +221,10 @@ def restructured_depths(trace, collapse=False, cut_addr_loads=None,
     ``cut_all_loads`` for the ideal machine — under-estimates it
     soundly.  Memory and store-data arcs are never contracted or cut.
     """
+    if cut_addr_loads is None and kernel.use_numpy():
+        from .nkernel import variant_depths
+        return variant_depths(trace, collapse=collapse,
+                              cut_all_loads=cut_all_loads).tolist()
     static = trace.static
     sidx = trace.sidx
     lat_col = static.lat

@@ -1,0 +1,386 @@
+"""Vectorized dependence-depth kernels (numpy).
+
+The scalar passes in :mod:`repro.analysis.depgraph` walk the trace once
+per depth variant, rebuilding the register/memory rename state each
+time.  This module computes the same per-position depths from the SoA
+trace view in three vectorized stages, sharing everything shareable:
+
+1. **Dependence columns** (:func:`dep_columns`): the producer matrix
+   ``P`` — for every dynamic instruction, the positions of its up-to-5
+   producers (src1, src2, condition codes, store data, memory) — built
+   with one batched binary search over the sorted register-write and
+   store-word streams ("rename tables") instead of a sequential walk.
+2. **Topological levels**: a Kahn peeling of the producer DAG, giving a
+   batching in which every instruction appears after its producers.
+3. **Fused propagation**: all four depth variants the report consumes
+   (plain, collapsed, collapsed+cut-loads, cut-loads — configurations
+   A/C/E/E-ideal of the recurrence cross-check) advance level by level
+   through one flat finish-time table.  Each arc carries a precomputed
+   additive adjustment ``adj = lat(consumer) - (lat(producer) if the
+   arc is contracted else 0)``, so a level step is exactly four numpy
+   calls: gather producer finishes, add ``adj``, max over the five
+   arcs, scatter the new finishes.  Depths are bounded by the latency
+   sum of the trace, so the whole table computes in int32 whenever
+   that fits (it always does at study scales), halving gather
+   bandwidth.
+
+Stages 1–2 depend only on the trace, not the variant, and are cached on
+the SoA snapshot; the per-variant results are cached as read-only
+arrays.  Inside a topological level there are no dependences left to
+respect — the only residual serial structure is the level *count* of
+true dependence recurrences (pointer chasing), which bounds how much
+this kernel can win on recurrence-dominated traces (see
+docs/PERFORMANCE.md).
+
+Everything returned is byte-identical to the scalar kernels: values are
+int64 and converted to native ints at the API boundary by the callers
+in ``depgraph``.
+"""
+
+import numpy as np
+
+from ..trace.records import LD, ST
+
+#: variant order in the fused table: (collapse, cut_all_loads)
+VARIANTS = ((False, False), (True, False), (True, True), (False, True))
+_NVAR = len(VARIANTS)
+
+
+class DepColumns:
+    """Shared dependence structure of one trace (variant-independent).
+
+    The arc list is CSR-packed and pre-sorted by topological level:
+    ``idx[a, v]`` indexes arc ``a``'s producer finish slot in the flat
+    ``(n + 1) * _NVAR`` table (row ``n`` is the constant-zero dummy for
+    absent and cut arcs), ``adj[a, v]`` is its additive adjustment,
+    ``rel`` holds each node's first-arc offset *relative to its level's
+    arc block* (the ``reduceat`` boundaries; every node keeps at least
+    one arc, dummy if need be), ``slots[i]`` are the node's own table
+    slots, and ``bounds``/``arc_bounds`` delimit each level's node and
+    arc ranges."""
+
+    __slots__ = ("n", "P", "lat", "load_mask", "idx", "adj", "rel",
+                 "slots", "order", "bounds", "arc_bounds", "nlevels",
+                 "dtype")
+
+    def __init__(self, n, P, lat, load_mask, idx, adj, rel, slots,
+                 order, bounds, arc_bounds, nlevels, dtype):
+        self.n = n
+        self.P = P
+        self.lat = lat
+        self.load_mask = load_mask
+        self.idx = idx
+        self.adj = adj
+        self.rel = rel
+        self.slots = slots
+        self.order = order
+        self.bounds = bounds
+        self.arc_bounds = arc_bounds
+        self.nlevels = nlevels
+        self.dtype = dtype
+
+
+def _last_writers(write_key, write_pos, write_reg, query_reg, query_pos,
+                  stride):
+    """Producer position of the last write of ``query_reg`` strictly
+    before ``query_pos`` (-1 when none), via one binary search over the
+    write stream sorted by ``reg * stride + pos``."""
+    if write_key.size == 0:
+        return np.full(query_reg.shape[0], -1, dtype=np.int64)
+    query = query_reg * stride + query_pos
+    slot = np.searchsorted(write_key, query) - 1
+    found = slot >= 0
+    slot = np.where(found, slot, 0)
+    found &= write_reg[slot] == query_reg
+    return np.where(found, write_pos[slot], -1)
+
+
+def _build_producers(soa):
+    """The (n, 5) producer-position matrix; column order src1, src2,
+    cc, store-data, memory; ``n`` encodes "no producer"."""
+    n = soa.n
+    pos = np.arange(n, dtype=np.int64)
+    cls = soa.gathered("cls")
+    src1 = soa.gathered("src1")
+    src2 = soa.gathered("src2")
+    dest = soa.gathered("dest")
+    datasrc = soa.gathered("datasrc")
+    reads_cc = soa.gathered("reads_cc")
+    writes_cc = soa.gathered("writes_cc")
+    eff = soa.dyn["eff_addr"]
+    stride = np.int64(n + 1)
+
+    # Register writes (condition codes are register 32), sorted by
+    # (register, position): the vectorized rename table.
+    wmask = dest >= 0
+    wreg = np.concatenate([dest[wmask],
+                           np.full(int(writes_cc.sum()), 32,
+                                   dtype=np.int64)])
+    wpos = np.concatenate([pos[wmask], pos[writes_cc]])
+    worder = np.argsort(wreg * stride + wpos)
+    wreg = wreg[worder]
+    wpos = wpos[worder]
+    wkey = wreg * stride + wpos
+
+    # One batched query for all register-file arcs.
+    is_store = cls == ST
+    store_data = np.where(is_store, datasrc, -1)
+    queries = ((src1, 0), (src2, 1),
+               (np.where(reads_cc, 32, -1), 2), (store_data, 3))
+    qreg = []
+    qslot = []
+    for column, arc in queries:
+        mask = column >= 0
+        qreg.append(column[mask])
+        qslot.append(pos[mask] * 5 + arc)
+    qreg = np.concatenate(qreg)
+    qslot = np.concatenate(qslot)
+    producers = _last_writers(wkey, wpos, wreg,
+                              qreg, qslot // 5, stride)
+
+    P = np.full(n * 5, n, dtype=np.int64)
+    hit = producers >= 0
+    P[qslot[hit]] = producers[hit]
+    P = P.reshape(n, 5)
+
+    # Memory arcs: the last store to the same word before each load.
+    word = eff >> 2
+    is_load = cls == LD
+    spos = pos[is_store]
+    sword = word[is_store]
+    sorder = np.argsort(sword * stride + spos)
+    sword = sword[sorder]
+    spos = spos[sorder]
+    skey = sword * stride + spos
+    mem = _last_writers(skey, spos, sword, word[is_load], pos[is_load],
+                        stride)
+    lp = pos[is_load]
+    hit = mem >= 0
+    P[lp[hit], 4] = mem[hit]
+    return P, is_load
+
+
+def _kahn_levels(P, n):
+    """Topological level per node (every producer on a lower level)."""
+    valid = P < n
+    indegree = valid.sum(axis=1).astype(np.int64)
+    producer = P[valid]
+    consumer = np.repeat(np.arange(n, dtype=np.int64),
+                         valid.sum(axis=1))
+    order = np.argsort(producer, kind="stable")
+    producer = producer[order]
+    consumer = consumer[order]
+    starts = np.searchsorted(producer, np.arange(n + 1, dtype=np.int64))
+    level = np.zeros(n, dtype=np.int64)
+    frontier = np.flatnonzero(indegree == 0)
+    depth = 0
+    while frontier.size:
+        level[frontier] = depth
+        depth += 1
+        lo = starts[frontier]
+        lengths = starts[frontier + 1] - lo
+        total = int(lengths.sum())
+        if not total:
+            break
+        flat = np.repeat(lo, lengths) \
+            + (np.arange(total, dtype=np.int64)
+               - np.repeat(np.cumsum(lengths) - lengths, lengths))
+        fanout = consumer[flat]
+        dec = np.bincount(fanout, minlength=n)
+        indegree -= dec
+        frontier = np.flatnonzero((dec > 0) & (indegree == 0))
+    return level, depth
+
+
+def _halve_levels(anode, idx, adj, counts, level, nlevels, n):
+    """Shrink the level count by (max, +) arc substitution.
+
+    An arc whose producer ``p`` sits on an odd level can be replaced by
+    ``p``'s own arcs with adjustments summed — exact in integer
+    (max, +) algebra, so depths stay byte-identical — after which the
+    map ``level -> (level + 1) // 2`` is again a valid topological
+    batching.  Each round halves the serial level count (the floor of
+    the level-synchronous kernel on recurrence-dominated traces) at the
+    cost of duplicating some arcs; rounds stop when the schedule is
+    short enough or the arc list would grow past a small multiple of
+    the trace.  Arcs are CSR-packed in node order: ``counts[i]`` arcs
+    per node, ``anode`` the producer node (``n`` = dummy), ``idx`` /
+    ``adj`` the per-variant gather slots and adjustments."""
+    rounds = 0
+    while nlevels > 48 and rounds < 8:
+        A = anode.shape[0]
+        node_starts = np.concatenate([[0], np.cumsum(counts)])
+        lvl_pad = np.concatenate([level, [-2]])
+        counts_pad = np.concatenate([counts, [0]])
+        starts_pad = np.concatenate([node_starts[:-1], [0]])
+        sub = (lvl_pad[anode] & 1) == 1
+        sizes = np.where(sub, counts_pad[anode], 1)
+        out_starts = np.concatenate([[0], np.cumsum(sizes)])
+        total = int(out_starts[-1])
+        if total > 16 * n + 64:
+            break
+        arange_a = np.arange(A, dtype=np.int64)
+        parent = np.repeat(arange_a, sizes)
+        base = np.where(sub, starts_pad[anode], arange_a)
+        flat = np.repeat(base, sizes) \
+            + (np.arange(total, dtype=np.int64)
+               - np.repeat(out_starts[:-1], sizes))
+        # Per variant: substitute only where the parent arc actually
+        # reads the producer's slot (a cut arc's dummy column keeps its
+        # constant contribution, merely duplicated).
+        ref = (idx[parent] == anode[parent, None] * _NVAR
+               + np.arange(_NVAR, dtype=np.int64)) & sub[parent, None]
+        new_idx = np.where(ref, idx[flat], idx[parent])
+        adj = np.where(ref, adj[parent] + adj[flat], adj[parent])
+        idx = new_idx
+        anode = anode[flat]
+        counts = np.add.reduceat(sizes, node_starts[:-1])
+        level = (level + 1) // 2
+        nlevels = int(level.max()) + 1
+        rounds += 1
+    return anode, idx, adj, counts, level, nlevels
+
+
+def dep_columns(trace):
+    """The cached :class:`DepColumns` of ``trace`` (built once)."""
+    soa = trace.soa()
+    columns = soa.cache.get("dep_columns")
+    if columns is not None:
+        return columns
+    n = soa.n
+    if n == 0:
+        columns = DepColumns(0, np.empty((0, 5), dtype=np.int64),
+                             np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=bool),
+                             np.empty((0, _NVAR), dtype=np.int32),
+                             np.empty((0, _NVAR), dtype=np.int32),
+                             np.empty(0, dtype=np.int64),
+                             np.empty((0, _NVAR), dtype=np.int32),
+                             np.empty(0, dtype=np.int64),
+                             np.zeros(1, dtype=np.int64),
+                             np.zeros(1, dtype=np.int64), 0, np.int32)
+        soa.cache["dep_columns"] = columns
+        return columns
+    P, load_mask = _build_producers(soa)
+    lat = soa.gathered("lat")
+    producer_ok = soa.gathered("producer_ok")
+    consumer_ok = soa.gathered("consumer_ok")
+    pok = np.concatenate([producer_ok, [False]])
+
+    # Every depth is bounded by the latency sum, so int32 suffices for
+    # any trace whose total latency fits (i.e. all study scales); the
+    # halved element size roughly halves propagation bandwidth.
+    dtype = np.int32 if int(lat.sum()) < 2 ** 31 else np.int64
+
+    # Flat gather indexes into the finish-time x variant table; row n
+    # is the permanent-zero dummy for absent producers.
+    idx = P[:, :, None] * _NVAR + np.arange(_NVAR, dtype=np.int64)
+    adj = np.broadcast_to(lat[:, None, None],
+                          (n, 5, _NVAR)).astype(np.int64).copy()
+    lat_pad = np.concatenate([lat, [0]])
+    for v, (collapse, cut) in enumerate(VARIANTS):
+        if collapse:
+            # A contracted register/cc arc waits for the producer's
+            # *start* (finish minus its latency), folded into adj.
+            for arc in (0, 1, 2):
+                contract = consumer_ok & pok[P[:, arc]]
+                adj[contract, arc, v] -= lat_pad[P[contract, arc]]
+        if cut:
+            # Address speculation removes the load's register arcs:
+            # point them at the dummy row with the plain adjustment.
+            dummy = np.int64(n) * _NVAR + v
+            for arc in (0, 1):
+                idx[load_mask, arc, v] = dummy
+                adj[load_mask, arc, v] = lat[load_mask]
+
+    # CSR-pack the arcs in node order, dropping dummy slots: a node
+    # with no producer at all keeps its (dummy) first arc so every
+    # reduceat segment is non-empty.
+    keep = P < n
+    keep[keep.sum(axis=1) == 0, 0] = True
+    counts = keep.sum(axis=1).astype(np.int64)
+    flat = keep.ravel()
+    anode = P.ravel()[flat]
+    aidx = idx.reshape(-1, _NVAR)[flat]
+    aadj = adj.reshape(-1, _NVAR)[flat]
+
+    level, nlevels = _kahn_levels(P, n)
+    anode, aidx, aadj, counts, level, nlevels = _halve_levels(
+        anode, aidx, aadj, counts, level, nlevels, n)
+
+    # Re-pack in level order and slice per-level node/arc ranges.
+    order = np.argsort(level, kind="stable")
+    bounds = np.searchsorted(level[order],
+                             np.arange(nlevels + 1, dtype=np.int64))
+    slots = order[:, None] * _NVAR + np.arange(_NVAR, dtype=np.int64)
+    node_starts = np.concatenate([[0], np.cumsum(counts)])
+    sizes = counts[order]
+    out_starts = np.concatenate([[0], np.cumsum(sizes)])
+    total = int(out_starts[-1])
+    arc_order = np.repeat(node_starts[order], sizes) \
+        + (np.arange(total, dtype=np.int64)
+           - np.repeat(out_starts[:-1], sizes))
+    arc_bounds = out_starts[bounds]
+    rel = out_starts[:-1] - np.repeat(arc_bounds[:-1],
+                                      bounds[1:] - bounds[:-1])
+    itype = np.int32 if (n + 1) * _NVAR < 2 ** 31 else np.int64
+    columns = DepColumns(
+        n, P, lat, load_mask,
+        np.ascontiguousarray(aidx[arc_order], dtype=itype),
+        np.ascontiguousarray(aadj[arc_order], dtype=dtype),
+        rel,
+        np.ascontiguousarray(slots, dtype=itype),
+        order, bounds, arc_bounds, nlevels, dtype)
+    soa.cache["dep_columns"] = columns
+    return columns
+
+
+def _propagate(columns):
+    """All four variant depth arrays in one level-synchronous pass."""
+    n = columns.n
+    table = np.zeros((n + 1) * _NVAR, dtype=columns.dtype)
+    idx = columns.idx
+    adj = columns.adj
+    rel = columns.rel
+    slots = columns.slots
+    bounds = columns.bounds.tolist()
+    arc_bounds = columns.arc_bounds.tolist()
+    node_sizes = np.diff(columns.bounds)
+    arc_sizes = np.diff(columns.arc_bounds)
+    gather = np.empty((int(arc_sizes.max()) if arc_sizes.size else 0,
+                       _NVAR), dtype=columns.dtype)
+    finish = np.empty((int(node_sizes.max()) if node_sizes.size else 0,
+                       _NVAR), dtype=columns.dtype)
+    maximum = np.maximum
+    for lvl in range(columns.nlevels):
+        lo = bounds[lvl]
+        hi = bounds[lvl + 1]
+        a0 = arc_bounds[lvl]
+        a1 = arc_bounds[lvl + 1]
+        g = gather[:a1 - a0]
+        np.take(table, idx[a0:a1], out=g, mode="clip")
+        np.add(g, adj[a0:a1], out=g)
+        f = maximum.reduceat(g, rel[lo:hi], axis=0,
+                             out=finish[:hi - lo])
+        table[slots[lo:hi]] = f
+    return table.reshape(n + 1, _NVAR)[:n]
+
+
+def variant_depths(trace, collapse=False, cut_all_loads=False):
+    """Depth array of one variant, computed fused and cached.
+
+    Matches ``DependenceGraph(trace).depths()`` /
+    :func:`repro.analysis.depgraph.restructured_depths` element for
+    element; the returned array is read-only.
+    """
+    soa = trace.soa()
+    key = ("variant_depths", bool(collapse), bool(cut_all_loads))
+    cached = soa.cache.get(key)
+    if cached is not None:
+        return cached
+    depths = _propagate(dep_columns(trace))
+    for v, (col, cut) in enumerate(VARIANTS):
+        column = np.ascontiguousarray(depths[:, v])
+        column.flags.writeable = False
+        soa.cache[("variant_depths", col, cut)] = column
+    return soa.cache[key]

@@ -1,0 +1,2 @@
+"""Throughput snapshot + regression-gate tooling for the SoA trace
+core (``python -m repro.bench.trace_core``)."""

@@ -1,0 +1,92 @@
+"""Vectorized combining-predictor sweep (numpy kernel).
+
+Reproduces :func:`repro.bpred.runner.run_branch_predictor` with the
+default :class:`CombiningPredictor` exactly, without the per-branch
+Python loop:
+
+- the global history register seen by conditional branch ``j`` is
+  rebuilt with shifted ORs — bit ``k`` of the pre-branch history is
+  simply ``taken[j - 1 - k]`` over the conditional-branch stream;
+- each counter table (bimodal, gshare, chooser) becomes a segmented
+  clamped-counter scan over events bucketed by table index
+  (:mod:`repro.nscan`), yielding every branch's pre-update counter;
+- the chooser participates only on component disagreement, expressed as
+  inactive (identity) steps rather than a separate event stream, which
+  keeps its scan aligned with the prediction stream.
+
+The scalar runner stays the reference semantics; the result here is
+byte-identical (the equivalence suite compares both on every workload).
+"""
+
+import numpy as np
+
+from ..nscan import segment_sort, segmented_counter_states
+from ..trace.records import BRC
+from .combining import CombiningPredictor
+
+
+def _table_states(index, step, table, active=None):
+    """Pre-update counter value per event for one :class:`CounterTable`."""
+    order, _, seg_id = segment_sort(index)
+    act = active[order] if active is not None else None
+    states_sorted = segmented_counter_states(
+        seg_id, step[order], 0, table.maximum, table.value(0), act)
+    states = np.empty(index.shape[0], dtype=np.int64)
+    states[order] = states_sorted
+    return states
+
+
+def _global_history(taken, history_bits):
+    """Per-branch global history register (state *before* the branch)."""
+    n = taken.shape[0]
+    history = np.zeros(n, dtype=np.int64)
+    bits = taken.astype(np.int64)
+    for k in range(history_bits):
+        if n - 1 - k <= 0:
+            break
+        history[k + 1:] |= bits[:n - 1 - k] << k
+    return history
+
+
+def combining_sweep(trace):
+    """Per-conditional-branch outcome of the default combining predictor.
+
+    Returns ``(positions, correct, conditional)``: the trace positions of
+    conditional branches, a matching bool array of prediction
+    correctness, and the branch count.
+    """
+    soa = trace.soa()
+    cls = soa.gathered("cls")
+    mask = cls == BRC
+    positions = np.flatnonzero(mask)
+    pc = soa.gathered("pc")[mask]
+    taken = soa.dyn["taken"][mask]
+    conditional = int(positions.shape[0])
+    if not conditional:
+        return positions, np.empty(0, dtype=bool), 0
+
+    reference = CombiningPredictor()
+    word = pc >> 2
+    step = np.where(taken, 1, -1).astype(np.int64)
+
+    bimodal_table = reference.bimodal.table
+    bimodal_index = word & (bimodal_table.size - 1)
+    bimodal_pred = _table_states(bimodal_index, step, bimodal_table) \
+        >= bimodal_table.threshold
+
+    gshare = reference.gshare
+    history = _global_history(taken, gshare.history_bits) \
+        & gshare.history_mask
+    gshare_index = (word ^ history) & (gshare.table.size - 1)
+    gshare_pred = _table_states(gshare_index, step, gshare.table) \
+        >= gshare.table.threshold
+
+    chooser = reference.chooser
+    disagree = bimodal_pred != gshare_pred
+    chooser_step = np.where(gshare_pred == taken, 1, -1).astype(np.int64)
+    chooser_index = word & (chooser.size - 1)
+    use_gshare = _table_states(chooser_index, chooser_step, chooser,
+                               active=disagree) >= chooser.threshold
+
+    predicted = np.where(use_gshare, gshare_pred, bimodal_pred)
+    return positions, predicted == taken, conditional

@@ -6,6 +6,7 @@ updated with the actual outcome before moving on.  The timing simulator
 then consumes the per-branch misprediction flags.
 """
 
+from .. import kernel
 from ..trace.records import BRC
 from .combining import CombiningPredictor, PerfectPredictor
 
@@ -67,8 +68,21 @@ class BranchRunResult:
 
 
 def run_branch_predictor(trace, predictor=None):
-    """Predict every conditional branch of ``trace`` in program order."""
+    """Predict every conditional branch of ``trace`` in program order.
+
+    With the default (combining) predictor the pass dispatches to the
+    vectorized sweep (:mod:`repro.bpred.nsweep`) under the numpy kernel;
+    an explicitly supplied predictor always runs the sequential loop,
+    since the caller observes its trained state.
+    """
     if predictor is None:
+        if kernel.use_numpy():
+            from .nsweep import combining_sweep
+            positions, correct_mask, conditional = combining_sweep(trace)
+            mispredicted = dict.fromkeys(
+                positions[~correct_mask].tolist(), True)
+            return BranchRunResult(mispredicted, conditional,
+                                   int(correct_mask.sum()), len(trace))
         predictor = CombiningPredictor()
     static = trace.static
     cls = static.cls

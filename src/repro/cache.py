@@ -26,10 +26,10 @@ workers never observe half-written entries.
 import hashlib
 import json
 import os
-import tempfile
 
 from .core.results import SimResult
-from .errors import ReproError
+from .errors import ReproError, TraceFormatError
+from .fsutil import atomic_write as _atomic_write
 from .trace.io import load_trace, save_trace
 
 #: Bump to invalidate every cache entry regardless of source hashing
@@ -69,19 +69,6 @@ def _digest(payload):
     blob = json.dumps(payload, sort_keys=True,
                       separators=(",", ":")).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()[:32]
-
-
-def _atomic_write(path, writer):
-    """Write via a sibling temp file + rename (safe across processes)."""
-    directory = os.path.dirname(path)
-    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        os.close(fd)
-        writer(tmp_path)
-        os.replace(tmp_path, path)
-    finally:
-        if os.path.exists(tmp_path):
-            os.unlink(tmp_path)
 
 
 class DiskCache:
@@ -140,12 +127,19 @@ class DiskCache:
         if not os.path.exists(path):
             self.counters["trace_misses"] += 1
             return None
+        try:
+            trace = load_trace(path)
+        except TraceFormatError:
+            # Unreadable here (a truncated write, or a v2 file from a
+            # numpy-enabled run read where numpy is missing): regenerate.
+            self.counters["trace_misses"] += 1
+            return None
         self.counters["trace_hits"] += 1
-        return load_trace(path)
+        return trace
 
     def store_trace(self, trace, name, scale):
-        _atomic_write(self.trace_path(name, scale),
-                      lambda tmp: save_trace(trace, tmp))
+        # save_trace is itself atomic (fsutil.atomic_write).
+        save_trace(trace, self.trace_path(name, scale))
 
     def get_trace(self, name, scale, generate):
         """Cached trace, generating (and persisting) on miss."""

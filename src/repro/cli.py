@@ -46,6 +46,7 @@ import argparse
 import os
 import sys
 
+from . import kernel
 from .collapse import CollapseRules
 from .core import MachineConfig, paper_config, simulate_many, \
     simulate_trace
@@ -380,6 +381,11 @@ def build_parser():
         prog="repro",
         description="Data dependence speculation & collapsing (MICRO-29 "
                     "1996) reproduction toolkit")
+    parser.add_argument("--kernel", choices=list(kernel.KERNELS),
+                        default=None,
+                        help="computation kernel for analysis/predictor "
+                             "passes (default: $REPRO_KERNEL or auto; "
+                             "both kernels are exhibit-identical)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="show the workload suite")
@@ -493,6 +499,8 @@ _COMMANDS = {
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.kernel is not None:
+        kernel.use_kernel(args.kernel)
     return _COMMANDS[args.command](args)
 
 

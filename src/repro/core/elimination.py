@@ -20,6 +20,7 @@ register *and* the condition codes) qualifies only if all its values are
 read by the same single instruction.
 """
 
+from .. import kernel
 from ..trace.records import ST
 
 _CC = 32
@@ -50,6 +51,9 @@ def compute_sole_readers(trace):
     no reader at all, more than one distinct reader, readers that differ
     between its written resources, or liveness past the end of the trace.
     """
+    if kernel.use_numpy():
+        from .nelim import sole_readers
+        return sole_readers(trace)
     static = trace.static
     sidx = trace.sidx
     dest_col = static.dest

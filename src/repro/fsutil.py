@@ -1,0 +1,24 @@
+"""Filesystem helpers shared by the trace format and the disk cache."""
+
+import os
+import tempfile
+
+
+def atomic_write(path, writer):
+    """Write via a sibling temp file + rename (safe across processes).
+
+    ``writer`` receives the temp path and must write the complete
+    contents; the rename publishes the file only after ``writer``
+    returns, so readers never observe a truncated file and concurrent
+    writers settle on whichever rename lands last.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        os.close(fd)
+        writer(tmp_path)
+        os.replace(tmp_path, path)
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)

@@ -152,7 +152,7 @@ class DynTrace:
     """
 
     __slots__ = ("static", "sidx", "eff_addr", "taken", "mem_value",
-                 "name")
+                 "name", "_soa")
 
     def __init__(self, static, name=""):
         self.static = static
@@ -161,9 +161,19 @@ class DynTrace:
         self.taken = []
         self.mem_value = []
         self.name = name
+        self._soa = None
 
     def __len__(self):
         return len(self.sidx)
+
+    def soa(self):
+        """Memoised structure-of-arrays snapshot (``repro.trace.soa``).
+
+        The snapshot is rebuilt automatically if the trace grew since it
+        was taken; the numpy kernels and format v2 consume it.
+        """
+        from .soa import trace_arrays
+        return trace_arrays(self)
 
     # Convenience views used by tests and reporting -----------------------
 

@@ -1,0 +1,46 @@
+"""Vectorized last-value predictor sweep (numpy kernel).
+
+Reproduces :func:`repro.vpred.runner.run_value_predictor` with the
+default :class:`LastValueTable` exactly: loads bucket by table index,
+the predicted value is a segment shift of the loaded-value stream (the
+cold entry predicts 0), and the confidence counter is the shared
+segmented clamped-counter scan of :mod:`repro.nscan`.
+"""
+
+import numpy as np
+
+from ..nscan import segment_shift, segment_sort, segmented_counter_states
+from ..trace.records import LD
+from .last_value import LastValueTable
+
+_MASK32 = np.int64(0xFFFFFFFF)
+
+
+def last_value_sweep(trace):
+    """Per-load ``(positions, would_use, correct)`` of the default table."""
+    soa = trace.soa()
+    mask = soa.gathered("cls") == LD
+    positions = np.flatnonzero(mask)
+    n = positions.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=bool)
+        return positions, empty, empty
+    reference = LastValueTable()
+    pc = soa.gathered("pc")[mask]
+    value = soa.dyn["mem_value"][mask] & _MASK32
+    index = (pc >> 2) & reference.index_mask
+    order, seg_start, seg_id = segment_sort(index)
+
+    v = value[order]
+    correct_sorted = segment_shift(v, seg_start, 0) == v
+    confidence = segmented_counter_states(
+        seg_id, np.where(correct_sorted, reference.correct_reward,
+                         -reference.wrong_penalty),
+        0, reference.counter_max, 0)
+    would_sorted = confidence >= reference.confidence_threshold
+
+    correct = np.empty(n, dtype=bool)
+    correct[order] = correct_sorted
+    would_use = np.empty(n, dtype=bool)
+    would_use[order] = would_sorted
+    return positions, would_use, correct

@@ -5,6 +5,7 @@ program order, producing timing-independent per-load outcomes the
 scheduler consumes for the ``value_spec`` extension.
 """
 
+from .. import kernel
 from ..trace.records import LD
 from .last_value import LastValueTable
 
@@ -30,7 +31,21 @@ class ValuePredictionResult:
 
 
 def run_value_predictor(trace, table=None):
+    """One program-order value-prediction pass (vectorized under the
+    numpy kernel when the default table is used; an explicit ``table``
+    runs the sequential loop so its trained entries stay observable)."""
     if table is None:
+        if kernel.use_numpy():
+            from .nsweep import last_value_sweep
+            positions, would_use, correct = last_value_sweep(trace)
+            result = ValuePredictionResult()
+            result.loads = int(positions.shape[0])
+            result.would_correct = int(correct.sum())
+            result.attempted = dict(zip(positions.tolist(),
+                                        would_use.tolist()))
+            result.correct = dict(zip(positions.tolist(),
+                                      correct.tolist()))
+            return result
         table = LastValueTable()
     static = trace.static
     cls = static.cls

@@ -44,6 +44,18 @@ def test_trace_round_trip_counts_hit_and_miss(cache):
                              "blob_hits": 0, "blob_misses": 0}
 
 
+def test_unreadable_trace_entry_is_a_miss(cache):
+    trace = cached_trace("eqntott", 0.03)
+    cache.store_trace(trace, "eqntott", 0.03)
+    with open(cache.trace_path("eqntott", 0.03), "wb") as handle:
+        handle.write(b"NOTATRACE")
+    assert cache.load_trace("eqntott", 0.03) is None
+    regenerated = cache.get_trace("eqntott", 0.03,
+                                  lambda: cached_trace("eqntott", 0.03))
+    assert regenerated.sidx == trace.sidx
+    assert cache.load_trace("eqntott", 0.03).sidx == trace.sidx
+
+
 def test_get_trace_generates_once(cache):
     calls = []
 

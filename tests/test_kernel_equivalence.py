@@ -1,0 +1,101 @@
+"""python-vs-numpy kernel equivalence matrix.
+
+Every vectorized path introduced by the SoA trace core must be
+byte-identical to its scalar reference on real workload traces — not
+approximately equal: the exhibits (EXPERIMENTS.md tables, lint
+cross-checks) are regenerated under whichever kernel is active and must
+not depend on it.  The matrix runs all 7 suite workloads at two scales
+against every dispatched kernel pair:
+
+- dependence depths (plain + all restructured variants),
+- the combining branch-predictor sweep,
+- the two-delta address sweep including per-PC histograms,
+- the last-value sweep,
+- sole-reader (node elimination) precomputation,
+- the issue-count distribution of a simulated schedule.
+"""
+
+import pytest
+
+pytest.importorskip("numpy", reason="equivalence matrix needs both kernels", exc_type=ImportError)
+
+from repro import kernel
+from repro.addrpred.runner import run_address_predictor
+from repro.analysis.depgraph import DependenceGraph, restructured_depths
+from repro.bpred.runner import run_branch_predictor
+from repro.core import simulate_trace
+from repro.core.config import MachineConfig
+from repro.core.elimination import compute_sole_readers
+from repro.metrics.means import issue_distribution
+from repro.vpred.runner import run_value_predictor
+from repro.workloads import EXTRAS, SUITE, cached_trace
+
+#: all 7 registered workloads: the Table 1 suite plus the extras
+ALL = SUITE + EXTRAS
+SCALES = (0.03, 0.05)
+
+_MATRIX = [(workload.name, scale) for workload in ALL
+           for scale in SCALES]
+
+
+def _both(function):
+    with kernel.kernel_override("python"):
+        scalar = function()
+    with kernel.kernel_override("numpy"):
+        vector = function()
+    return scalar, vector
+
+
+@pytest.mark.parametrize("name,scale", _MATRIX)
+def test_depth_kernels_identical(name, scale):
+    trace = cached_trace(name, scale)
+    for collapse in (False, True):
+        for cut in (False, True):
+            scalar, vector = _both(
+                lambda: list(restructured_depths(
+                    trace, collapse=collapse, cut_all_loads=cut)))
+            assert scalar == vector, (name, scale, collapse, cut)
+    scalar, vector = _both(
+        lambda: list(DependenceGraph(trace).depths()))
+    assert scalar == vector, (name, scale)
+
+
+@pytest.mark.parametrize("name,scale", _MATRIX)
+def test_predictor_sweeps_identical(name, scale):
+    trace = cached_trace(name, scale)
+
+    scalar, vector = _both(lambda: run_branch_predictor(trace))
+    assert scalar.mispredicted == vector.mispredicted
+    assert list(scalar.mispredicted) == list(vector.mispredicted)
+    assert (scalar.conditional, scalar.correct, scalar.trace_length) \
+        == (vector.conditional, vector.correct, vector.trace_length)
+
+    scalar, vector = _both(
+        lambda: run_address_predictor(trace, per_pc=True))
+    for field in ("loads", "would_correct", "first_misses",
+                  "warm_would_correct", "attempted", "correct"):
+        assert getattr(scalar, field) == getattr(vector, field), field
+    assert list(scalar.attempted) == list(vector.attempted)
+    assert list(scalar.per_pc) == list(vector.per_pc)
+    for pc, stat in scalar.per_pc.items():
+        other = vector.per_pc[pc]
+        for field in stat.__slots__:
+            assert getattr(stat, field) == getattr(other, field), \
+                (hex(pc), field)
+
+    scalar, vector = _both(lambda: run_value_predictor(trace))
+    for field in ("loads", "would_correct", "attempted", "correct"):
+        assert getattr(scalar, field) == getattr(vector, field), field
+
+
+@pytest.mark.parametrize("name", [workload.name for workload in ALL])
+def test_core_accounting_identical(name):
+    trace = cached_trace(name, 0.03)
+    scalar, vector = _both(lambda: compute_sole_readers(trace))
+    assert scalar == vector
+
+    result = simulate_trace(trace,
+                            MachineConfig(issue_width=8, window_size=64))
+    scalar, vector = _both(lambda: issue_distribution(result))
+    assert scalar == vector
+    assert list(scalar) == list(vector)

@@ -1,0 +1,216 @@
+"""Format v2 + v1-fix round-trip tests (property-based where it pays).
+
+Covers the trace-I/O satellite fixes of the SoA PR:
+
+- the v1 empty-signature ambiguity (a one-entry static table whose only
+  signature is ``""`` used to reload as zero signatures and fail the
+  length check);
+- newline-bearing signatures are rejected at v1 save time instead of
+  corrupting the blob, and round-trip fine through v2's length-prefixed
+  encoding;
+- the v1 u32 block-length ceiling raises a clear error instead of
+  writing a wrapped length;
+- v1 -> v2 migration preserves every column bit-exactly;
+- v2 files load zero-copy (memmap) and eagerly (mmap=False) to the same
+  trace.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="format v2 needs numpy", exc_type=ImportError)
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError
+from repro.trace.io import MAGIC2, _write_block, load_trace, save_trace
+from repro.trace.records import AR, BRC, LD, ST, DynTrace, StaticTable
+from repro.trace.synth import random_trace
+
+_I64 = st.integers(min_value=-(2 ** 63), max_value=2 ** 63 - 1)
+_SIG = st.text(
+    st.characters(max_codepoint=0x2FF, blacklist_characters="\n"),
+    max_size=6)
+
+
+@st.composite
+def traces(draw):
+    static_len = draw(st.integers(min_value=0, max_value=6))
+    static = StaticTable()
+    for _ in range(static_len):
+        static.add(cls=draw(st.sampled_from((AR, LD, ST, BRC))),
+                   dest=draw(st.integers(min_value=-1, max_value=31)),
+                   src1=draw(st.integers(min_value=-1, max_value=31)),
+                   writes_cc=draw(st.booleans()),
+                   pc=draw(st.integers(min_value=0, max_value=2 ** 31)))
+    static.sig = [draw(_SIG) for _ in range(static_len)]
+    trace = DynTrace(static, name=draw(st.text(max_size=8)))
+    dyn_len = draw(st.integers(min_value=0, max_value=10)) \
+        if static_len else 0
+    for _ in range(dyn_len):
+        trace.sidx.append(draw(st.integers(min_value=0,
+                                           max_value=static_len - 1)))
+        trace.eff_addr.append(draw(_I64))
+        trace.taken.append(draw(st.booleans()))
+        trace.mem_value.append(draw(_I64))
+    return trace
+
+
+def _assert_equal(loaded, trace):
+    assert loaded.name == trace.name
+    assert loaded.sidx == trace.sidx
+    assert loaded.eff_addr == trace.eff_addr
+    assert loaded.taken == trace.taken
+    assert loaded.mem_value == trace.mem_value
+    for column in ("cls", "lat", "dest", "writes_cc", "reads_cc", "src1",
+                   "src2", "datasrc", "sig", "leaves", "zeros", "pc",
+                   "producer_ok", "consumer_ok"):
+        assert getattr(loaded.static, column) \
+            == getattr(trace.static, column), column
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=traces(), version=st.sampled_from((1, 2)),
+       mmap=st.booleans())
+def test_round_trip_property(tmp_path_factory, trace, version, mmap):
+    path = tmp_path_factory.mktemp("rt") / "t.trace"
+    save_trace(trace, path, version=version)
+    _assert_equal(load_trace(path, mmap=mmap), trace)
+
+
+@settings(max_examples=15, deadline=None)
+@given(trace=traces())
+def test_v1_to_v2_migration_property(tmp_path_factory, trace):
+    base = tmp_path_factory.mktemp("mig")
+    save_trace(trace, base / "v1.trace", version=1)
+    migrated = load_trace(base / "v1.trace")
+    save_trace(migrated, base / "v2.trace", version=2)
+    _assert_equal(load_trace(base / "v2.trace"), trace)
+
+
+def test_single_empty_signature_round_trips_v1(tmp_path):
+    """Regression: sig == [""] used to reload as [] and fail the static
+    length check (empty blob vs. one empty string)."""
+    static = StaticTable()
+    static.add(cls=AR, dest=1)
+    static.sig = [""]
+    trace = DynTrace(static, name="empty-sig")
+    for version in (1, 2):
+        path = tmp_path / ("v%d.trace" % version)
+        save_trace(trace, path, version=version)
+        assert load_trace(path).static.sig == [""]
+
+
+def test_all_empty_signatures_round_trip(tmp_path):
+    static = StaticTable()
+    for _ in range(3):
+        static.add(cls=AR, dest=1)
+    static.sig = ["", "", ""]
+    trace = DynTrace(static)
+    for version in (1, 2):
+        path = tmp_path / ("v%d.trace" % version)
+        save_trace(trace, path, version=version)
+        assert load_trace(path).static.sig == ["", "", ""]
+
+
+def test_newline_signature_rejected_in_v1(tmp_path):
+    static = StaticTable()
+    static.add(cls=AR, dest=1)
+    static.sig = ["ar\nri"]
+    trace = DynTrace(static)
+    with pytest.raises(TraceFormatError, match="newline"):
+        save_trace(trace, tmp_path / "t.trace", version=1)
+    # The length-prefixed v2 encoding represents it fine.
+    save_trace(trace, tmp_path / "t2.trace", version=2)
+    assert load_trace(tmp_path / "t2.trace").static.sig == ["ar\nri"]
+
+
+def test_v1_block_length_overflow_rejected():
+    class _Huge:
+        def __len__(self):
+            return 0x100000000  # one byte past the u32 prefix
+
+    with pytest.raises(TraceFormatError, match="version=2"):
+        _write_block(None, _Huge())
+
+
+def test_failed_save_leaves_no_partial_file(tmp_path):
+    """Atomicity: a save that raises must not leave the target behind."""
+    static = StaticTable()
+    static.add(cls=AR, dest=1)
+    static.sig = ["bad\nsig"]
+    trace = DynTrace(static)
+    target = tmp_path / "t.trace"
+    with pytest.raises(TraceFormatError):
+        save_trace(trace, target, version=1)
+    assert not target.exists()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_save_overwrites_atomically(tmp_path):
+    first = random_trace(40, seed=1)
+    second = random_trace(60, seed=2)
+    path = tmp_path / "t.trace"
+    save_trace(first, path)
+    save_trace(second, path)
+    assert len(load_trace(path)) == len(second)
+
+
+def test_unknown_version_rejected(tmp_path):
+    with pytest.raises(TraceFormatError, match="version"):
+        save_trace(random_trace(10, seed=0), tmp_path / "t", version=3)
+
+
+def test_v2_magic_and_alignment(tmp_path):
+    trace = random_trace(50, seed=4)
+    path = tmp_path / "t.trace"
+    save_trace(trace, path)
+    data = path.read_bytes()
+    assert data[:8] == MAGIC2
+    import json
+    import struct
+    (header_len,) = struct.unpack("<Q", data[8:16])
+    header = json.loads(data[16:16 + header_len].decode("utf-8"))
+    assert header["version"] == 2
+    for name, meta in header["columns"].items():
+        assert meta["offset"] % 64 == 0, name
+
+
+def _is_mapped(array):
+    """True when the array's buffer chain bottoms out in a memmap."""
+    while array is not None:
+        if isinstance(array, np.memmap):
+            return True
+        array = getattr(array, "base", None)
+    return False
+
+
+def test_v2_memmap_zero_copy(tmp_path):
+    trace = random_trace(80, seed=5)
+    path = tmp_path / "t.trace"
+    save_trace(trace, path)
+    loaded = load_trace(path, mmap=True)
+    soa = loaded.soa()
+    assert _is_mapped(soa.dyn["sidx"])
+    assert _is_mapped(soa.static["cls"])
+    assert not _is_mapped(load_trace(path, mmap=False).soa().dyn["sidx"])
+    assert soa.dyn["sidx"].tolist() == trace.sidx
+
+
+def test_v2_truncated_column_rejected(tmp_path):
+    trace = random_trace(64, seed=6)
+    path = tmp_path / "t.trace"
+    save_trace(trace, path)
+    data = path.read_bytes()
+    path.write_bytes(data[:len(data) - 64])
+    with pytest.raises(TraceFormatError, match="EOF|payload"):
+        load_trace(path, mmap=False)
+
+
+def test_v2_is_default_and_v1_still_loads(tmp_path):
+    trace = random_trace(30, seed=7)
+    default_path = tmp_path / "default.trace"
+    save_trace(trace, default_path)
+    assert default_path.read_bytes()[:8] == MAGIC2
+    v1_path = tmp_path / "v1.trace"
+    save_trace(trace, v1_path, version=1)
+    _assert_equal(load_trace(v1_path), trace)
