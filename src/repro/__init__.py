@@ -63,16 +63,17 @@ __all__ = [
 
 
 def quick_compare(workload="eqntott", width=8, scale=0.2):
-    """Simulate one workload on all five configurations; returns a small
-    report string.  Convenience for interactive exploration."""
+    """Simulate one workload on every registered configuration; returns
+    a small report string.  Convenience for interactive exploration."""
+    from .core import config_letters
     trace = cached_trace(workload, scale)
-    configs = [config_a(width), config_b(width), config_c(width),
-               config_d(width), config_e(width)]
+    letters = config_letters()
+    configs = [paper_config(letter, width) for letter in letters]
     results = simulate_many(trace, configs)
-    base = results[0]
+    base = results[letters.index("A")] if "A" in letters else results[0]
     lines = ["%s @ width %d (%d instructions)"
              % (workload, width, len(trace))]
-    for letter, result in zip("ABCDE", results):
+    for letter, result in zip(letters, results):
         lines.append("  %s: IPC %.2f  speedup %.2f"
                      % (letter, result.ipc, result.speedup_over(base)))
     return "\n".join(lines)

@@ -16,7 +16,8 @@ disasm WORKLOAD
 simulate WORKLOAD
     Run one machine configuration and print the full result breakdown.
 sweep WORKLOAD
-    Run configurations A-E across issue widths and print the IPC table.
+    Run every registered configuration (A-G) across issue widths and
+    print the IPC table.
     ``--jobs N`` fans the grid out over worker processes and
     ``--cache-dir PATH`` persists traces/results across invocations.
 report
@@ -36,7 +37,10 @@ lint TARGET...
     histograms over each workload target and verifies the static
     classification: predictable sites must satisfy the re-lock miss
     bound and their delta-change budget, and the static coverage bound
-    must dominate the dynamic predictor coverage.
+    must dominate the dynamic predictor coverage.  ``--memdep`` prints
+    the per-reference may-alias table; ``--memdep-check`` verifies the
+    static conflict set against the trace's store->load dependences
+    and an MDPT (config F) simulation.
 
 ``simulate`` and ``report`` accept ``--sanitize`` to attach the
 scheduler invariant checker to every simulation they perform.
@@ -48,8 +52,8 @@ import sys
 
 from . import kernel
 from .collapse import CollapseRules
-from .core import MachineConfig, paper_config, simulate_many, \
-    simulate_trace
+from .core import MachineConfig, config_letters, paper_config, \
+    simulate_many, simulate_trace
 from .metrics import render_table
 from .trace import TraceStats, load_trace, save_trace, signature_mix
 from .workloads import SUITE, WORKLOADS, get_workload
@@ -188,7 +192,8 @@ def cmd_simulate(args):
 
 def cmd_sweep(args):
     widths = [int(w) for w in args.widths.split(",")]
-    headers = ["width"] + list("ABCDE")
+    letters = config_letters()
+    headers = ["width"] + list(letters)
     rows = []
     profile = None
     if args.workload in WORKLOADS:
@@ -197,19 +202,20 @@ def cmd_sweep(args):
         # to the serial path.
         from .experiments.parallel import run_cells
         cells = [(args.workload, letter, width)
-                 for width in widths for letter in "ABCDE"]
+                 for width in widths for letter in letters]
         results, profile = run_cells(
             cells, args.scale, jobs=args.jobs, cache_dir=args.cache_dir,
             progress=True if args.jobs > 1 else None)
         name = args.workload
+        stride = len(letters)
         for index, width in enumerate(widths):
-            per_width = results[index * 5:(index + 1) * 5]
+            per_width = results[index * stride:(index + 1) * stride]
             rows.append([width] + [result.ipc for result in per_width])
     else:
         trace = _load_target(args.workload, args.scale)
         name = trace.name
         for width in widths:
-            configs = [paper_config(letter, width) for letter in "ABCDE"]
+            configs = [paper_config(letter, width) for letter in letters]
             results = simulate_many(trace, configs)
             rows.append([width] + [result.ipc for result in results])
     print(render_table(headers, rows,
@@ -262,6 +268,28 @@ def _lint_addr_check(name, report, scale):
              check.coverage_bound,
              ">=" if check.coverage_bound >= check.dynamic_coverage
              else "<", check.dynamic_coverage, check.steady_accuracy))
+    for violation in check.violations:
+        print("    " + violation)
+    return check.ok
+
+
+def _lint_memdep_check(name, report, scale):
+    """Replay the trace's store->load dependences and an MDPT (config
+    F) simulation against the static may-alias conflict set."""
+    from .lint import memdep_cross_check
+    from .workloads import cached_trace
+    trace = cached_trace(name, scale)
+    config = paper_config("F", 8)
+    result = simulate_trace(trace, config, sanitize=True)
+    check = memdep_cross_check(report.memdep_bound, trace, result)
+    memdep = result.memdep
+    print("  memdep-check %s: %s — static conflict pairs %d %s "
+          "distinct dynamic pairs %d (%d MDPT-learned, %d violations, "
+          "F/8, sanitized)"
+          % (name, "ok" if check.ok else "FAILED", check.static_pairs,
+             ">=" if check.static_pairs >= check.dynamic_pairs else "<",
+             check.dynamic_pairs, check.mdpt_pairs,
+             memdep.violations if memdep is not None else 0))
     for violation in check.violations:
         print("    " + violation)
     return check.ok
@@ -347,6 +375,18 @@ def cmd_lint(args):
             counts = report.addr_classes.class_counts()
             print("  address classes: " + "  ".join(
                 "%s %d" % (cls, n) for cls, n in counts.items() if n))
+        if args.memdep and report.memdep_bound is not None:
+            rows = report.memdep_bound.summary_rows()
+            if rows:
+                print(render_table(
+                    ["index", "line", "kind", "anchor", "mod", "lo",
+                     "hi", "conflicts"],
+                    [list(row) for row in rows],
+                    title="memory references and may-alias conflicts: "
+                          "%s" % (report.target,)))
+            print("  conflict pairs: %d of %d load x store"
+                  % (report.memdep_bound.conflict_count,
+                     report.memdep_bound.pair_count))
         if args.recur and report.recurrence is not None:
             rows = report.recurrence.summary_rows()
             if rows:
@@ -370,6 +410,10 @@ def cmd_lint(args):
         if args.recur_check and name is not None \
                 and report.recurrence is not None:
             if not _lint_recur_check(name, report, args.scale):
+                violated = True
+        if args.memdep_check and name is not None \
+                and report.memdep_bound is not None:
+            if not _lint_memdep_check(name, report, args.scale):
                 violated = True
     if violated:
         return 2
@@ -412,8 +456,8 @@ def build_parser():
     p_sim.add_argument("workload", help="workload name or trace file")
     p_sim.add_argument("--scale", type=float, default=0.2)
     p_sim.add_argument("--width", type=int, default=8)
-    p_sim.add_argument("--config", choices=list("ABCDE"),
-                       help="paper configuration letter")
+    p_sim.add_argument("--config", choices=list(config_letters()),
+                       help="registered configuration letter")
     p_sim.add_argument("--collapse", action="store_true",
                        help="enable paper collapsing rules")
     p_sim.add_argument("--load-spec", choices=["none", "real", "ideal"],
@@ -426,12 +470,14 @@ def build_parser():
                        help="re-check scheduler invariants during the "
                             "run (repro.lint.sanitize)")
 
-    p_sweep = sub.add_parser("sweep", help="A-E x width IPC table")
+    p_sweep = sub.add_parser("sweep",
+                             help="config x width IPC table")
     p_sweep.add_argument("workload")
     p_sweep.add_argument("--scale", type=float, default=0.2)
     p_sweep.add_argument("--widths", default="4,8,16,32")
     p_sweep.add_argument("--jobs", type=int, default=1,
-                         help="worker processes for the A-E x width grid")
+                         help="worker processes for the config x width "
+                              "grid")
     p_sweep.add_argument("--cache-dir", default=None,
                          help="persistent trace/result cache directory")
 
@@ -481,6 +527,15 @@ def build_parser():
                              "against the trace dependence graphs and "
                              "the simulated machines (exit 2 on "
                              "violation)")
+    p_lint.add_argument("--memdep", action="store_true",
+                        help="print the per-reference may-alias table "
+                             "(bounded congruence address forms)")
+    p_lint.add_argument("--memdep-check", dest="memdep_check",
+                        action="store_true",
+                        help="verify the static may-alias conflict set "
+                             "against trace store->load dependences "
+                             "and an MDPT (config F) simulation (exit "
+                             "2 on violation)")
 
     return parser
 

@@ -2,19 +2,26 @@
 dependence speculation and collapsing."""
 
 from .config import (
-    CONFIG_LETTERS,
     LOAD_SPEC_IDEAL,
     LOAD_SPEC_NONE,
     LOAD_SPEC_REAL,
+    MEM_SPEC_MDPT,
+    MEM_SPEC_PERFECT,
     PAPER_ISSUE_WIDTHS,
     WIDTH_LABELS,
+    ConfigSpec,
     MachineConfig,
     config_a,
     config_b,
     config_c,
     config_d,
     config_e,
+    config_letters,
+    config_specs,
+    get_config_spec,
     paper_config,
+    register_config,
+    unregister_config,
 )
 from .results import (
     LOAD_CATEGORIES,
@@ -37,12 +44,23 @@ from .simulator import (
 
 __all__ = [
     "CONFIG_LETTERS", "LOAD_SPEC_IDEAL", "LOAD_SPEC_NONE", "LOAD_SPEC_REAL",
-    "PAPER_ISSUE_WIDTHS", "WIDTH_LABELS", "MachineConfig",
+    "MEM_SPEC_MDPT", "MEM_SPEC_PERFECT",
+    "PAPER_ISSUE_WIDTHS", "WIDTH_LABELS", "ConfigSpec", "MachineConfig",
     "config_a", "config_b", "config_c", "config_d", "config_e",
-    "paper_config",
+    "config_letters", "config_specs", "get_config_spec",
+    "paper_config", "register_config", "unregister_config",
     "LOAD_CATEGORIES", "LOAD_NOT_PREDICTED", "LOAD_PRED_CORRECT",
     "LOAD_PRED_INCORRECT", "LOAD_READY", "LoadStats", "SimResult",
     "WindowScheduler", "compute_sole_readers",
     "branch_outcomes", "load_outcomes", "simulate_many", "simulate_trace",
     "value_outcomes",
 ]
+
+
+def __getattr__(name):
+    # CONFIG_LETTERS tracks the live registry (late registrations show
+    # up here too).
+    if name == "CONFIG_LETTERS":
+        return config_letters()
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))

@@ -1,13 +1,23 @@
-"""Machine configurations (paper Section 4).
+"""Machine configurations (paper Section 4) on a declarative registry.
 
-Five configurations are studied:
+Seven configurations are studied:
 
 - **A**: base superscalar (windowed issue, real branch prediction, ideal
   renaming, perfect disambiguation);
 - **B**: A + real (stride/confidence) load-speculation;
 - **C**: A + dependence collapsing;
 - **D**: A + collapsing + real load-speculation;
-- **E**: A + collapsing + ideal load-speculation.
+- **E**: A + collapsing + ideal load-speculation;
+- **F**: A with realistic memory disambiguation — loads issue
+  speculatively past unresolved stores under an MDPT store-set predictor
+  (Moshovos et al., ISCA 1997) and pay a squash/re-execute penalty on a
+  memory-order violation;
+- **G**: F + dependence collapsing.
+
+Each letter is one :class:`ConfigSpec` entry in a registry; adding a
+configuration is a single :func:`register_config` call — the experiment
+runner, figures and report all iterate :func:`config_letters` instead of
+hardcoding the letter set.
 
 For every configuration the window is twice the issue width unless
 overridden.  Issue widths studied: 4, 8, 16, 32 and 2048 ("2k").
@@ -20,13 +30,20 @@ LOAD_SPEC_NONE = "none"
 LOAD_SPEC_REAL = "real"
 LOAD_SPEC_IDEAL = "ideal"
 
+#: Memory-disambiguation modes: ``perfect`` is the paper's model (a load
+#: waits exactly for the last prior store to its word); ``mdpt`` issues
+#: loads speculatively under a memory-dependence predictor and recovers
+#: from violations by replaying the load's forward slice.
+MEM_SPEC_PERFECT = "perfect"
+MEM_SPEC_MDPT = "mdpt"
+
+_MEM_SPECS = (MEM_SPEC_PERFECT, MEM_SPEC_MDPT)
+
 #: Issue widths used throughout the paper's evaluation.
 PAPER_ISSUE_WIDTHS = (4, 8, 16, 32, 2048)
 
 #: Labels the paper uses for the widths in figures.
 WIDTH_LABELS = {4: "4", 8: "8", 16: "16", 32: "32", 2048: "2k"}
-
-CONFIG_LETTERS = ("A", "B", "C", "D", "E")
 
 
 class MachineConfig:
@@ -34,12 +51,13 @@ class MachineConfig:
 
     __slots__ = ("name", "issue_width", "window_size", "collapse_rules",
                  "load_spec", "perfect_branches", "node_elimination",
-                 "value_spec", "fetch_taken_break")
+                 "value_spec", "fetch_taken_break", "mem_spec")
 
     def __init__(self, issue_width, window_size=None, collapse_rules=None,
                  load_spec=LOAD_SPEC_NONE, perfect_branches=False,
                  node_elimination=False, value_spec=False,
-                 fetch_taken_break=False, name=None):
+                 fetch_taken_break=False, mem_spec=MEM_SPEC_PERFECT,
+                 name=None):
         if issue_width < 1:
             raise ConfigError("issue width must be positive")
         if window_size is None:
@@ -49,6 +67,9 @@ class MachineConfig:
         if load_spec not in (LOAD_SPEC_NONE, LOAD_SPEC_REAL,
                              LOAD_SPEC_IDEAL):
             raise ConfigError("unknown load_spec %r" % (load_spec,))
+        if mem_spec not in _MEM_SPECS:
+            raise ConfigError("unknown mem_spec %r (allowed: %s)"
+                              % (mem_spec, ", ".join(_MEM_SPECS)))
         if node_elimination and collapse_rules is None:
             raise ConfigError(
                 "node elimination is a collapsing extension: it needs "
@@ -58,6 +79,7 @@ class MachineConfig:
         self.window_size = window_size
         self.collapse_rules = collapse_rules
         self.load_spec = load_spec
+        self.mem_spec = mem_spec
         self.perfect_branches = perfect_branches
         self.node_elimination = node_elimination
         self.value_spec = value_spec
@@ -74,6 +96,8 @@ class MachineConfig:
             parts.append("collapse")
         if self.load_spec != LOAD_SPEC_NONE:
             parts.append("lspec-%s" % self.load_spec)
+        if self.mem_spec != MEM_SPEC_PERFECT:
+            parts.append("mspec-%s" % self.mem_spec)
         if self.node_elimination:
             parts.append("elim")
         if self.value_spec:
@@ -92,6 +116,7 @@ class MachineConfig:
             "issue_width": self.issue_width,
             "window_size": self.window_size,
             "load_spec": self.load_spec,
+            "mem_spec": self.mem_spec,
             "perfect_branches": self.perfect_branches,
             "node_elimination": self.node_elimination,
             "value_spec": self.value_spec,
@@ -104,53 +129,161 @@ class MachineConfig:
 
     def __repr__(self):
         return ("MachineConfig(%s: width=%d, window=%d, collapse=%r, "
-                "load_spec=%s)") % (self.name, self.issue_width,
-                                    self.window_size, self.collapse_rules,
-                                    self.load_spec)
+                "load_spec=%s, mem_spec=%s)") % (
+                    self.name, self.issue_width, self.window_size,
+                    self.collapse_rules, self.load_spec, self.mem_spec)
 
 
-def config_a(issue_width, **kwargs):
-    """Base superscalar machine."""
-    return MachineConfig(issue_width, name="A/w%d" % issue_width, **kwargs)
+# ----------------------------------------------------------------------
+# Declarative configuration registry.
+
+#: Knob names a :class:`ConfigSpec` may set.  ``collapse`` is a boolean
+#: that expands to ``CollapseRules.paper()`` at build time (so every
+#: :class:`MachineConfig` gets a fresh rules object); everything else is
+#: forwarded to :class:`MachineConfig` verbatim.
+_SPEC_KNOBS = frozenset((
+    "collapse", "load_spec", "mem_spec", "perfect_branches",
+    "node_elimination", "value_spec", "fetch_taken_break",
+))
 
 
-def config_b(issue_width, **kwargs):
-    """Base + real load-speculation."""
-    return MachineConfig(issue_width, load_spec=LOAD_SPEC_REAL,
-                         name="B/w%d" % issue_width, **kwargs)
+class ConfigSpec:
+    """Declarative description of one lettered paper configuration."""
+
+    __slots__ = ("letter", "title", "knobs")
+
+    def __init__(self, letter, title, knobs):
+        self.letter = letter
+        self.title = title
+        self.knobs = dict(knobs)
+
+    def build(self, issue_width, rules=None, **overrides):
+        """Instantiate a :class:`MachineConfig` at ``issue_width``.
+
+        ``rules`` substitutes the collapse-rule set for collapsing
+        configurations (and enables collapsing when given to a
+        non-collapsing one, matching the historical ``config_c(8,
+        rules=...)`` behaviour); other keyword arguments override
+        :class:`MachineConfig` parameters such as ``window_size``.
+        """
+        kwargs = {}
+        if self.knobs.get("collapse"):
+            kwargs["collapse_rules"] = rules if rules is not None \
+                else CollapseRules.paper()
+        elif rules is not None:
+            kwargs["collapse_rules"] = rules
+        for knob, value in self.knobs.items():
+            if knob != "collapse":
+                kwargs[knob] = value
+        kwargs.update(overrides)
+        kwargs.setdefault("name", "%s/w%d" % (self.letter, issue_width))
+        return MachineConfig(issue_width, **kwargs)
+
+    def __repr__(self):
+        return "ConfigSpec(%s: %s)" % (self.letter, self.title)
 
 
-def config_c(issue_width, rules=None, **kwargs):
-    """Base + dependence collapsing."""
-    return MachineConfig(issue_width,
-                         collapse_rules=rules or CollapseRules.paper(),
-                         name="C/w%d" % issue_width, **kwargs)
+_REGISTRY = {}
 
 
-def config_d(issue_width, rules=None, **kwargs):
-    """Base + collapsing + real load-speculation."""
-    return MachineConfig(issue_width,
-                         collapse_rules=rules or CollapseRules.paper(),
-                         load_spec=LOAD_SPEC_REAL,
-                         name="D/w%d" % issue_width, **kwargs)
+def register_config(letter, title, **knobs):
+    """Register configuration ``letter`` (a single letter, case folded to
+    upper) built from the given knobs; returns the :class:`ConfigSpec`.
+
+    Adding a configuration here is the *only* edit needed for it to show
+    up in the experiment sweep, the IPC/speedup figures and the report.
+    """
+    letter = str(letter).upper()
+    if len(letter) != 1 or not letter.isalpha():
+        raise ConfigError("config letter must be a single letter, got %r"
+                          % (letter,))
+    if letter in _REGISTRY:
+        raise ConfigError("configuration %r is already registered" % letter)
+    unknown = sorted(set(knobs) - _SPEC_KNOBS)
+    if unknown:
+        raise ConfigError("unknown config knob(s) %s (allowed: %s)"
+                          % (", ".join(unknown),
+                             ", ".join(sorted(_SPEC_KNOBS))))
+    spec = ConfigSpec(letter, title, knobs)
+    spec.build(4)  # validate knob values eagerly
+    _REGISTRY[letter] = spec
+    return spec
 
 
-def config_e(issue_width, rules=None, **kwargs):
-    """Base + collapsing + ideal load-speculation."""
-    return MachineConfig(issue_width,
-                         collapse_rules=rules or CollapseRules.paper(),
-                         load_spec=LOAD_SPEC_IDEAL,
-                         name="E/w%d" % issue_width, **kwargs)
+def unregister_config(letter):
+    """Remove a registered configuration (test support)."""
+    _REGISTRY.pop(str(letter).upper(), None)
 
 
-_FACTORIES = {"A": config_a, "B": config_b, "C": config_c,
-              "D": config_d, "E": config_e}
+def config_letters():
+    """Registered configuration letters, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def config_specs():
+    """Registered :class:`ConfigSpec` objects, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def get_config_spec(letter):
+    """The :class:`ConfigSpec` for ``letter``; raises ``ConfigError``."""
+    spec = _REGISTRY.get(str(letter).upper())
+    if spec is None:
+        raise ConfigError("unknown configuration letter %r (registered: %s)"
+                          % (letter, ", ".join(_REGISTRY)))
+    return spec
 
 
 def paper_config(letter, issue_width, **kwargs):
-    """Build configuration ``letter`` (A-E) at ``issue_width``."""
-    try:
-        factory = _FACTORIES[letter.upper()]
-    except KeyError:
-        raise ConfigError("unknown configuration letter %r" % (letter,))
-    return factory(issue_width, **kwargs)
+    """Build configuration ``letter`` at ``issue_width`` via the registry."""
+    return get_config_spec(letter).build(issue_width, **kwargs)
+
+
+register_config("A", "base superscalar")
+register_config("B", "A + real load-speculation", load_spec=LOAD_SPEC_REAL)
+register_config("C", "A + dependence collapsing", collapse=True)
+register_config("D", "C + real load-speculation", collapse=True,
+                load_spec=LOAD_SPEC_REAL)
+register_config("E", "C + ideal load-speculation", collapse=True,
+                load_spec=LOAD_SPEC_IDEAL)
+register_config("F", "A with MDPT store-set memory disambiguation",
+                mem_spec=MEM_SPEC_MDPT)
+register_config("G", "F + dependence collapsing", collapse=True,
+                mem_spec=MEM_SPEC_MDPT)
+
+
+def __getattr__(name):
+    # ``CONFIG_LETTERS`` stays importable for backward compatibility but
+    # now reflects the live registry.
+    if name == "CONFIG_LETTERS":
+        return config_letters()
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))
+
+
+# ----------------------------------------------------------------------
+# Deprecated per-letter constructors (thin wrappers over the registry).
+
+def config_a(issue_width, **kwargs):
+    """Deprecated: use ``paper_config("A", width)``."""
+    return paper_config("A", issue_width, **kwargs)
+
+
+def config_b(issue_width, **kwargs):
+    """Deprecated: use ``paper_config("B", width)``."""
+    return paper_config("B", issue_width, **kwargs)
+
+
+def config_c(issue_width, rules=None, **kwargs):
+    """Deprecated: use ``paper_config("C", width)``."""
+    return paper_config("C", issue_width, rules=rules, **kwargs)
+
+
+def config_d(issue_width, rules=None, **kwargs):
+    """Deprecated: use ``paper_config("D", width)``."""
+    return paper_config("D", issue_width, rules=rules, **kwargs)
+
+
+def config_e(issue_width, rules=None, **kwargs):
+    """Deprecated: use ``paper_config("E", width)``."""
+    return paper_config("E", issue_width, rules=rules, **kwargs)

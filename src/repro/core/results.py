@@ -53,11 +53,12 @@ class SimResult:
 
     __slots__ = ("config_name", "trace_name", "instructions", "cycles",
                  "loads", "collapse", "branch", "issue_width",
-                 "window_size", "issue_cycles", "eliminated_positions")
+                 "window_size", "issue_cycles", "eliminated_positions",
+                 "memdep")
 
     def __init__(self, config, trace_name, instructions, cycles, loads,
                  collapse, branch, issue_cycles=None,
-                 eliminated_positions=frozenset()):
+                 eliminated_positions=frozenset(), memdep=None):
         self.config_name = config.name
         self.issue_width = config.issue_width
         self.window_size = config.window_size
@@ -73,6 +74,9 @@ class SimResult:
         #: trace positions removed by node elimination; their
         #: ``issue_cycles`` entries are fold-away cycles, not issue slots
         self.eliminated_positions = frozenset(eliminated_positions)
+        #: MemDepStats when the run used realistic (mdpt) memory
+        #: disambiguation; None under the paper's perfect model
+        self.memdep = memdep
 
     @property
     def ipc(self):
@@ -113,6 +117,8 @@ class SimResult:
             "issue_cycles": (list(self.issue_cycles)
                              if self.issue_cycles is not None else None),
             "eliminated_positions": sorted(self.eliminated_positions),
+            "memdep": (self.memdep.to_payload()
+                       if self.memdep is not None else None),
         }
 
     @classmethod
@@ -140,6 +146,12 @@ class SimResult:
                                if issue_cycles is not None else None)
         result.eliminated_positions = frozenset(
             payload.get("eliminated_positions") or ())
+        memdep = payload.get("memdep")
+        if memdep is not None:
+            from ..memdep.stats import MemDepStats
+            result.memdep = MemDepStats.from_payload(memdep)
+        else:
+            result.memdep = None
         return result
 
     def __repr__(self):

@@ -26,6 +26,14 @@ Semantics (paper Section 4):
   :class:`~repro.collapse.rules.CollapseRules`); the consumer then inherits
   the producer's own unresolved sources instead of waiting for the
   producer.
+- Realistic disambiguation (``mem_spec == "mdpt"``, configs F/G): the
+  load/store memory arc is dropped — loads issue speculatively past
+  unresolved stores.  A load that issues before its producing store
+  completes is a *certain* violation once the store executes: the load
+  and its issued forward slice are squashed and replayed after a flush
+  penalty, the MDPT (``repro.memdep``) learns the (load PC, store PC)
+  pair, and promoted load PCs synchronize with the youngest matching
+  in-flight store (MDST) at window entry instead of speculating.
 
 The engine is event-driven: idle stretches are skipped by jumping to the
 next dependence-resolution event, which keeps the 2048-wide/4096-window
@@ -37,7 +45,12 @@ import heapq
 from ..collapse.classify import Group
 from ..collapse.stats import CollapseStats
 from ..trace.records import BRC, CTI, LD, ST
-from .config import LOAD_SPEC_IDEAL, LOAD_SPEC_NONE, LOAD_SPEC_REAL
+from .config import (
+    LOAD_SPEC_IDEAL,
+    LOAD_SPEC_NONE,
+    LOAD_SPEC_REAL,
+    MEM_SPEC_MDPT,
+)
 from .elimination import compute_sole_readers
 from .results import (
     LOAD_NOT_PREDICTED,
@@ -108,6 +121,7 @@ class WindowScheduler:
         zeros_col = static.zeros
         producer_ok_col = static.producer_ok
         consumer_ok_col = static.consumer_ok
+        pc_col = static.pc
 
         mispredicted = self.branch_result.mispredicted if self.branch_result \
             else {}
@@ -122,6 +136,23 @@ class WindowScheduler:
         collapsing = rules is not None
         collapse_stats = CollapseStats()
         load_stats = LoadStats()
+
+        mem_realistic = config.mem_spec == MEM_SPEC_MDPT
+        if mem_realistic:
+            from ..memdep import FLUSH_PENALTY, MDPT, MemDepStats
+            mdpt = MDPT()
+            memdep_stats = MemDepStats()
+            true_store = {}        # load pos -> producing store pos (or -1)
+            store_watch = {}       # store pos -> load positions to verify
+            inflight_stores = {}   # store pc -> entered, uncompleted stores
+            dep_record = {}        # pos -> timing-producer positions
+            taint = {}             # pos -> pending-violation loads upstream
+            slice_of = {}          # violating load -> issued tainted posns
+            pending_violation = set()
+            violation_heap = []    # (store completion cycle, load pos)
+            replaying = set()      # squashed, awaiting re-issue
+        else:
+            memdep_stats = None
 
         node_elim = collapsing and config.node_elimination
         sole_reader = compute_sole_readers(trace) if node_elim else None
@@ -161,6 +192,7 @@ class WindowScheduler:
         window_count = 0
         issued = 0
         block_fetch = False
+        fence_pos = -1          # the mispredicted branch blocking fetch
         block_counter = 0
         cycle = 0
         last_issue = 0
@@ -169,8 +201,39 @@ class WindowScheduler:
         heappop = heapq.heappop
 
         # --------------------------------------------------------------
+        # Realistic-disambiguation helpers (mdpt mode only).
+
+        def _taint_from(dst, src):
+            t = taint.get(src)
+            if t:
+                cur = taint.get(dst)
+                if cur is None:
+                    taint[dst] = set(t)
+                else:
+                    cur |= t
+
+        def _youngest_inflight(store_pcs, now):
+            """Youngest entered, not-yet-completed store among the given
+            store PCs (MDST synchronization target), or -1."""
+            best = -1
+            for spc in store_pcs:
+                plist = inflight_stores.get(spc)
+                if not plist:
+                    continue
+                keep = [sp for sp in plist
+                        if issue_cycle[sp] < 0 or completion[sp] > now]
+                if keep:
+                    inflight_stores[spc] = keep
+                    if keep[-1] > best:
+                        best = keep[-1]
+                else:
+                    del inflight_stores[spc]
+            return best
+
+        # --------------------------------------------------------------
         def enter(i, now):
-            nonlocal block_fetch, block_counter, issued, window_count
+            nonlocal block_fetch, block_counter, fence_pos, issued, \
+                window_count
             if san is not None:
                 san.on_enter(i, now)
             s = sidx[i]
@@ -206,12 +269,34 @@ class WindowScheduler:
                     arcs.append((p, _KIND_OTHER, consumer_ok_col[s], 1))
             if cls == LD:
                 p = mem_writer.get(eff_addr[i] >> 2, -1)
-                if p >= 0:
-                    arcs.append((p, _KIND_OTHER, False, 1))
+                if not mem_realistic:
+                    if p >= 0:
+                        arcs.append((p, _KIND_OTHER, False, 1))
+                else:
+                    # The perfect memory arc is dropped: the load issues
+                    # speculatively.  A promoted MDPT entry instead
+                    # synchronizes the load with the youngest in-flight
+                    # store of its predicted set.
+                    memdep_stats.loads += 1
+                    true_store[i] = p
+                    if p >= 0:
+                        memdep_stats.dependent += 1
+                        store_watch.setdefault(p, []).append(i)
+                    predicted = mdpt.store_set(pc_col[s])
+                    if predicted:
+                        sync = _youngest_inflight(predicted, now)
+                        if sync >= 0:
+                            arcs.append((sync, _KIND_OTHER, False, 1))
+                            memdep_stats.synchronized += 1
+                            if sync != p:
+                                memdep_stats.false_syncs += 1
+                            if san is not None:
+                                san.on_mem_sync(i, sync)
 
             b_addr = 0
             b_other = 0
             pending = []        # (producer, kind) arcs kept as dependences
+            resolved_rec = [] if mem_realistic else None
             elim_candidates = []
             group = Group(i, sig_col[s], leaves_col[s], zeros_col[s])
 
@@ -233,6 +318,9 @@ class WindowScheduler:
                             b_addr = comp
                     elif comp > b_other:
                         b_other = comp
+                    if mem_realistic:
+                        resolved_rec.append((p, kind))
+                        _taint_from(i, p)
                     continue
                 # Producer still pending in the window.
                 merged = False
@@ -248,7 +336,11 @@ class WindowScheduler:
                             and block_of.get(p) != block_counter:
                         legal = False
                     if legal:
-                        category = group.try_merge(groups[p], uses, rules)
+                        # (a squashed producer left the group table at
+                        # its first issue and can no longer merge)
+                        pgroup = groups.get(p)
+                        category = group.try_merge(pgroup, uses, rules) \
+                            if pgroup is not None else None
                         if category is not None:
                             if san is not None:
                                 san.on_collapse(i, p, kind, group)
@@ -265,12 +357,19 @@ class WindowScheduler:
                             for q in pend_other.get(p, ()):
                                 pending.append((q, kind))
                             merged = True
+                            if mem_realistic:
+                                for q in dep_record.get(p, ()):
+                                    resolved_rec.append((q, kind))
+                                _taint_from(i, p)
                             if node_elim and sole_reader[p] == i:
                                 elim_candidates.append(p)
                 if not merged:
                     pending.append((p, kind))
+                    if mem_realistic:
+                        _taint_from(i, p)
 
             # ---- load classification / speculation
+            addr_dropped = False
             if cls == LD:
                 has_pending_addr = any(kind == _KIND_ADDR
                                        for _, kind in pending)
@@ -281,6 +380,7 @@ class WindowScheduler:
                     pending = [arc for arc in pending
                                if arc[1] != _KIND_ADDR]
                     b_addr = 0
+                    addr_dropped = True
                     if san is not None:
                         san.on_load_spec(i)
                 elif load_spec == LOAD_SPEC_REAL:
@@ -290,6 +390,7 @@ class WindowScheduler:
                             pending = [arc for arc in pending
                                        if arc[1] != _KIND_ADDR]
                             b_addr = 0
+                            addr_dropped = True
                             if san is not None:
                                 san.on_load_spec(i)
                         else:
@@ -324,6 +425,21 @@ class WindowScheduler:
                     block_of.pop(p, None)
                     issued += 1
                     window_count -= 1
+
+            # ---- record the full timing-producer set (mdpt mode): a
+            # squash replays the instruction against these positions.
+            if mem_realistic:
+                rec = {p for p, _ in pending}
+                for p, kind in resolved_rec:
+                    if addr_dropped and kind == _KIND_ADDR:
+                        continue
+                    rec.add(p)
+                    # An issued producer can still be squashed while it
+                    # is tainted or awaiting a violation; keep a consumer
+                    # edge so this instruction re-blocks if that happens.
+                    if taint.get(p) or p in pending_violation:
+                        consumers.setdefault(p, []).append((i, kind))
+                dep_record[i] = tuple(rec)
 
             # ---- register remaining arcs; bounds are kept for every
             # unissued instruction because a later consumer may collapse
@@ -362,18 +478,33 @@ class WindowScheduler:
                 reg_writer[32] = i
             if cls == ST:
                 mem_writer[eff_addr[i] >> 2] = i
+                if mem_realistic:
+                    plist = inflight_stores.setdefault(pc_col[s], [])
+                    plist.append(i)
+                    if len(plist) > 32:
+                        inflight_stores[pc_col[s]] = [
+                            sp for sp in plist
+                            if issue_cycle[sp] < 0 or completion[sp] > now]
             if cls == BRC or cls == CTI:
                 block_counter += 1
                 if i in mispredicted:
                     block_fetch = True
+                    fence_pos = i
 
         # --------------------------------------------------------------
         def notify(p, now):
             comp = completion[p]
-            plist = consumers.pop(p, None)
+            if mem_realistic and (p in pending_violation or taint.get(p)):
+                # p may yet be squashed: keep its consumer list so the
+                # squash can re-block unissued consumers.
+                plist = consumers.get(p)
+            else:
+                plist = consumers.pop(p, None)
             if not plist:
                 return
             for c, kind in plist:
+                if mem_realistic and issue_cycle[c] >= 0:
+                    continue
                 if kind == _KIND_ADDR:
                     wait = pend_addr.get(c)
                     if wait is None or p not in wait:
@@ -392,6 +523,8 @@ class WindowScheduler:
                         del pend_other[c]
                     if comp > bound_other[c]:
                         bound_other[c] = comp
+                if mem_realistic:
+                    _taint_from(c, p)
                 if c not in pend_addr and c not in pend_other:
                     ba = bound_addr[c]
                     bo = bound_other[c]
@@ -399,7 +532,131 @@ class WindowScheduler:
                     heappush(future_heap, (ready_at, c))
 
         # --------------------------------------------------------------
-        while issued < n:
+        def verify_memory_order(pos, now):
+            """mdpt mode, at issue: prune/propagate taint, verify loads
+            against their producing store, and re-verify watched loads
+            when a store (re-)issues."""
+            t = taint.get(pos)
+            if t:
+                t &= pending_violation
+                if t:
+                    for lv in t:
+                        slice_of[lv].add(pos)
+                else:
+                    del taint[pos]
+            cls = cls_col[sidx[pos]]
+            if cls == LD:
+                ts = true_store.get(pos, -1)
+                if ts >= 0 and (issue_cycle[ts] < 0
+                                or completion[ts] > now):
+                    # Issued past the producing store: a certain
+                    # violation once the store executes.
+                    _mark_violation(pos, ts, now)
+                    if issue_cycle[ts] >= 0:
+                        heappush(violation_heap, (completion[ts], pos))
+            elif cls == ST:
+                watchers = store_watch.get(pos)
+                if watchers:
+                    comp = completion[pos]
+                    for lw in watchers:
+                        lc = issue_cycle[lw]
+                        if lc < 0 or lc >= comp:
+                            continue
+                        if lw not in pending_violation:
+                            _mark_violation(lw, pos, now)
+                        heappush(violation_heap, (comp, lw))
+
+        def _mark_violation(load, store, now):
+            pending_violation.add(load)
+            slice_of.setdefault(load, set()).add(load)
+            t = taint.get(load)
+            if t is None:
+                taint[load] = {load}
+            else:
+                t.add(load)
+            if san is not None:
+                san.on_mem_speculate(load, store, now)
+
+        def fire_violation(load, store, when):
+            """Squash the violating load and its issued forward slice;
+            replay everything after the flush penalty, resynchronized
+            with the store that was violated."""
+            nonlocal issued
+            load_pc = pc_col[sidx[load]]
+            store_pc = pc_col[sidx[store]]
+            mdpt.train(load_pc, store_pc)
+            members = sorted(
+                p for p in slice_of.get(load, ())
+                if issue_cycle[p] >= 0 and p not in eliminated)
+            memdep_stats.record_violation(load_pc, store_pc,
+                                          len(members), FLUSH_PENALTY)
+            if san is not None:
+                san.on_violation(load, store, when)
+            member_set = set(members)
+            for p in members:
+                pending_violation.discard(p)
+            for p in members:
+                issue_cycle[p] = -1
+                completion[p] = 0
+                replaying.add(p)
+                issued -= 1
+                if san is not None:
+                    san.on_squash(p, when)
+                slice_of.pop(p, None)
+                t = taint.get(p)
+                if t:
+                    t &= pending_violation
+                    if not t:
+                        del taint[p]
+            restart = when + FLUSH_PENALTY
+            for p in members:
+                waits = set()
+                base = restart
+                for q in dep_record.get(p, ()):
+                    if q in eliminated:
+                        continue
+                    if issue_cycle[q] < 0:
+                        waits.add(q)
+                        continue
+                    cq = completion[q]
+                    if cq > base:
+                        base = cq
+                if cls_col[sidx[p]] == LD:
+                    ts = true_store.get(p, -1)
+                    if ts >= 0 and ts not in eliminated:
+                        # Resynchronize the replayed load with its true
+                        # store so it cannot re-violate the same arc.
+                        if issue_cycle[ts] < 0:
+                            waits.add(ts)
+                        elif completion[ts] > base:
+                            base = completion[ts]
+                pend_addr.pop(p, None)
+                bound_addr[p] = 0
+                bound_other[p] = base
+                if waits:
+                    pend_other[p] = waits
+                    for q in waits:
+                        consumers.setdefault(q, []).append(
+                            (p, _KIND_OTHER))
+                else:
+                    pend_other.pop(p, None)
+                    heappush(future_heap, (base, p))
+                # Unissued consumers that folded p's old completion into
+                # their bound must re-block on the replay.
+                for c, kind in consumers.get(p, ()):
+                    if c in member_set or c in eliminated \
+                            or issue_cycle[c] >= 0:
+                        continue
+                    target = pend_addr if kind == _KIND_ADDR \
+                        else pend_other
+                    wait = target.get(c)
+                    if wait is None:
+                        target[c] = {p}
+                    else:
+                        wait.add(p)
+
+        # --------------------------------------------------------------
+        while issued < n or (mem_realistic and pending_violation):
             # Fill the window (kept full except behind a mispredicted,
             # still-unissued conditional branch; with fetch_taken_break,
             # at most one taken control transfer enters per cycle).
@@ -414,6 +671,23 @@ class WindowScheduler:
                     if cls == BRC or cls == CTI:
                         break
 
+            # Fire matured memory-order violations (mdpt mode).
+            if mem_realistic:
+                while violation_heap and violation_heap[0][0] <= cycle:
+                    viol_load = heappop(violation_heap)[1]
+                    if viol_load not in pending_violation:
+                        continue
+                    viol_store = true_store[viol_load]
+                    if issue_cycle[viol_store] < 0:
+                        # The store itself was squashed; its re-issue
+                        # re-arms the event via the store watch list.
+                        continue
+                    comp_s = completion[viol_store]
+                    if comp_s > cycle:
+                        heappush(violation_heap, (comp_s, viol_load))
+                        continue
+                    fire_violation(viol_load, viol_store, comp_s)
+
             # Mature future events.
             while future_heap and future_heap[0][0] <= cycle:
                 heappush(ready_heap, heappop(future_heap)[1])
@@ -425,15 +699,33 @@ class WindowScheduler:
                 if pos in eliminated:
                     # Eliminated after being scheduled: consumes nothing.
                     continue
+                if mem_realistic:
+                    # Squash/replay leaves stale heap entries behind;
+                    # re-validate before issuing.
+                    if issue_cycle[pos] >= 0:
+                        continue
+                    if pos in pend_addr or pos in pend_other:
+                        continue
+                    ba = bound_addr.get(pos, 0)
+                    bo = bound_other.get(pos, 0)
+                    ready_at = ba if ba > bo else bo
+                    if ready_at > cycle:
+                        heappush(future_heap, (ready_at, pos))
+                        continue
                 issue_cycle[pos] = cycle
                 completion[pos] = cycle + lat_col[sidx[pos]]
                 if san is not None:
                     san.on_issue(pos, cycle)
                 issued += 1
                 issued_now += 1
-                window_count -= 1
+                if mem_realistic and pos in replaying:
+                    # A replay re-uses the window slot freed at its first
+                    # issue; it does not occupy the window again.
+                    replaying.discard(pos)
+                else:
+                    window_count -= 1
                 last_issue = cycle
-                if block_fetch and pos in mispredicted:
+                if block_fetch and pos == fence_pos:
                     # The blocking branch issued; resume fetch next cycle.
                     block_fetch = False
                 bound_addr.pop(pos, None)
@@ -441,13 +733,21 @@ class WindowScheduler:
                 if collapsing:
                     groups.pop(pos, None)
                     block_of.pop(pos, None)
+                if mem_realistic:
+                    verify_memory_order(pos, cycle)
                 notify(pos, cycle)
 
             if issued_now:
                 cycle += 1
-            elif future_heap:
-                next_cycle = future_heap[0][0]
-                if fetch_break and fetched < n and not block_fetch \
+            else:
+                next_cycle = future_heap[0][0] if future_heap else None
+                if mem_realistic and violation_heap:
+                    viol_next = violation_heap[0][0]
+                    if next_cycle is None or viol_next < next_cycle:
+                        next_cycle = viol_next
+                if next_cycle is None:
+                    cycle += 1
+                elif fetch_break and fetched < n and not block_fetch \
                         and window_count < window_limit:
                     # Fetch proceeds one taken-branch block per cycle, so
                     # idle stretches cannot be skipped wholesale.
@@ -455,8 +755,6 @@ class WindowScheduler:
                 else:
                     cycle = next_cycle if next_cycle > cycle \
                         else cycle + 1
-            else:
-                cycle += 1
 
         collapse_stats.trace_length = n
         if san is not None:
@@ -471,4 +769,5 @@ class WindowScheduler:
             branch=self.branch_result,
             issue_cycles=issue_cycle,
             eliminated_positions=eliminated,
+            memdep=memdep_stats,
         )

@@ -1,6 +1,18 @@
-"""Per-exhibit experiment drivers (one per paper table/figure)."""
+"""Per-exhibit experiment drivers (one per paper table/figure).
 
-from .exhibit import Exhibit
+Exhibit builders self-register (``repro.experiments.exhibit``); the
+report generator and prefetch logic iterate :func:`all_exhibits` /
+:func:`exhibit_requirements` instead of hand-listing functions.
+"""
+
+from .exhibit import (
+    Exhibit,
+    ExhibitSpec,
+    all_exhibits,
+    exhibit_requirements,
+    get_exhibit,
+    register_exhibit,
+)
 from .figures import (
     ALL_FIGURES,
     figure2,
@@ -17,6 +29,7 @@ from .extensions import (
     dataflow_limits,
     elimination_counts,
     extension_figure,
+    memory_speculation,
     predictor_comparison,
     recurrence_bounds,
 )
@@ -26,11 +39,14 @@ from .tables import ALL_TABLES, table1, table2, table3, table4, table5, \
     table6
 
 __all__ = [
-    "Exhibit", "ExperimentRunner", "SweepProfile", "run_cells",
+    "Exhibit", "ExhibitSpec", "ExperimentRunner", "SweepProfile",
+    "run_cells",
+    "all_exhibits", "exhibit_requirements", "get_exhibit",
+    "register_exhibit",
     "ALL_FIGURES", "ALL_TABLES",
     "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
     "figure8", "figure9", "figure10",
     "table1", "table2", "table3", "table4", "table5", "table6",
     "dataflow_limits", "elimination_counts", "extension_figure",
-    "predictor_comparison", "recurrence_bounds",
+    "memory_speculation", "predictor_comparison", "recurrence_bounds",
 ]

@@ -7,8 +7,10 @@ Usage::
 
 ``scale`` defaults to 1.0 (a few minutes of pure-Python simulation);
 ``output`` defaults to ``EXPERIMENTS.md`` in the current directory.
-``--jobs`` fans the A-E x width simulation grid out over worker
-processes, ``--cache-dir`` persists traces and results across runs, and
+``--jobs`` fans the configuration x width simulation grid out over
+worker processes (the grid comes from the exhibit registry,
+``repro.experiments.exhibit``), ``--cache-dir`` persists traces and
+results across runs, and
 ``--profile`` appends a per-cell timing / cache-hit table (see
 docs/PERFORMANCE.md).
 """
@@ -17,10 +19,14 @@ import argparse
 import sys
 import time
 
-from ..core.config import CONFIG_LETTERS, PAPER_ISSUE_WIDTHS
-from .figures import ALL_FIGURES
+from ..core.config import PAPER_ISSUE_WIDTHS
+# Importing the builder modules populates the exhibit registry; the
+# report itself never names individual exhibit functions.
+from . import extensions as _extensions  # noqa: F401
+from . import figures as _figures  # noqa: F401
+from . import tables as _tables  # noqa: F401
+from .exhibit import all_exhibits, exhibit_requirements
 from .runner import ExperimentRunner
-from .tables import ALL_TABLES
 
 #: Headline numbers from the paper, for the paper-vs-measured summary.
 PAPER_REFERENCE = {
@@ -35,52 +41,6 @@ PAPER_REFERENCE = {
     # Figure 10: distance nearly always < 8.
     "distance_within_8": 0.9,
 }
-
-_EXHIBIT_ORDER = (
-    "table1", "table2",
-    "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
-    "table3", "table4",
-    "figure8", "figure9", "figure10",
-    "table5", "table6",
-)
-
-_SHAPE_NOTES = {
-    "table1": "Paper: 88-250M-instruction qpt2 traces; here: emulator "
-              "traces of the analog kernels (see DESIGN.md substitutions).",
-    "table2": "Paper: 8.97-27.5% conditional branches, 83.7-96.8% "
-              "predicted. Shape check: go worst-predicted, li best.",
-    "figure2": "Paper shape: E > D > C > B > A at every width; IPC grows "
-               "with width and saturates for realistic configs.",
-    "figure3": "Paper: D speedups 1.20/1.35/1.51/1.66 at widths "
-               "4/8/16/32; E up to 2.95 at 2k; B+C roughly additive to D.",
-    "figure4": "Paper: pointer-chasing ideal-speculation potential "
-               "similar to the full set.",
-    "figure5": "Paper: B alone gives only 5-9% for pointer chasers; "
-               "C gains smaller than the all-benchmark mean.",
-    "figure6": "Paper: non-pointer benchmarks keep most of the ideal "
-               "gain with realistic speculation.",
-    "figure7": "Paper: D reaches 1.23-1.8 for widths 4-32.",
-    "table3": "Paper: 12.4-26.7% predicted correctly, ~38-44% not "
-              "predicted, very few mispredictions.",
-    "table4": "Paper: 28-57% predicted correctly, ~20% not predicted, "
-              "~2% mispredicted.",
-    "figure8": "Paper: 29-47% of instructions collapse, growing with "
-               "width. Our fractions run higher because the analog "
-               "kernels are hand-written inner loops — denser in "
-               "collapsible shift/arith/addr-gen chains than whole "
-               "compiled SPEC binaries (no prologue/epilogue, libc, or "
-               "register-spill filler). The orderings (li lowest, "
-               "growth with width) carry over.",
-    "figure9": "Paper: 3-1 contributes 65-82% (widths <= 32), 4-1 "
-               "13-30%, 0-op 5-10%.",
-    "figure10": "Paper: for widths > 8 most collapsed pairs are "
-                "non-consecutive, yet distance is nearly always < 8.",
-    "table5": "Paper's top pairs: arrr-brc, arri-brc, arri-arri, "
-              "shri-ldrr, mvi-lgri ... (compare rows).",
-    "table6": "Paper's top triples: arri-arri-arri, lgr0-lgr0-arrr, "
-              "arrr-arrr-arrr ... (compare rows).",
-}
-
 
 def shape_checks(runner):
     """Programmatic paper-shape assertions, reported as pass/fail lines.
@@ -133,6 +93,14 @@ def shape_checks(runner):
     within8 = [row[-1] for row in fig10.rows]
     check("distance <= 8 for the vast majority of collapses",
           all(v >= 80.0 for v in within8))
+
+    from .extensions import memory_speculation
+    memspec = memory_speculation(runner)
+    check("realistic disambiguation never beats perfect memory "
+          "(F <= A and G <= C at every width, within the 2% "
+          "slot-stealing tolerance; see docs/MODEL.md anomalies)",
+          all(v <= 1.02 for v in
+              memspec.column("F/A") + memspec.column("G/C")))
     return "\n".join(lines)
 
 
@@ -151,9 +119,13 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
                               cache_dir=cache_dir, progress=progress,
                               sanitize=sanitize)
     started = time.time()
-    # Resolve the full A-E x width grid up front so exhibit assembly is
-    # pure memo lookups (and actually parallel when jobs > 1).
-    runner.prefetch(CONFIG_LETTERS)
+    # Resolve the simulation grid the registered exhibits will ask for
+    # up front, so exhibit assembly is pure memo lookups (and actually
+    # parallel when jobs > 1).  The demand comes from the exhibit
+    # registry, not a hardcoded letter list.
+    for letters, req_widths in exhibit_requirements():
+        if letters:
+            runner.prefetch(letters, widths=req_widths)
     parts = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -175,18 +147,16 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
         "## Shape checks",
         "",
     ]
-    exhibits = {}
-    for key in _EXHIBIT_ORDER:
-        factory = ALL_TABLES.get(key) or ALL_FIGURES.get(key)
-        exhibits[key] = factory(runner)
+    specs = all_exhibits()
+    exhibits = {spec.key: spec.build(runner) for spec in specs}
     parts.append(shape_checks(runner))
     parts.append("")
-    for key in _EXHIBIT_ORDER:
-        exhibit = exhibits[key]
+    for spec in specs:
+        exhibit = exhibits[spec.key]
         parts.append("## %s — %s" % (exhibit.key, exhibit.title))
         parts.append("")
-        if key in _SHAPE_NOTES:
-            parts.append("*%s*" % (_SHAPE_NOTES[key],))
+        if spec.note:
+            parts.append("*%s*" % (spec.note,))
             parts.append("")
         parts.append("```")
         parts.append(exhibit.render())

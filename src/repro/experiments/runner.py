@@ -19,7 +19,7 @@ Two optional layers sit under the in-memory memo:
 import time
 
 from ..cache import DiskCache
-from ..core.config import CONFIG_LETTERS, PAPER_ISSUE_WIDTHS, paper_config
+from ..core.config import PAPER_ISSUE_WIDTHS, config_letters, paper_config
 from ..core.scheduler import WindowScheduler
 from ..core.simulator import branch_outcomes, load_outcomes
 from ..workloads.registry import SUITE, cached_trace
@@ -200,20 +200,25 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
 
-    def missing_cells(self, letters=CONFIG_LETTERS, names=None,
-                      widths=None):
-        """Cross-product cells not yet resolved in the in-memory memo."""
+    def missing_cells(self, letters=None, names=None, widths=None):
+        """Cross-product cells not yet resolved in the in-memory memo.
+
+        ``letters`` defaults to the live configuration registry
+        (:func:`repro.core.config.config_letters`).
+        """
         return [(name, letter, width)
                 for name in (names or self.names)
-                for letter in letters
+                for letter in (letters if letters is not None
+                               else config_letters())
                 for width in (widths or self.widths)
                 if (name, letter, width) not in self._results]
 
-    def prefetch(self, letters=CONFIG_LETTERS, names=None, widths=None):
+    def prefetch(self, letters=None, names=None, widths=None):
         """Resolve the whole (names x letters x widths) grid up front.
 
         With ``jobs > 1`` the missing cells fan out over a process pool;
         either way, subsequent :meth:`result` calls are memo hits.
+        ``letters`` defaults to the live configuration registry.
         Returns the number of cells resolved by this call.
         """
         cells = self.missing_cells(letters, names, widths)

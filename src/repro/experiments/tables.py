@@ -11,9 +11,13 @@ from ..workloads.registry import (
     POINTER_CHASING,
     WORKLOADS,
 )
-from .exhibit import Exhibit
+from .exhibit import Exhibit, register_exhibit
 
 
+@register_exhibit(
+    "table1", order=0, letters=(),
+    note="Paper: 88-250M-instruction qpt2 traces; here: emulator "
+         "traces of the analog kernels (see DESIGN.md substitutions).")
 def table1(runner):
     """Benchmark characteristics (trace sizes and mix)."""
     headers = ["name", "instructions", "loads (%)", "stores (%)",
@@ -33,6 +37,10 @@ def table1(runner):
                    precision=1)
 
 
+@register_exhibit(
+    "table2", order=10, letters=(),
+    note="Paper: 8.97-27.5% conditional branches, 83.7-96.8% "
+         "predicted. Shape check: go worst-predicted, li best.")
 def table2(runner):
     """Branch characteristics: conditional fraction and prediction
     accuracy of the 8 kB bimodal/gshare predictor."""
@@ -65,6 +73,10 @@ def _load_table(runner, key, title, names):
                    note="configuration D, mean over %s" % (", ".join(names),))
 
 
+@register_exhibit(
+    "table3", order=30, letters=("D",),
+    note="Paper: 12.4-26.7% predicted correctly, ~38-44% not "
+         "predicted, very few mispredictions.")
 def table3(runner):
     """Load-speculation behaviour for pointer-chasing benchmarks."""
     return _load_table(runner, "Table 3",
@@ -72,6 +84,10 @@ def table3(runner):
                        list(POINTER_CHASING))
 
 
+@register_exhibit(
+    "table4", order=31, letters=("D",),
+    note="Paper: 28-57% predicted correctly, ~20% not predicted, "
+         "~2% mispredicted.")
 def table4(runner):
     """Load-speculation behaviour for non pointer-chasing benchmarks."""
     return _load_table(runner, "Table 4",
@@ -117,6 +133,10 @@ def _signature_table(runner, key, title, chains, top):
                         "ranked by the widest machine")
 
 
+@register_exhibit(
+    "table5", order=50, letters=("D",),
+    note="Paper's top pairs: arrr-brc, arri-brc, arri-arri, "
+         "shri-ldrr, mvi-lgri ... (compare rows).")
 def table5(runner, top=12):
     """Most frequently collapsed pair (3-1 style) sequences."""
     return _signature_table(runner, "Table 5",
@@ -124,6 +144,10 @@ def table5(runner, top=12):
                             "pair_signatures", top)
 
 
+@register_exhibit(
+    "table6", order=51, letters=("D",),
+    note="Paper's top triples: arri-arri-arri, lgr0-lgr0-arrr, "
+         "arrr-arrr-arrr ... (compare rows).")
 def table6(runner, top=13):
     """Most frequently collapsed triple (4-1 style) sequences."""
     return _signature_table(runner, "Table 6",

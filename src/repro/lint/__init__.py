@@ -18,7 +18,13 @@ Two halves share this package:
   static per-loop recMII / IPC ceilings under base, collapsed and
   d-speculated dependence-graph variants and cross-checks the whole
   static -> dataflow -> simulator chain
-  (:func:`recurrence_cross_check`, CLI flag ``--recur-check``);
+  (:func:`recurrence_cross_check`, CLI flag ``--recur-check``), and a
+  memory-dependence pass (:class:`MemDepBound`, CLI flag ``--memdep``)
+  that resolves every load/store address to a bounded congruence form
+  and emits the may-alias conflict-pair set — cross-checked
+  (:func:`memdep_cross_check`, CLI flag ``--memdep-check``) against
+  the trace's word-granular store->load dependences and the violation
+  pairs an MDPT (config F) simulation learns;
 - the **runtime sanitizer** (:class:`SchedulerSanitizer`, CLI flag
   ``--sanitize``) instruments the window scheduler to assert the model
   invariants every cycle and raises :class:`SanitizeError` on any
@@ -47,6 +53,7 @@ from .cycles import elementary_cycles
 from .findings import SEV_ERROR, SEV_WARNING, Finding, LintReport
 from .ipcbound import RecurrenceCheck, recurrence_cross_check
 from .loops import DominatorTree, Loop, LoopForest
+from .memdep import MemDepBound, MemDepCheck, memdep_cross_check
 from .recurrence import LoopRecurrence, RecurrenceAnalysis
 from .sanitize import SanitizeError, SchedulerSanitizer
 
@@ -61,6 +68,8 @@ __all__ = [
     "Loop",
     "LoopForest",
     "LoopRecurrence",
+    "MemDepBound",
+    "MemDepCheck",
     "PREDICTABLE_CLASSES",
     "RecurrenceAnalysis",
     "RecurrenceCheck",
@@ -76,5 +85,6 @@ __all__ = [
     "lint_program",
     "lint_source",
     "lint_workload",
+    "memdep_cross_check",
     "recurrence_cross_check",
 ]

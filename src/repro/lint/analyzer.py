@@ -18,6 +18,7 @@ from .dataflow import (
     check_unreachable,
 )
 from .findings import Finding, LintReport
+from .memdep import MemDepBound
 from .recurrence import RecurrenceAnalysis
 
 #: check name -> callable(program, cfg, file) for the dataflow passes
@@ -49,6 +50,9 @@ def lint_program(program, target="<program>", rules=None):
                                                cfg=cfg)
     report.addr_classes = addr_classes
     report.recurrence = recurrence
+    report.memdep_bound = MemDepBound(program, cfg=cfg,
+                                      forest=addr_classes.forest,
+                                      values=addr_classes.values)
     return report
 
 

@@ -58,6 +58,8 @@ class LintReport:
         self.addr_classes = None
         #: filled in by the analyzer: RecurrenceAnalysis or None
         self.recurrence = None
+        #: filled in by the analyzer: MemDepBound or None
+        self.memdep_bound = None
         #: instruction / basic-block counts for the summary line
         self.instructions = 0
         self.blocks = 0

@@ -18,7 +18,13 @@ semantics promise (the always-on version of ``test_scheduler_verify``):
   (``max_group`` members, ``max_leaves`` operands, the one-extra-member
   zero-detection exception);
 - instructions following a mispredicted branch issue strictly after it;
-- every position enters and issues exactly once and the window drains.
+- every position enters and issues exactly once and the window drains;
+- under realistic disambiguation (``mem_spec == "mdpt"``) every reported
+  speculation, violation and squash is re-validated against the
+  sanitizer's own last-store map, and the *memory-order recovery
+  invariant* holds at the end of the run: no load's final issue cycle
+  precedes the completion of the last program-order store to its word
+  (i.e. no committed load kept a stale value).
 
 The sanitizer maintains its own register/memory last-writer map and per
 -position requirement sets, so a scheduler bug in arc construction or
@@ -56,6 +62,10 @@ class SchedulerSanitizer:
         self.checked_instructions = 0
         self.checked_merges = 0
         self.relaxed_arcs = 0
+        self.mem_syncs = 0
+        self.mem_speculations = 0
+        self.mem_violations = 0
+        self.mem_squashes = 0
 
         static = trace.static
         self._sidx = trace.sidx
@@ -79,6 +89,9 @@ class SchedulerSanitizer:
         self._completion = [None] * n
         self._entered = [False] * n
         self._eliminated = set()
+        self._mem_realistic = config.mem_spec == "mdpt"
+        self._mem_dep = {}         # load pos -> last prior same-word store
+        self._squashed = set()     # squashed, awaiting replay
         self._occupancy = 0
         self._fence_pos = None     # latest mispredicted branch entered
         self._fence_issue = None
@@ -138,6 +151,16 @@ class SchedulerSanitizer:
                 "window occupancy %d exceeds size %d at position %d"
                 % (self._occupancy, self.config.window_size, i))
         require = self._arcs(i)
+        if self._cls[self._sidx[i]] == LD:
+            p = self._mem_writer.get(self._eff_addr[i] >> 2, -1)
+            if p >= 0:
+                self._mem_dep[i] = p
+                if self._mem_realistic:
+                    # The scheduler speculates past the store; the arc is
+                    # checked by the end-of-run memory-order invariant
+                    # instead of at issue.  (For a load, (p, OTHER) can
+                    # only be the memory arc.)
+                    require.discard((p, _KIND_OTHER))
         self._require[i] = require
         for p, _ in require:
             self._consumers.setdefault(p, set()).add(i)
@@ -250,8 +273,56 @@ class SchedulerSanitizer:
         self._require.pop(p, None)
         self._consumers.pop(p, None)
 
+    def on_mem_sync(self, i, store):
+        """Load ``i`` synchronizes (MDST) with an in-flight ``store``."""
+        self.mem_syncs += 1
+        if store >= i or not self._entered[store]:
+            self._violate(
+                "load %d synchronized with store %d that is not an "
+                "earlier entered instruction" % (i, store))
+
+    def on_mem_speculate(self, load, store, cycle):
+        """Load issued before ``store`` (its producer) completed."""
+        self.mem_speculations += 1
+        if self._mem_dep.get(load, -1) != store:
+            self._violate(
+                "speculation of load %d reported against store %d, but "
+                "the model defines store %d as its producer"
+                % (load, store, self._mem_dep.get(load, -1)))
+
+    def on_violation(self, load, store, cycle):
+        """A memory-order violation of ``load`` against ``store`` fired."""
+        self.mem_violations += 1
+        if self._mem_dep.get(load, -1) != store:
+            self._violate(
+                "violation of load %d reported against store %d, but "
+                "the model defines store %d as its producer"
+                % (load, store, self._mem_dep.get(load, -1)))
+            return
+        li = self._issue_cycle[load]
+        sc = self._completion[store]
+        if li is None or sc is None or li >= sc:
+            self._violate(
+                "reported violation of load %d (issued %s) against "
+                "store %d (completes %s) is not a memory-order "
+                "violation" % (load, li, store, sc))
+
+    def on_squash(self, p, cycle):
+        """Position ``p`` is squashed for replay after a violation."""
+        self.mem_squashes += 1
+        if self._issue_cycle[p] is None:
+            self._violate("position %d squashed without having issued"
+                          % (p,))
+            return
+        self._issue_cycle[p] = None
+        self._completion[p] = None
+        self._squashed.add(p)
+
     def on_issue(self, i, cycle):
         """Position ``i`` issues at ``cycle``."""
+        reissue = i in self._squashed
+        if reissue:
+            self._squashed.discard(i)
         if not self._entered[i]:
             self._violate("position %d issued without entering the "
                           "window" % (i,))
@@ -289,11 +360,13 @@ class SchedulerSanitizer:
                     "position %d issued at cycle %d, not after "
                     "mispredicted branch %d (issued %d)"
                     % (i, cycle, self._fence_pos, self._fence_issue))
-        if i == self._fence_pos:
+        if i == self._fence_pos and self._fence_issue is None:
             self._fence_issue = cycle
         self._issue_cycle[i] = cycle
         self._completion[i] = cycle + self._lat[self._sidx[i]]
-        self._occupancy -= 1
+        if not reissue:
+            # A replay re-uses the window slot freed at first issue.
+            self._occupancy -= 1
         # Issued positions can no longer be merged into, so the
         # requirement set has served its purpose; keep memory bounded
         # by the window size rather than the trace length.
@@ -309,6 +382,24 @@ class SchedulerSanitizer:
                               % (i,))
             elif self._issue_cycle[i] is None:
                 self._violate("position %d never issued" % (i,))
+        if self._squashed:
+            self._violate(
+                "positions %s squashed but never replayed"
+                % (sorted(self._squashed)[:4],))
+        # Memory-order recovery invariant: no committed load reads a
+        # value older than the last program-order store to its address.
+        for i, p in sorted(self._mem_dep.items()):
+            if i in self._eliminated or p in self._eliminated:
+                continue
+            li = self._issue_cycle[i]
+            pc = self._completion[p]
+            if li is None or pc is None:
+                continue
+            if li < pc:
+                self._violate(
+                    "load %d finally issued at cycle %d before the last "
+                    "prior store to its word (position %d) completed at "
+                    "%d: stale value committed" % (i, li, p, pc))
         if self._occupancy != 0 and not self.violations:
             self._violate("window occupancy %d at end of run"
                           % (self._occupancy,))
@@ -324,10 +415,16 @@ class SchedulerSanitizer:
                    self.trace.name or "<trace>", shown))
 
     def summary(self):
-        return ("sanitize: %d instructions, %d merges, %d relaxed arcs "
+        text = ("sanitize: %d instructions, %d merges, %d relaxed arcs "
                 "checked; %d violations"
                 % (self.checked_instructions, self.checked_merges,
                    self.relaxed_arcs, self.violation_count))
+        if self._mem_realistic:
+            text += ("; memdep: %d syncs, %d speculations, %d squash "
+                     "events replay-verified"
+                     % (self.mem_syncs, self.mem_speculations,
+                        self.mem_violations))
+        return text
 
 
 __all__ = ["SchedulerSanitizer", "SanitizeError"]

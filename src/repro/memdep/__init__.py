@@ -1,0 +1,29 @@
+"""Memory-dependence prediction (MDPT/MDST store sets).
+
+Implements the dependence-prediction side of configurations F and G: a
+per-PC :class:`MDPT` table learns (load PC, store PC) pairs from
+memory-order violations, and once a load PC is promoted the scheduler
+synchronizes its future instances with the youngest matching in-flight
+store (MDST-style) instead of speculating past it.  Accounting lives in
+:class:`MemDepStats`.
+"""
+
+from .mdpt import (
+    COUNTER_MAX,
+    DEFAULT_ENTRIES,
+    DEFAULT_STORE_SET,
+    FLUSH_PENALTY,
+    MDPT,
+    PROMOTE_THRESHOLD,
+)
+from .stats import MemDepStats
+
+__all__ = [
+    "COUNTER_MAX",
+    "DEFAULT_ENTRIES",
+    "DEFAULT_STORE_SET",
+    "FLUSH_PENALTY",
+    "MDPT",
+    "MemDepStats",
+    "PROMOTE_THRESHOLD",
+]

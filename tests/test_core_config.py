@@ -1,4 +1,4 @@
-"""Machine-configuration preset tests."""
+"""Machine-configuration preset and registry tests."""
 
 import pytest
 
@@ -11,7 +11,12 @@ from repro.core import (
     config_c,
     config_d,
     config_e,
+    config_letters,
+    config_specs,
+    get_config_spec,
     paper_config,
+    register_config,
+    unregister_config,
 )
 from repro.errors import ConfigError
 
@@ -88,7 +93,88 @@ def test_validation_errors():
         MachineConfig(8, window_size=4)
     with pytest.raises(ConfigError):
         MachineConfig(8, load_spec="magic")
+    with pytest.raises(ConfigError):
+        MachineConfig(8, mem_spec="oracle")
 
 
 def test_repr_mentions_name():
     assert "A/w8" in repr(config_a(8))
+
+
+# ----------------------------------------------------------------------
+# The declarative registry.
+# ----------------------------------------------------------------------
+
+def test_registry_letters_in_order():
+    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G")
+    assert [spec.letter for spec in config_specs()] == list("ABCDEFG")
+
+
+def test_config_f_realistic_memory():
+    config = paper_config("F", 8)
+    assert config.mem_spec == "mdpt"
+    assert not config.collapsing
+    assert config.load_spec == "none"
+    assert "mspec-mdpt" in MachineConfig(8, mem_spec="mdpt").name
+
+
+def test_config_g_adds_collapsing():
+    config = paper_config("G", 8)
+    assert config.mem_spec == "mdpt"
+    assert config.collapsing
+
+
+def test_fingerprint_includes_mem_spec():
+    a = paper_config("A", 8).fingerprint()
+    f = paper_config("F", 8).fingerprint()
+    assert a["mem_spec"] == "perfect"
+    assert f["mem_spec"] == "mdpt"
+    assert a != f
+
+
+def test_register_rejects_bad_letters_and_knobs():
+    with pytest.raises(ConfigError):
+        register_config("FG", "two letters")
+    with pytest.raises(ConfigError):
+        register_config("1", "not a letter")
+    with pytest.raises(ConfigError):
+        register_config("A", "duplicate")
+    with pytest.raises(ConfigError):
+        register_config("X", "bad knob", issue_width=4)
+    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G")
+
+
+def test_register_validates_knob_values_eagerly():
+    with pytest.raises(ConfigError):
+        register_config("X", "broken", load_spec="magic")
+    assert "X" not in config_letters()
+
+
+def test_get_config_spec_unknown():
+    with pytest.raises(ConfigError):
+        get_config_spec("Z")
+
+
+def test_new_letter_needs_only_one_registration():
+    """The acceptance demonstration: registering a throwaway letter is
+    the single edit needed for it to appear in the runner's sweep and
+    the registry-driven figures."""
+    from repro.experiments import ExperimentRunner
+    from repro.experiments.figures import figure2
+    register_config("X", "throwaway: A + perfect branches",
+                    perfect_branches=True)
+    try:
+        assert config_letters()[-1] == "X"
+        config = paper_config("X", 4)
+        assert config.perfect_branches
+        assert config.name == "X/w4"
+        runner = ExperimentRunner(scale=0.02, widths=(4,))
+        missing = runner.missing_cells()
+        assert any(letter == "X" for _name, letter, _width in missing)
+        exhibit = figure2(runner)
+        assert exhibit.headers[-1] == "X"
+        for row in exhibit.rows:
+            assert row[-1] > 0.0
+    finally:
+        unregister_config("X")
+    assert "X" not in config_letters()

@@ -40,30 +40,38 @@ def test_runner_memoises(runner):
 
 
 def test_figure2_ordering(runner):
-    """E >= D >= C >= B >= A (harmonic-mean IPC) at every width."""
+    """E >= D >= C >= B >= A (harmonic-mean IPC) at every width, and
+    the realistic-disambiguation configs never beat their
+    perfect-memory counterparts (F <= A, G <= C)."""
     exhibit = figure2(runner)
-    assert exhibit.headers == ["width", "A", "B", "C", "D", "E"]
+    assert exhibit.headers == ["width", "A", "B", "C", "D", "E", "F",
+                               "G"]
     for row in exhibit.rows:
-        _, a, b, c, d, e = row
+        _, a, b, c, d, e, f, g = row
         assert e >= d >= c >= b * 0.999 >= a * 0.98
         assert a > 1.0           # superscalar base beats scalar
+        assert f <= a * 1.02    # MDPT costs IPC (2% anomaly tolerance)
+        assert g <= c * 1.02
 
 
 def test_figure2_ipc_grows_with_width(runner):
     exhibit = figure2(runner)
     narrow, wide = exhibit.rows
-    for col in range(1, 6):
+    for col in range(1, 8):
         assert wide[col] >= narrow[col] * 0.999
 
 
 def test_figure3_speedups(runner):
     exhibit = figure3(runner)
+    assert exhibit.headers == ["width", "B", "C", "D", "E", "F", "G"]
     for row in exhibit.rows:
-        _, b, c, d, e = row
+        _, b, c, d, e, f, g = row
         assert 0.99 <= b < e
         assert c > 1.05          # collapsing clearly helps
         assert d >= c * 0.999    # adding speculation never hurts means
-        assert e == max(b, c, d, e)
+        assert e == max(b, c, d, e, f, g)
+        assert f <= 1.02        # realistic memory can't beat perfect
+        assert 1.0 < g <= c * 1.02
 
 
 def test_figure3_collapsing_dominates(runner):
@@ -71,7 +79,7 @@ def test_figure3_collapsing_dominates(runner):
     configuration D's improvement."""
     exhibit = figure3(runner)
     for row in exhibit.rows:
-        _, b, c, d, _ = row
+        _, b, c, d, _, _, _ = row
         assert (c - 1) > (b - 1)
         assert (c - 1) > 0.5 * (d - 1)
 

@@ -99,3 +99,21 @@ def test_core_accounting_identical(name):
     scalar, vector = _both(lambda: issue_distribution(result))
     assert scalar == vector
     assert list(scalar) == list(vector)
+
+
+@pytest.mark.parametrize("name", [workload.name for workload in ALL])
+@pytest.mark.parametrize("letter", ["F", "G"])
+def test_mdpt_cells_identical(name, letter):
+    """The realistic-disambiguation configs run the same kernel-dispatched
+    predictor passes upstream of the scheduler; the full result payload —
+    cycles, load categories, collapse stats, MDPT violation pairs — must
+    not depend on the active kernel."""
+    from repro.core.config import paper_config
+    trace = cached_trace(name, 0.03)
+    config = paper_config(letter, 8)
+    scalar, vector = _both(
+        lambda: simulate_trace(trace, config).to_payload())
+    assert scalar == vector
+    memdep = scalar.get("memdep")
+    assert memdep is not None
+    assert memdep["loads"] > 0

@@ -1,0 +1,153 @@
+"""Unit tests for the memory-dependence prediction table (repro.memdep).
+
+The MDPT is a direct-mapped PC-tagged table with small FIFO store sets
+and a promotion counter; these tests pin down each mechanism in
+isolation before the scheduler tests exercise them in the timing model.
+"""
+
+import pytest
+
+from repro.memdep import (
+    COUNTER_MAX,
+    DEFAULT_ENTRIES,
+    DEFAULT_STORE_SET,
+    FLUSH_PENALTY,
+    MDPT,
+    PROMOTE_THRESHOLD,
+    MemDepStats,
+)
+
+LOAD = 0x1000
+STORE = 0x2000
+
+
+def test_constants_sane():
+    assert DEFAULT_ENTRIES & (DEFAULT_ENTRIES - 1) == 0
+    assert PROMOTE_THRESHOLD >= 1
+    assert COUNTER_MAX >= PROMOTE_THRESHOLD
+    assert FLUSH_PENALTY > 0
+
+
+def test_entries_must_be_power_of_two():
+    with pytest.raises(ValueError):
+        MDPT(entries=3)
+    with pytest.raises(ValueError):
+        MDPT(entries=0)
+    MDPT(entries=1)      # degenerate but legal
+
+
+def test_store_set_size_must_be_positive():
+    with pytest.raises(ValueError):
+        MDPT(store_set_size=0)
+
+
+def test_unknown_load_predicts_nothing():
+    table = MDPT()
+    assert table.store_set(LOAD) is None
+    assert table.lookups == 1
+    assert table.hits == 0
+    assert table.counter(LOAD) == 0
+
+
+def test_promotion_requires_threshold_violations():
+    table = MDPT()
+    table.train(LOAD, STORE)
+    # One violation allocates the entry but does not promote it.
+    assert table.counter(LOAD) == 1
+    assert table.store_set(LOAD) is None
+    table.train(LOAD, STORE)
+    assert table.counter(LOAD) == PROMOTE_THRESHOLD
+    assert table.store_set(LOAD) == [STORE]
+    assert table.hits == 1
+
+
+def test_counter_saturates():
+    table = MDPT()
+    for _ in range(COUNTER_MAX + 5):
+        table.train(LOAD, STORE)
+    assert table.counter(LOAD) == COUNTER_MAX
+
+
+def test_store_set_fifo_eviction():
+    table = MDPT()
+    stores = [STORE + 4 * i for i in range(DEFAULT_STORE_SET + 2)]
+    for store in stores:
+        table.train(LOAD, store)
+    predicted = table.store_set(LOAD)
+    # Most recent last, oldest two evicted.
+    assert predicted == stores[2:]
+    assert len(predicted) == DEFAULT_STORE_SET
+
+
+def test_retraining_moves_store_to_most_recent():
+    table = MDPT(store_set_size=2)
+    table.train(LOAD, STORE)
+    table.train(LOAD, STORE + 4)
+    table.train(LOAD, STORE)          # re-offend: STORE becomes MRU
+    assert table.store_set(LOAD) == [STORE + 4, STORE]
+    table.train(LOAD, STORE + 8)      # evicts the older STORE + 4
+    assert table.store_set(LOAD) == [STORE, STORE + 8]
+
+
+def test_direct_mapped_tag_replacement():
+    """Two load PCs that share an index evict each other."""
+    table = MDPT(entries=2)
+    other = LOAD + 2 * 4               # (pc >> 2) differs by 2 -> same index
+    assert table._index(LOAD) == table._index(other)
+    for _ in range(PROMOTE_THRESHOLD):
+        table.train(LOAD, STORE)
+    assert table.store_set(LOAD) == [STORE]
+    table.train(other, STORE + 4)      # collides, replaces the entry
+    assert table.collisions == 1
+    assert table.store_set(LOAD) is None
+    assert table.counter(other) == 1   # replacement restarts confidence
+    # The evicted load must re-earn promotion from scratch.
+    for _ in range(PROMOTE_THRESHOLD):
+        table.train(LOAD, STORE)
+    assert table.store_set(LOAD) == [STORE]
+
+
+def test_distinct_indices_do_not_collide():
+    table = MDPT(entries=DEFAULT_ENTRIES)
+    for _ in range(PROMOTE_THRESHOLD):
+        table.train(LOAD, STORE)
+        table.train(LOAD + 4, STORE + 4)
+    assert table.store_set(LOAD) == [STORE]
+    assert table.store_set(LOAD + 4) == [STORE + 4]
+    assert table.collisions == 0
+    assert table.trainings == 2 * PROMOTE_THRESHOLD
+
+
+def test_stats_record_and_distinct_pairs():
+    stats = MemDepStats()
+    stats.record_violation(LOAD, STORE, slice_size=3,
+                           penalty=FLUSH_PENALTY)
+    stats.record_violation(LOAD, STORE, slice_size=1,
+                           penalty=FLUSH_PENALTY)
+    stats.record_violation(LOAD + 4, STORE, slice_size=2,
+                           penalty=FLUSH_PENALTY)
+    assert stats.violations == 3
+    assert stats.squashed == 6
+    assert stats.flush_cycles == 3 * FLUSH_PENALTY
+    assert stats.distinct_pairs == 2
+    assert stats.violation_pairs[(LOAD, STORE)] == 2
+
+
+def test_stats_merge_and_payload_round_trip():
+    a = MemDepStats()
+    a.loads = 10
+    a.dependent = 4
+    a.synchronized = 2
+    a.false_syncs = 1
+    a.record_violation(LOAD, STORE, 3, FLUSH_PENALTY)
+    b = MemDepStats()
+    b.loads = 5
+    b.record_violation(LOAD, STORE, 1, FLUSH_PENALTY)
+    b.record_violation(LOAD + 8, STORE, 1, FLUSH_PENALTY)
+    a.merge(b)
+    assert a.loads == 15
+    assert a.violations == 3
+    assert a.violation_pairs[(LOAD, STORE)] == 2
+    restored = MemDepStats.from_payload(a.to_payload())
+    assert restored.to_payload() == a.to_payload()
+    assert restored.distinct_pairs == a.distinct_pairs
