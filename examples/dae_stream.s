@@ -1,0 +1,63 @@
+! dae_stream.s — access/execute slicing of two loops
+! (`repro lint --dae`, docs/LINT.md "Access/execute loop slicing").
+!
+!   PYTHONPATH=src python -m repro lint examples/dae_stream.s --dae
+!
+! Two innermost loops with opposite fates on a decoupled machine:
+!
+! * `sum` streams an array.  The load's backward address cone holds
+!   only the induction update `add %o0, 4, %o0` — no load — so the
+!   loop is CLEAN: the access slice (cone + load) may run arbitrarily
+!   far ahead, handing values to the execute slice (`add %o1, %o3`)
+!   through a bounded FIFO queue.  The load's value leaves the slice,
+!   making it the loop's one boundary load.
+!
+! * `chase` walks a linked list: `ld [%o4], %o4` sits in its own
+!   address cone.  The loop is CHASE-POISONED — decoupling it would
+!   only move the pointer-chase stall into the access stream, so a
+!   configuration-H machine keeps it coupled (and counts its dynamic
+!   chase dependences, which the clean loop must show zero of:
+!   `repro lint --dae-check`).
+!
+! Expected `--dae` table:
+!
+!   line | body | loads | verdict        | access | frac | boundary | recMII acc | recMII body | depth | note
+!   -----+------+-------+----------------+--------+------+----------+------------+-------------+-------+---------------------------------
+!     36 |    5 |     1 |          clean |      2 |  40% |        1 |          1 |           1 |     3 | -
+!     43 |    3 |     1 | chase-poisoned |      1 |  33% |        0 |          - |           - |     - | load-derived address via load #12
+
+        .equ N, 16
+        .equ LAPS, 8
+        .text
+main:
+        mov     N, %g1              ! stream-loop counter
+        set     array, %o0          ! stream cursor (access slice)
+        mov     0, %o1              ! running sum (execute slice)
+sum:    ld      [%o0], %o3          ! boundary load: value exits slice
+        add     %o1, %o3, %o1      ! execute: consume via the queue
+        add     %o0, 4, %o0         ! access: the whole address cone
+        subcc   %g1, 1, %g1
+        bne     sum
+        set     head, %o4           ! list cursor (follows memory)
+        mov     LAPS, %g2           ! chase-loop counter
+chase:  ld      [%o4], %o4          ! next pointer: load in own cone
+        subcc   %g2, 1, %g2
+        bne     chase
+        set     result, %o5
+        st      %o1, [%o5]
+        halt
+
+! The list is circular (n8 -> n1) so a fixed lap count never reaches a
+! null pointer.
+        .data
+array:  .word   3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+head:   .word   n4
+n1:     .word   n6
+n2:     .word   n7
+n3:     .word   n1
+n4:     .word   n3
+n5:     .word   n8
+n6:     .word   n2
+n7:     .word   n5
+n8:     .word   n1
+result: .word   0

@@ -1,0 +1,78 @@
+"""Worked example: decoupled access/execute streams (configuration H).
+
+The slicer (`repro.lint.dae`, docs/LINT.md) proves dae_stream.s's
+stream loop CLEAN — its loads' address cones contain no load — and its
+list walk CHASE-POISONED, *before running anything*.  This script then
+simulates the kernel on configuration A and on configuration H (fed
+the derived `DAEPlan`) under window pressure, shows the clean loop's
+access slice bypassing the full window through its bounded FIFO queue,
+and runs the slice<->occupancy cross-check: zero dynamic chase
+dependences on the clean loop, peak queue occupancy within the static
+depth bound.
+
+Run:  python examples/decoupled_study.py
+"""
+
+import os
+
+from repro.asm import assemble
+from repro.core import MachineConfig, simulate_trace
+from repro.emu import trace_program
+from repro.lint import DAEAnalysis, dae_cross_check
+from repro.metrics import render_table
+
+EXAMPLES = os.path.dirname(os.path.abspath(__file__))
+
+
+def main():
+    with open(os.path.join(EXAMPLES, "dae_stream.s")) as handle:
+        program = assemble(handle.read())
+
+    # -- static half: slice every innermost loop -----------------------
+    analysis = DAEAnalysis(program)
+    print(render_table(
+        ["line", "body", "loads", "verdict", "access", "frac",
+         "boundary", "recMII acc", "recMII body", "depth", "note"],
+        analysis.summary_rows(),
+        title="dae_stream.s — access/execute slices"))
+    plan = analysis.plan()
+    print("plan: %d clean loop(s), total queue depth %d"
+          % (len(plan.clean), sum(plan.capacity.values())))
+    print()
+
+    # -- dynamic half: A vs H under window pressure --------------------
+    trace, _, _ = trace_program(program, name="dae_stream")
+    width = 4
+    window = 4          # tight: the execute stream clogs it
+    base = simulate_trace(
+        trace, MachineConfig(width, window_size=window, name="A"))
+    dae = simulate_trace(
+        trace, MachineConfig(width, window_size=window, dae=True,
+                             name="H"),
+        sanitize=True, dae_plan=plan)
+
+    print("width %d, window %d:" % (width, window))
+    print("  A: %6.3f IPC" % (base.ipc,))
+    print("  H: %6.3f IPC (%.3fx), %d access ops bypassed a full "
+          "window" % (dae.ipc, dae.speedup_over(base),
+                      dae.dae.bypassed))
+    for header, stats in sorted(dae.dae.loops.items()):
+        print("  loop #%-3d enqueued %d, popped %d, peak queue %d, "
+              "full stalls %d, chase deps %d"
+              % (header, stats.enqueued, stats.popped, stats.peak,
+                 stats.full_stalls, stats.chase_deps))
+    print()
+
+    # -- the proof: static slices vs dynamic occupancy -----------------
+    check = dae_cross_check(analysis, trace, dae)
+    print("cross-check: %s (%d loops: %d clean, %d poisoned; peak %d "
+          "within bound %d; %d chase deps, all on coupled loops)"
+          % ("ok" if check.ok else "FAILED", check.loops_checked,
+             check.clean_loops, check.poisoned_loops, check.peak,
+             sum(plan.capacity.values()), check.chase_deps))
+    assert check.ok, check.violations
+    assert dae.ipc >= base.ipc
+
+
+if __name__ == "__main__":
+    main()

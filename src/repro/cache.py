@@ -40,7 +40,7 @@ CACHE_FORMAT_VERSION = 1
 #: the ones a (trace, config) -> SimResult computation flows through.
 _FINGERPRINT_PACKAGES = ("isa", "asm", "emu", "trace", "bpred", "addrpred",
                          "vpred", "collapse", "core", "workloads",
-                         "analysis")
+                         "analysis", "lint")
 
 _code_fingerprint = None
 

@@ -16,7 +16,7 @@ disasm WORKLOAD
 simulate WORKLOAD
     Run one machine configuration and print the full result breakdown.
 sweep WORKLOAD
-    Run every registered configuration (A-G) across issue widths and
+    Run every registered configuration (A-H) across issue widths and
     print the IPC table.
     ``--jobs N`` fans the grid out over worker processes and
     ``--cache-dir PATH`` persists traces/results across invocations.
@@ -40,7 +40,13 @@ lint TARGET...
     must dominate the dynamic predictor coverage.  ``--memdep`` prints
     the per-reference may-alias table; ``--memdep-check`` verifies the
     static conflict set against the trace's store->load dependences
-    and an MDPT (config F) simulation.
+    and an MDPT (config F) simulation.  ``--dae`` prints the per-loop
+    access/execute slice table (clean / chase-poisoned / skipped,
+    access fraction, queue depth bound); ``--dae-check`` simulates
+    configuration H with the static decoupling plan and verifies that
+    statically-clean loops never incur a dynamic chase dependence and
+    that peak queue occupancy stays within the static depth bound
+    (exit 2 on violation).
 
 ``simulate`` and ``report`` accept ``--sanitize`` to attach the
 scheduler invariant checker to every simulation they perform.
@@ -167,7 +173,12 @@ def _build_config(args):
 def cmd_simulate(args):
     trace = _load_target(args.workload, args.scale)
     config = _build_config(args)
-    result = simulate_trace(trace, config, sanitize=args.sanitize)
+    dae_plan = None
+    if config.dae and args.workload in WORKLOADS:
+        from .workloads import cached_dae_plan
+        dae_plan = cached_dae_plan(args.workload, args.scale)
+    result = simulate_trace(trace, config, sanitize=args.sanitize,
+                            dae_plan=dae_plan)
     print("%s on %s" % (config.name, trace.name))
     if args.sanitize:
         print("  sanitize     : ok (model invariants held)")
@@ -187,6 +198,11 @@ def cmd_simulate(args):
               % (stats.events, 100 * stats.collapsed_fraction))
         if config.node_elimination:
             print("  eliminated   : %d instructions" % stats.eliminated)
+    if result.dae is not None:
+        dae = result.dae
+        print("  decoupled    : %d access ops bypassed, %d queued "
+              "(peak occupancy %d), %d chase deps on coupled loops"
+              % (dae.bypassed, dae.enqueued, dae.peak, dae.chase_deps))
     return 0
 
 
@@ -331,6 +347,28 @@ def _lint_recur_check(name, report, scale, widest=2048):
     return check.ok
 
 
+def _lint_dae_check(name, report, scale):
+    """Simulate configuration H with the static decoupling plan and
+    verify the slice <-> occupancy invariants."""
+    from .lint import dae_cross_check
+    from .workloads import cached_dae_plan, cached_trace
+    trace = cached_trace(name, scale)
+    plan = cached_dae_plan(name, scale)
+    result = simulate_trace(trace, paper_config("H", 8), sanitize=True,
+                            dae_plan=plan)
+    check = dae_cross_check(report.dae, trace, result)
+    print("  dae-check %s: %s — %d loops (%d clean, %d queued, %d "
+          "chase-poisoned, %d skipped), peak queue %d, %d enqueued / "
+          "%d popped, %d chase deps on coupled loops (H/8, sanitized)"
+          % (name, "ok" if check.ok else "FAILED", check.loops_checked,
+             check.clean_loops, check.queued_loops,
+             check.poisoned_loops, check.skipped_loops, check.peak,
+             check.enqueued, check.popped, check.chase_deps))
+    for violation in check.violations:
+        print("    " + violation)
+    return check.ok
+
+
 def cmd_lint(args):
     from .lint import lint_path, lint_workload
 
@@ -352,7 +390,7 @@ def cmd_lint(args):
             report = lint_path(target)
             name = None
         print(report.render())
-        if report.findings:
+        if not report.ok:
             failed = True
         if args.bounds and report.collapse_bound is not None:
             rows = report.collapse_bound.summary_rows()
@@ -387,6 +425,18 @@ def cmd_lint(args):
             print("  conflict pairs: %d of %d load x store"
                   % (report.memdep_bound.conflict_count,
                      report.memdep_bound.pair_count))
+        if args.dae and report.dae is not None:
+            rows = report.dae.summary_rows()
+            if rows:
+                print(render_table(
+                    ["line", "body", "loads", "verdict", "access",
+                     "frac", "boundary", "recMII acc", "recMII body",
+                     "depth", "note"],
+                    [list(row) for row in rows],
+                    title="access/execute loop slices: %s"
+                          % (report.target,)))
+            else:
+                print("  no innermost reducible loops to slice")
         if args.recur and report.recurrence is not None:
             rows = report.recurrence.summary_rows()
             if rows:
@@ -414,6 +464,10 @@ def cmd_lint(args):
         if args.memdep_check and name is not None \
                 and report.memdep_bound is not None:
             if not _lint_memdep_check(name, report, args.scale):
+                violated = True
+        if args.dae_check and name is not None \
+                and report.dae is not None:
+            if not _lint_dae_check(name, report, args.scale):
                 violated = True
     if violated:
         return 2
@@ -536,6 +590,16 @@ def build_parser():
                              "against trace store->load dependences "
                              "and an MDPT (config F) simulation (exit "
                              "2 on violation)")
+    p_lint.add_argument("--dae", action="store_true",
+                        help="print the per-loop access/execute slice "
+                             "table (clean / chase-poisoned / skipped)")
+    p_lint.add_argument("--dae-check", dest="dae_check",
+                        action="store_true",
+                        help="simulate configuration H with the static "
+                             "decoupling plan and verify clean loops "
+                             "never chase plus queue occupancy within "
+                             "the static depth bound (exit 2 on "
+                             "violation)")
 
     return parser
 

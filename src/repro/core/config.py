@@ -12,7 +12,10 @@ Seven configurations are studied:
   speculatively past unresolved stores under an MDPT store-set predictor
   (Moshovos et al., ISCA 1997) and pay a squash/re-execute penalty on a
   memory-order violation;
-- **G**: F + dependence collapsing.
+- **G**: F + dependence collapsing;
+- **H**: A + decoupled access/execute streams — statically-clean inner
+  loops (``repro.lint.dae``) run their access slice ahead of the main
+  window through bounded FIFO value queues.
 
 Each letter is one :class:`ConfigSpec` entry in a registry; adding a
 configuration is a single :func:`register_config` call — the experiment
@@ -51,12 +54,14 @@ class MachineConfig:
 
     __slots__ = ("name", "issue_width", "window_size", "collapse_rules",
                  "load_spec", "perfect_branches", "node_elimination",
-                 "value_spec", "fetch_taken_break", "mem_spec")
+                 "value_spec", "fetch_taken_break", "mem_spec", "dae",
+                 "mdpt_entries", "mdpt_store_set")
 
     def __init__(self, issue_width, window_size=None, collapse_rules=None,
                  load_spec=LOAD_SPEC_NONE, perfect_branches=False,
                  node_elimination=False, value_spec=False,
                  fetch_taken_break=False, mem_spec=MEM_SPEC_PERFECT,
+                 dae=False, mdpt_entries=None, mdpt_store_set=None,
                  name=None):
         if issue_width < 1:
             raise ConfigError("issue width must be positive")
@@ -75,6 +80,33 @@ class MachineConfig:
                 "node elimination is a collapsing extension: it needs "
                 "collapse_rules (Figure 1.f eliminates collapsed "
                 "producers)")
+        if dae and mem_spec != MEM_SPEC_PERFECT:
+            raise ConfigError(
+                "dae requires perfect memory disambiguation: MDPT "
+                "replay and access-window bypass accounting conflict")
+        if dae and value_spec:
+            raise ConfigError(
+                "dae is incompatible with value speculation: a "
+                "predicted consumer could issue before its queue "
+                "entry's load completes")
+        if mdpt_entries is not None or mdpt_store_set is not None:
+            if mem_spec != MEM_SPEC_MDPT:
+                raise ConfigError(
+                    "mdpt_entries/mdpt_store_set only apply to "
+                    "mem_spec=%r" % (MEM_SPEC_MDPT,))
+            from ..memdep.mdpt import DEFAULT_ENTRIES, DEFAULT_STORE_SET
+            if mdpt_entries is not None:
+                if mdpt_entries < 1 or mdpt_entries & (mdpt_entries - 1):
+                    raise ConfigError(
+                        "mdpt_entries must be a power of two, got %r"
+                        % (mdpt_entries,))
+                if mdpt_entries == DEFAULT_ENTRIES:
+                    mdpt_entries = None     # keep cache keys stable
+            if mdpt_store_set is not None:
+                if mdpt_store_set < 1:
+                    raise ConfigError("mdpt_store_set must be positive")
+                if mdpt_store_set == DEFAULT_STORE_SET:
+                    mdpt_store_set = None
         self.issue_width = issue_width
         self.window_size = window_size
         self.collapse_rules = collapse_rules
@@ -88,6 +120,15 @@ class MachineConfig:
         #: infrastructure-realism ablation; the paper's model fetches
         #: across taken branches freely.
         self.fetch_taken_break = fetch_taken_break
+        #: decoupled access/execute streams (configuration H); the
+        #: scheduler additionally needs a ``DAEPlan`` for the workload
+        #: (``repro.workloads.cached_dae_plan``) to actually decouple.
+        self.dae = dae
+        #: MDPT sizing overrides (None = the module defaults); kept as
+        #: None when explicitly set to the defaults so cache
+        #: fingerprints of default-sized runs stay identical.
+        self.mdpt_entries = mdpt_entries
+        self.mdpt_store_set = mdpt_store_set
         self.name = name or self._default_name()
 
     def _default_name(self):
@@ -98,6 +139,11 @@ class MachineConfig:
             parts.append("lspec-%s" % self.load_spec)
         if self.mem_spec != MEM_SPEC_PERFECT:
             parts.append("mspec-%s" % self.mem_spec)
+        if self.mdpt_entries is not None or self.mdpt_store_set is not None:
+            parts.append("mdpt%s-%s" % (self.mdpt_entries or "d",
+                                        self.mdpt_store_set or "d"))
+        if self.dae:
+            parts.append("dae")
         if self.node_elimination:
             parts.append("elim")
         if self.value_spec:
@@ -112,7 +158,7 @@ class MachineConfig:
         """Stable JSON-safe description of everything that affects timing
         (the disk cache keys results on it)."""
         rules = self.collapse_rules
-        return {
+        print_ = {
             "issue_width": self.issue_width,
             "window_size": self.window_size,
             "load_spec": self.load_spec,
@@ -123,6 +169,12 @@ class MachineConfig:
             "fetch_taken_break": self.fetch_taken_break,
             "collapse": rules.fingerprint() if rules is not None else None,
         }
+        # Conditional keys keep pre-existing cache entries (A-G) valid.
+        if self.dae:
+            print_["dae"] = True
+        if self.mdpt_entries is not None or self.mdpt_store_set is not None:
+            print_["mdpt"] = [self.mdpt_entries, self.mdpt_store_set]
+        return print_
 
     def width_label(self):
         return WIDTH_LABELS.get(self.issue_width, str(self.issue_width))
@@ -143,7 +195,7 @@ class MachineConfig:
 #: forwarded to :class:`MachineConfig` verbatim.
 _SPEC_KNOBS = frozenset((
     "collapse", "load_spec", "mem_spec", "perfect_branches",
-    "node_elimination", "value_spec", "fetch_taken_break",
+    "node_elimination", "value_spec", "fetch_taken_break", "dae",
 ))
 
 
@@ -250,6 +302,7 @@ register_config("F", "A with MDPT store-set memory disambiguation",
                 mem_spec=MEM_SPEC_MDPT)
 register_config("G", "F + dependence collapsing", collapse=True,
                 mem_spec=MEM_SPEC_MDPT)
+register_config("H", "A + decoupled access/execute streams", dae=True)
 
 
 def __getattr__(name):

@@ -1,0 +1,144 @@
+"""Queue and stream accounting for decoupled access/execute runs.
+
+Configuration H (``MachineConfig.dae``) splits each statically-clean
+innermost loop into an access stream (address computation + loads) that
+may run ahead of the main window, and an execute stream that consumes
+load values through bounded FIFO queues.  :class:`DAEStats` records, per
+decoupled loop, how far that decoupling actually got: queue traffic,
+peak occupancy, queue-full fallbacks, and the dynamic chase dependences
+(load-derived values feeding an access-slice consumer in the same loop
+run) that the static slicer promises are impossible for clean loops.
+
+The numbers here are the dynamic half of the ``dae_cross_check`` proof
+in :mod:`repro.lint.dae`; keeping the container in ``core`` (it has no
+lint dependencies) lets the scheduler and result codec import it
+directly.
+"""
+
+
+class DAELoopStats:
+    """Per-loop (keyed by header instruction index) DAE counters."""
+
+    __slots__ = ("runs", "enqueued", "popped", "peak", "full_stalls",
+                 "chase_deps", "chase_stalls")
+
+    def __init__(self):
+        #: dynamic runs (maximal body-instruction stretches) observed
+        self.runs = 0
+        #: boundary-load values pushed into the loop's FIFO queue
+        self.enqueued = 0
+        #: queue entries retired (consumed by the execute slice or
+        #: reclaimed at architectural overwrite)
+        self.popped = 0
+        #: peak queue occupancy over the run
+        self.peak = 0
+        #: bypass attempts denied because the queue was at capacity
+        self.full_stalls = 0
+        #: dependence arcs from an in-run body load into an access-slice
+        #: consumer (zero for statically-clean loops — the cross-check)
+        self.chase_deps = 0
+        #: chase arcs whose producer had not completed at consumer entry
+        self.chase_stalls = 0
+
+    def merge(self, other):
+        self.runs += other.runs
+        self.enqueued += other.enqueued
+        self.popped += other.popped
+        if other.peak > self.peak:
+            self.peak = other.peak
+        self.full_stalls += other.full_stalls
+        self.chase_deps += other.chase_deps
+        self.chase_stalls += other.chase_stalls
+        return self
+
+    def to_payload(self):
+        return {"runs": self.runs, "enqueued": self.enqueued,
+                "popped": self.popped, "peak": self.peak,
+                "full_stalls": self.full_stalls,
+                "chase_deps": self.chase_deps,
+                "chase_stalls": self.chase_stalls}
+
+    @classmethod
+    def from_payload(cls, payload):
+        stats = cls()
+        for field in cls.__slots__:
+            setattr(stats, field, int(payload.get(field, 0)))
+        return stats
+
+    def __repr__(self):
+        return ("<DAELoopStats enq=%d pop=%d peak=%d full=%d chase=%d>"
+                % (self.enqueued, self.popped, self.peak,
+                   self.full_stalls, self.chase_deps))
+
+
+class DAEStats:
+    """All DAE accounting of one simulation (``SimResult.dae``)."""
+
+    __slots__ = ("loops", "bypassed", "degraded")
+
+    def __init__(self):
+        #: loop header instruction index -> DAELoopStats
+        self.loops = {}
+        #: instructions admitted through the access window (bypassing a
+        #: full main window)
+        self.bypassed = 0
+        #: bypass-eligible instructions that fell back to the main
+        #: window because the access window itself was full
+        self.degraded = 0
+
+    def loop(self, header):
+        stats = self.loops.get(header)
+        if stats is None:
+            stats = self.loops[header] = DAELoopStats()
+        return stats
+
+    # -- suite-level aggregates (exhibit columns) ----------------------
+
+    @property
+    def enqueued(self):
+        return sum(s.enqueued for s in self.loops.values())
+
+    @property
+    def popped(self):
+        return sum(s.popped for s in self.loops.values())
+
+    @property
+    def peak(self):
+        return max((s.peak for s in self.loops.values()), default=0)
+
+    @property
+    def full_stalls(self):
+        return sum(s.full_stalls for s in self.loops.values())
+
+    @property
+    def chase_deps(self):
+        return sum(s.chase_deps for s in self.loops.values())
+
+    def merge(self, other):
+        self.bypassed += other.bypassed
+        self.degraded += other.degraded
+        for header, stats in other.loops.items():
+            self.loop(header).merge(stats)
+        return self
+
+    def to_payload(self):
+        return {"bypassed": self.bypassed, "degraded": self.degraded,
+                "loops": {str(header): stats.to_payload()
+                          for header, stats in sorted(self.loops.items())}}
+
+    @classmethod
+    def from_payload(cls, payload):
+        stats = cls()
+        stats.bypassed = int(payload.get("bypassed", 0))
+        stats.degraded = int(payload.get("degraded", 0))
+        for header, loop_payload in (payload.get("loops") or {}).items():
+            stats.loops[int(header)] = \
+                DAELoopStats.from_payload(loop_payload)
+        return stats
+
+    def __repr__(self):
+        return ("<DAEStats %d loops, %d bypassed, %d enqueued>"
+                % (len(self.loops), self.bypassed, self.enqueued))
+
+
+__all__ = ["DAELoopStats", "DAEStats"]

@@ -54,11 +54,12 @@ class SimResult:
     __slots__ = ("config_name", "trace_name", "instructions", "cycles",
                  "loads", "collapse", "branch", "issue_width",
                  "window_size", "issue_cycles", "eliminated_positions",
-                 "memdep")
+                 "memdep", "dae")
 
     def __init__(self, config, trace_name, instructions, cycles, loads,
                  collapse, branch, issue_cycles=None,
-                 eliminated_positions=frozenset(), memdep=None):
+                 eliminated_positions=frozenset(), memdep=None,
+                 dae=None):
         self.config_name = config.name
         self.issue_width = config.issue_width
         self.window_size = config.window_size
@@ -77,6 +78,9 @@ class SimResult:
         #: MemDepStats when the run used realistic (mdpt) memory
         #: disambiguation; None under the paper's perfect model
         self.memdep = memdep
+        #: DAEStats when the run decoupled access/execute streams
+        #: (``config.dae`` with a DAEPlan); None otherwise
+        self.dae = dae
 
     @property
     def ipc(self):
@@ -119,6 +123,8 @@ class SimResult:
             "eliminated_positions": sorted(self.eliminated_positions),
             "memdep": (self.memdep.to_payload()
                        if self.memdep is not None else None),
+            "dae": (self.dae.to_payload()
+                    if self.dae is not None else None),
         }
 
     @classmethod
@@ -152,6 +158,12 @@ class SimResult:
             result.memdep = MemDepStats.from_payload(memdep)
         else:
             result.memdep = None
+        dae = payload.get("dae")
+        if dae is not None:
+            from .daestats import DAEStats
+            result.dae = DAEStats.from_payload(dae)
+        else:
+            result.dae = None
         return result
 
     def __repr__(self):

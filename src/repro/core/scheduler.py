@@ -34,6 +34,18 @@ Semantics (paper Section 4):
   penalty, the MDPT (``repro.memdep``) learns the (load PC, store PC)
   pair, and promoted load PCs synchronize with the youngest matching
   in-flight store (MDST) at window entry instead of speculating.
+- Decoupled access/execute (``config.dae``, configuration H): given a
+  static :class:`~repro.lint.dae.DAEPlan`, members of a clean loop's
+  access slice may enter a second *access window* (same capacity) when
+  the main window is full, letting address computation and loads run
+  ahead; each boundary load pushes its value into a per-loop bounded
+  FIFO queue, popped when its first execute-side consumer issues (or
+  reclaimed when the value is architecturally dead).  A boundary load
+  that finds its queue full stays coupled (enters the main window,
+  counted as a ``full_stall``).  Dependence timing is unchanged — the
+  queues and the access window only relax *window occupancy*, which is
+  what decoupling buys: the paper's limit machine never starves loads
+  behind a full window, a DAE machine need not either.
 
 The engine is event-driven: idle stretches are skipped by jumping to the
 next dependence-resolution event, which keeps the 2048-wide/4096-window
@@ -81,21 +93,29 @@ class WindowScheduler:
         Optional invariant checker (see ``repro.lint.sanitize``); it is
         notified of window entry, every dependence relaxation, and every
         issue, and re-checks the schedule from independent bookkeeping.
+    dae_plan: DAEPlan or None
+        Static access/execute slices (``repro.lint.dae``) for a
+        ``config.dae`` machine; without a plan a DAE configuration
+        degenerates to its base machine (nothing decouples) and the
+        result carries no DAE statistics.
     """
 
     def __init__(self, trace, config, branch_result, load_prediction=None,
-                 value_prediction=None, sanitizer=None):
+                 value_prediction=None, sanitizer=None, dae_plan=None):
         if config.load_spec == LOAD_SPEC_REAL and load_prediction is None:
             raise ValueError("real load-speculation needs predictor output")
         if config.value_spec and value_prediction is None:
             raise ValueError("value speculation needs a value-prediction "
                              "pass (repro.vpred)")
+        if dae_plan is not None and config.dae:
+            dae_plan.validate(trace.static)
         self.trace = trace
         self.config = config
         self.branch_result = branch_result
         self.load_prediction = load_prediction
         self.value_prediction = value_prediction
         self.sanitizer = sanitizer
+        self.dae_plan = dae_plan if config.dae else None
 
     # ------------------------------------------------------------------
 
@@ -140,7 +160,10 @@ class WindowScheduler:
         mem_realistic = config.mem_spec == MEM_SPEC_MDPT
         if mem_realistic:
             from ..memdep import FLUSH_PENALTY, MDPT, MemDepStats
-            mdpt = MDPT()
+            from ..memdep.mdpt import DEFAULT_ENTRIES, DEFAULT_STORE_SET
+            mdpt = MDPT(entries=config.mdpt_entries or DEFAULT_ENTRIES,
+                        store_set_size=config.mdpt_store_set
+                        or DEFAULT_STORE_SET)
             memdep_stats = MemDepStats()
             true_store = {}        # load pos -> producing store pos (or -1)
             store_watch = {}       # store pos -> load positions to verify
@@ -157,6 +180,30 @@ class WindowScheduler:
         node_elim = collapsing and config.node_elimination
         sole_reader = compute_sole_readers(trace) if node_elim else None
         eliminated = set()
+
+        dae_plan = self.dae_plan
+        dae_mode = config.dae and dae_plan is not None
+        if dae_mode:
+            from collections import deque
+            from .daestats import DAEStats
+            dae_stats = DAEStats()
+            dae_access = dae_plan.access_of
+            dae_boundary = dae_plan.boundary_of
+            dae_body = dae_plan.body_of
+            dae_chase = dae_plan.chase_of
+            dae_body_loads = dae_plan.body_loads
+            dae_capacity = dae_plan.capacity
+            queues = {h: deque() for h in dae_plan.clean}
+            queue_of = {}       # live queue entry (load pos) -> header
+            delivered = set()   # entries consumed, awaiting FIFO drain
+            popper = {}         # entry pos -> execute consumer that pops
+            pop_on_issue = {}   # consumer pos -> [entry positions]
+            bypassed = set()    # positions occupying the access window
+            access_count = 0
+            run_loop = -1       # header of the current dynamic loop run
+            run_start = -1      # first position of the current run
+        else:
+            dae_stats = None
 
         value_spec = config.value_spec
         if value_spec:
@@ -231,9 +278,43 @@ class WindowScheduler:
             return best
 
         # --------------------------------------------------------------
+        # Decoupled access/execute helpers (dae mode only).
+
+        def _dae_enqueue(h, i, now):
+            queues[h].append(i)
+            queue_of[i] = h
+            stats = dae_stats.loop(h)
+            stats.enqueued += 1
+            depth = len(queues[h])
+            if depth > stats.peak:
+                stats.peak = depth
+            if san is not None:
+                san.on_dae_enqueue(h, i, now)
+
+        def _dae_deliver(p, consumer, now):
+            """Mark queue entry ``p`` consumed (``consumer`` issued) or
+            dead (``consumer == -1``) and drain delivered entries from
+            the queue head, preserving FIFO order."""
+            h = queue_of.get(p)
+            if h is None or p in delivered:
+                return
+            delivered.add(p)
+            if san is not None:
+                san.on_dae_deliver(p, consumer, now)
+            queue = queues[h]
+            stats = dae_stats.loop(h)
+            while queue and queue[0] in delivered:
+                head = queue.popleft()
+                delivered.discard(head)
+                del queue_of[head]
+                stats.popped += 1
+                if san is not None:
+                    san.on_dae_pop(h, head, now)
+
+        # --------------------------------------------------------------
         def enter(i, now):
             nonlocal block_fetch, block_counter, fence_pos, issued, \
-                window_count
+                window_count, access_count, run_loop, run_start
             if san is not None:
                 san.on_enter(i, now)
             s = sidx[i]
@@ -292,6 +373,32 @@ class WindowScheduler:
                                 memdep_stats.false_syncs += 1
                             if san is not None:
                                 san.on_mem_sync(i, sync)
+
+            # ---- DAE run tracking and chase accounting: a dynamic
+            # *run* is a maximal stretch of one loop's body members;
+            # an arc from a load of the same loop, produced within the
+            # run, into an access-slice member is a chase dependence —
+            # statically-clean loops must never record one.
+            if dae_mode:
+                header = dae_body.get(s, -1)
+                if header != run_loop:
+                    run_loop = header
+                    run_start = i
+                    if header >= 0:
+                        dae_stats.loop(header).runs += 1
+                if run_loop >= 0 and dae_chase.get(s, -1) == run_loop:
+                    watched = dae_body_loads[run_loop]
+                    stats = dae_stats.loop(run_loop)
+                    for p, _kind, _coll, _uses in arcs:
+                        if p >= run_start and sidx[p] in watched:
+                            stats.chase_deps += 1
+                            if issue_cycle[p] < 0 or completion[p] > now:
+                                stats.chase_stalls += 1
+                for p, _kind, _coll, _uses in arcs:
+                    if p in queue_of and p not in delivered \
+                            and p not in popper:
+                        popper[p] = i
+                        pop_on_issue.setdefault(i, []).append(p)
 
             b_addr = 0
             b_other = 0
@@ -424,7 +531,14 @@ class WindowScheduler:
                     groups.pop(p, None)
                     block_of.pop(p, None)
                     issued += 1
-                    window_count -= 1
+                    if dae_mode and p in bypassed:
+                        bypassed.discard(p)
+                        access_count -= 1
+                    else:
+                        window_count -= 1
+                    if dae_mode and p in queue_of and p not in delivered \
+                            and p not in popper:
+                        _dae_deliver(p, -1, now)
 
             # ---- record the full timing-producer set (mdpt mode): a
             # squash replays the instruction against these positions.
@@ -473,6 +587,13 @@ class WindowScheduler:
             # ---- architectural update (program order)
             dest = dest_col[s]
             if dest >= 0:
+                if dae_mode:
+                    old = reg_writer[dest]
+                    # Overwritten before any execute-side consumer read
+                    # it: the queued value is dead — reclaim its slot.
+                    if old >= 0 and old in queue_of \
+                            and old not in delivered and old not in popper:
+                        _dae_deliver(old, -1, now)
                 reg_writer[dest] = i
             if writes_cc_col[s]:
                 reg_writer[32] = i
@@ -659,13 +780,45 @@ class WindowScheduler:
         while issued < n or (mem_realistic and pending_violation):
             # Fill the window (kept full except behind a mispredicted,
             # still-unissued conditional branch; with fetch_taken_break,
-            # at most one taken control transfer enters per cycle).
-            while fetched < n and window_count < window_limit \
-                    and not block_fetch:
+            # at most one taken control transfer enters per cycle).  In
+            # dae mode, access-slice members of clean loops may bypass a
+            # full main window into the access window, boundary loads
+            # permitting queue headroom.
+            while fetched < n and not block_fetch:
                 position = fetched
+                bypass = False
+                stall_loop = -1     # >= 0: queue full, -2: access full
+                if dae_mode:
+                    s_pos = sidx[position]
+                    if dae_access.get(s_pos, -1) >= 0:
+                        hb = dae_boundary.get(s_pos, -1)
+                        if hb >= 0 \
+                                and len(queues[hb]) >= dae_capacity[hb]:
+                            stall_loop = hb     # stays coupled
+                        elif access_count < window_limit:
+                            bypass = True
+                        else:
+                            stall_loop = -2     # degrades to the window
+                if not bypass and window_count >= window_limit:
+                    break
+                if bypass and san is not None:
+                    san.on_dae_bypass(position)
                 enter(position, cycle)
                 fetched += 1
-                window_count += 1
+                if bypass:
+                    bypassed.add(position)
+                    access_count += 1
+                    dae_stats.bypassed += 1
+                else:
+                    window_count += 1
+                    if stall_loop >= 0:
+                        dae_stats.loop(stall_loop).full_stalls += 1
+                    elif stall_loop == -2:
+                        dae_stats.degraded += 1
+                if dae_mode:
+                    hb = dae_boundary.get(sidx[position], -1)
+                    if hb >= 0 and len(queues[hb]) < dae_capacity[hb]:
+                        _dae_enqueue(hb, position, cycle)
                 if fetch_break and taken_col[position]:
                     cls = cls_col[sidx[position]]
                     if cls == BRC or cls == CTI:
@@ -722,8 +875,14 @@ class WindowScheduler:
                     # A replay re-uses the window slot freed at its first
                     # issue; it does not occupy the window again.
                     replaying.discard(pos)
+                elif dae_mode and pos in bypassed:
+                    bypassed.discard(pos)
+                    access_count -= 1
                 else:
                     window_count -= 1
+                if dae_mode:
+                    for p in pop_on_issue.pop(pos, ()):
+                        _dae_deliver(p, pos, cycle)
                 last_issue = cycle
                 if block_fetch and pos == fence_pos:
                     # The blocking branch issued; resume fetch next cycle.
@@ -770,4 +929,5 @@ class WindowScheduler:
             issue_cycles=issue_cycle,
             eliminated_positions=eliminated,
             memdep=memdep_stats,
+            dae=dae_stats,
         )

@@ -31,22 +31,25 @@ def value_outcomes(trace, table=None):
     return run_value_predictor(trace, table)
 
 
-def make_sanitizer(trace, config, branch_result=None):
+def make_sanitizer(trace, config, branch_result=None, dae_plan=None):
     """Build a :class:`~repro.lint.sanitize.SchedulerSanitizer` for one
     (trace, config, branch outcome) triple."""
     from ..lint.sanitize import SchedulerSanitizer
     mispredicted = branch_result.mispredicted if branch_result is not None \
         else {}
-    return SchedulerSanitizer(trace, config, mispredicted)
+    return SchedulerSanitizer(trace, config, mispredicted,
+                              dae_plan=dae_plan)
 
 
 def simulate_trace(trace, config, branch_result=None, load_prediction=None,
-                   value_prediction=None, sanitize=False):
+                   value_prediction=None, sanitize=False, dae_plan=None):
     """Simulate ``trace`` on ``config`` and return a ``SimResult``.
 
     With ``sanitize=True`` the run carries a scheduler sanitizer that
     re-checks the model invariants and raises
     :class:`~repro.lint.sanitize.SanitizeError` on any violation.
+    ``dae_plan`` supplies the static access/execute slices a
+    ``config.dae`` machine decouples with (``repro.lint.dae``).
     """
     if branch_result is None:
         branch_result = branch_outcomes(trace,
@@ -55,15 +58,15 @@ def simulate_trace(trace, config, branch_result=None, load_prediction=None,
         load_prediction = load_outcomes(trace)
     if value_prediction is None and config.value_spec:
         value_prediction = value_outcomes(trace)
-    sanitizer = make_sanitizer(trace, config, branch_result) if sanitize \
-        else None
+    sanitizer = make_sanitizer(trace, config, branch_result,
+                               dae_plan=dae_plan) if sanitize else None
     scheduler = WindowScheduler(trace, config, branch_result,
                                 load_prediction, value_prediction,
-                                sanitizer=sanitizer)
+                                sanitizer=sanitizer, dae_plan=dae_plan)
     return scheduler.run()
 
 
-def simulate_many(trace, configs, sanitize=False):
+def simulate_many(trace, configs, sanitize=False, dae_plan=None):
     """Simulate ``trace`` on several configurations, sharing predictor
     passes.  Returns a list of ``SimResult`` in the order of ``configs``.
     """
@@ -89,5 +92,7 @@ def simulate_many(trace, configs, sanitize=False):
         results.append(simulate_trace(trace, config,
                                       branch_result=branch_result,
                                       load_prediction=prediction,
-                                      sanitize=sanitize))
+                                      sanitize=sanitize,
+                                      dae_plan=dae_plan
+                                      if config.dae else None))
     return results

@@ -27,8 +27,10 @@ from .figures import (
 )
 from .extensions import (
     dataflow_limits,
+    decoupled_streams,
     elimination_counts,
     extension_figure,
+    mdpt_sensitivity,
     memory_speculation,
     predictor_comparison,
     recurrence_bounds,
@@ -47,6 +49,7 @@ __all__ = [
     "figure2", "figure3", "figure4", "figure5", "figure6", "figure7",
     "figure8", "figure9", "figure10",
     "table1", "table2", "table3", "table4", "table5", "table6",
-    "dataflow_limits", "elimination_counts", "extension_figure",
-    "memory_speculation", "predictor_comparison", "recurrence_bounds",
+    "dataflow_limits", "decoupled_streams", "elimination_counts",
+    "extension_figure", "mdpt_sensitivity", "memory_speculation",
+    "predictor_comparison", "recurrence_bounds",
 ]

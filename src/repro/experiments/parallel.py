@@ -26,7 +26,7 @@ from ..core.results import SimResult
 from ..core.scheduler import WindowScheduler
 from ..core.simulator import branch_outcomes, load_outcomes
 from ..metrics.tables import render_table
-from ..workloads.registry import cached_trace
+from ..workloads.registry import cached_dae_plan, cached_trace
 
 #: Per-worker-process memo: (name, scale, cache_dir) -> (trace, branch,
 #: loads).  Six workloads at bench scales fit comfortably in memory.
@@ -65,12 +65,15 @@ def _run_cell(task):
                     time.perf_counter() - started, True, cache.stats())
     trace, branch, loads = _cell_inputs(name, scale, cache_dir)
     prediction = loads if config.load_spec == "real" else None
+    dae_plan = cached_dae_plan(name, scale) if config.dae else None
     sanitizer = None
     if sanitize:
         from ..core.simulator import make_sanitizer
-        sanitizer = make_sanitizer(trace, config, branch)
+        sanitizer = make_sanitizer(trace, config, branch,
+                                   dae_plan=dae_plan)
     result = WindowScheduler(trace, config, branch, prediction,
-                             sanitizer=sanitizer).run()
+                             sanitizer=sanitizer,
+                             dae_plan=dae_plan).run()
     if not keep_schedules:
         result.issue_cycles = None
     if cache is not None:

@@ -101,6 +101,20 @@ def shape_checks(runner):
           "slot-stealing tolerance; see docs/MODEL.md anomalies)",
           all(v <= 1.02 for v in
               memspec.column("F/A") + memspec.column("G/C")))
+
+    from .extensions import decoupled_streams
+    decoupled = decoupled_streams(runner)
+    check("decoupled access/execute streams never hurt the mean "
+          "(H >= A at every width)",
+          all(v >= 0.999 for v in decoupled.column("H/A")))
+    # At width 2k the window is effectively unbounded, never fills, and
+    # H = A cycle-for-cycle (docs/MODEL.md) — only finite widths can gain.
+    check("stride-dominated workloads gain from decoupling "
+          "(H/A > 1 on the non pointer-chasing subset at finite widths; "
+          "H = A at width 2k where the window never fills)",
+          all(v > 1.0 for width, v in
+              zip(runner.widths, decoupled.column("H/A (stride)"))
+              if width < 2048))
     return "\n".join(lines)
 
 
@@ -166,6 +180,7 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
         parts.extend(_extension_sections(runner))
     parts.extend(_addr_class_section(runner))
     parts.extend(_recurrence_section(runner))
+    parts.extend(_dae_section(runner))
     if sanitize:
         parts.append("_Sanitized run: %d simulations re-checked against "
                      "the model invariants, zero violations (see "
@@ -275,6 +290,46 @@ def _recurrence_section(runner):
         "",
         "```",
         exhibit.render(),
+        "```",
+        "",
+    ]
+
+
+def _dae_section(runner):
+    """Static access/execute slicing vs the decoupled machine H
+    (docs/LINT.md, ``repro lint --dae-check``)."""
+    from ..lint.dae import DAEAnalysis, dae_cross_check
+    from ..metrics import render_table
+    from ..workloads.registry import get_workload
+    width = runner.widths[-1]
+    headers = ["workload", "loops", "clean", "poisoned", "skipped",
+               "queued", "depth bound", "peak q", "chase deps", "check"]
+    rows = []
+    for name in runner.names:
+        program = get_workload(name).build(scale=runner.scale)
+        analysis = DAEAnalysis(program)
+        result = runner.result(name, "H", width)
+        check = dae_cross_check(analysis, runner.trace(name), result)
+        rows.append([name, check.loops_checked, check.clean_loops,
+                     check.poisoned_loops, check.skipped_loops,
+                     check.queued_loops,
+                     sum(analysis.plan().capacity.values()),
+                     check.peak, check.chase_deps,
+                     "ok" if check.ok else "FAILED"])
+    return [
+        "## Static access/execute slicing",
+        "",
+        "*Per-workload verdicts of the backward address-cone slicer "
+        "(docs/LINT.md, `repro lint --dae`) against a configuration-H "
+        "run at width %d: statically-clean loops must never incur a "
+        "dynamic chase dependence, and peak FIFO queue occupancy must "
+        "stay within the static recMII-gap depth bound "
+        "(`repro lint --dae-check`).*" % (width,),
+        "",
+        "```",
+        render_table(headers, rows,
+                     title="access/execute slice verdicts and "
+                           "occupancy cross-check"),
         "```",
         "",
     ]

@@ -22,7 +22,7 @@ from ..cache import DiskCache
 from ..core.config import PAPER_ISSUE_WIDTHS, config_letters, paper_config
 from ..core.scheduler import WindowScheduler
 from ..core.simulator import branch_outcomes, load_outcomes
-from ..workloads.registry import SUITE, cached_trace
+from ..workloads.registry import SUITE, cached_dae_plan, cached_trace
 from .parallel import SweepProfile, run_cells
 
 
@@ -113,12 +113,19 @@ class ExperimentRunner:
             self._loads[name] = load_outcomes(self.trace(name))
         return self._loads[name]
 
-    def _make_sanitizer(self, name, config):
+    def _dae_plan(self, name, config):
+        """Static decoupling plan for configuration-H cells; the plan
+        derives from the workload's assembly at this runner's scale."""
+        if not config.dae:
+            return None
+        return cached_dae_plan(name, self.scale)
+
+    def _make_sanitizer(self, name, config, dae_plan=None):
         if not self.sanitize:
             return None
         from ..core.simulator import make_sanitizer
         return make_sanitizer(self.trace(name), config,
-                              self.branch(name))
+                              self.branch(name), dae_plan=dae_plan)
 
     def result(self, name, letter, width):
         """Simulation result for one cell, memoised (and disk-cached)."""
@@ -133,10 +140,13 @@ class ExperimentRunner:
             if result is None:
                 prediction = (self.load_prediction(name)
                               if config.load_spec == "real" else None)
+                dae_plan = self._dae_plan(name, config)
                 scheduler = WindowScheduler(
                     self.trace(name), config, self.branch(name),
                     prediction,
-                    sanitizer=self._make_sanitizer(name, config))
+                    sanitizer=self._make_sanitizer(name, config,
+                                                   dae_plan),
+                    dae_plan=dae_plan)
                 result = scheduler.run()
                 if self.sanitize:
                     self.sanitized_runs += 1
@@ -178,9 +188,12 @@ class ExperimentRunner:
             values = value_prediction
             if callable(values):
                 values = values()
+            dae_plan = self._dae_plan(name, config)
             scheduler = WindowScheduler(
                 self.trace(name), config, self.branch(name), prediction,
-                values, sanitizer=self._make_sanitizer(name, config))
+                values,
+                sanitizer=self._make_sanitizer(name, config, dae_plan),
+                dae_plan=dae_plan)
             result = scheduler.run()
             if self.sanitize:
                 self.sanitized_runs += 1

@@ -24,7 +24,19 @@ Two halves share this package:
   and emits the may-alias conflict-pair set — cross-checked
   (:func:`memdep_cross_check`, CLI flag ``--memdep-check``) against
   the trace's word-granular store->load dependences and the violation
-  pairs an MDPT (config F) simulation learns;
+  pairs an MDPT (config F) simulation learns, and a decoupled
+  access/execute slicing pass (:class:`DAEAnalysis`, CLI flag
+  ``--dae``) that computes each innermost loop's backward address
+  cones, classifies it clean / chase-poisoned / skipped, derives the
+  access-slice fraction and a minimum FIFO queue depth from the
+  recMII gap, and proves (:func:`dae_cross_check`, CLI flag
+  ``--dae-check``) that statically-clean loops never incur a dynamic
+  chase stall and that dynamic peak queue occupancy stays within the
+  static depth bound on a configuration-H run.  Passes themselves sit
+  on a declarative registry (:func:`register_lint_pass` /
+  :func:`lint_passes`): the driver iterates registered passes in
+  order, so new analyses hook into ``repro lint --all``
+  structurally;
 - the **runtime sanitizer** (:class:`SchedulerSanitizer`, CLI flag
   ``--sanitize``) instruments the window scheduler to assert the model
   invariants every cycle and raises :class:`SanitizeError` on any
@@ -50,19 +62,38 @@ from .analyzer import (
 from .cfg import ControlFlowGraph
 from .collapse_bound import StaticCollapseBound
 from .cycles import elementary_cycles
+from .dae import (
+    DAEAnalysis,
+    DAECheck,
+    DAEPlan,
+    dae_cross_check,
+    static_signature,
+)
 from .findings import SEV_ERROR, SEV_WARNING, Finding, LintReport
 from .ipcbound import RecurrenceCheck, recurrence_cross_check
 from .loops import DominatorTree, Loop, LoopForest
 from .memdep import MemDepBound, MemDepCheck, memdep_cross_check
 from .recurrence import LoopRecurrence, RecurrenceAnalysis
+from .registry import (
+    LintContext,
+    LintPass,
+    lint_passes,
+    register_lint_pass,
+    unregister_lint_pass,
+)
 from .sanitize import SanitizeError, SchedulerSanitizer
 
 __all__ = [
     "AddressCheck",
     "AddressClassification",
     "ControlFlowGraph",
+    "DAEAnalysis",
+    "DAECheck",
+    "DAEPlan",
     "DominatorTree",
     "Finding",
+    "LintContext",
+    "LintPass",
     "LintReport",
     "LINT_CHECKS",
     "Loop",
@@ -80,11 +111,16 @@ __all__ = [
     "StaticCollapseBound",
     "check_addr_untracked",
     "cross_check",
+    "dae_cross_check",
     "elementary_cycles",
+    "lint_passes",
     "lint_path",
     "lint_program",
     "lint_source",
     "lint_workload",
     "memdep_cross_check",
     "recurrence_cross_check",
+    "register_lint_pass",
+    "static_signature",
+    "unregister_lint_pass",
 ]

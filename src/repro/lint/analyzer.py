@@ -1,5 +1,12 @@
-"""Lint driver: run every check over a program, source text, file or
-registered workload and collect a :class:`LintReport`.
+"""Lint driver: run every registered pass over a program, source text,
+file or registered workload and collect a :class:`LintReport`.
+
+Passes live on the declarative registry (:mod:`repro.lint.registry`):
+the driver builds the CFG once, wraps it in a
+:class:`~repro.lint.registry.LintContext` and iterates
+:func:`~repro.lint.registry.lint_passes` in order, so a new analysis
+only has to call :func:`~repro.lint.registry.register_lint_pass` to
+appear in ``repro lint`` / ``--all`` output.
 
 An assembly failure is itself a located finding (check ``assemble``)
 rather than an exception, so ``repro lint`` reports broken files in the
@@ -11,6 +18,7 @@ from ..errors import AssemblyError
 from .addrclass import AddressClassification, check_addr_untracked
 from .cfg import ControlFlowGraph
 from .collapse_bound import StaticCollapseBound
+from .dae import DAEAnalysis
 from .dataflow import (
     check_assignment,
     check_dead_results,
@@ -20,6 +28,7 @@ from .dataflow import (
 from .findings import Finding, LintReport
 from .memdep import MemDepBound
 from .recurrence import RecurrenceAnalysis
+from .registry import LintContext, lint_passes, register_lint_pass
 
 #: check name -> callable(program, cfg, file) for the dataflow passes
 LINT_CHECKS = {
@@ -31,28 +40,71 @@ LINT_CHECKS = {
 }
 
 
-def lint_program(program, target="<program>", rules=None):
-    """Run all static checks over an assembled program."""
-    cfg = ControlFlowGraph(program)
+@register_lint_pass("dataflow", "register/cc dataflow checks", order=10)
+def _pass_dataflow(ctx):
     findings = []
     for check in (check_unreachable, check_off_end, check_assignment,
                   check_dead_results, check_addr_untracked):
-        findings.extend(check(program, cfg, file=target))
-    addr_classes = AddressClassification(program, cfg)
-    recurrence = RecurrenceAnalysis(program, cfg=cfg,
-                                    forest=addr_classes.forest,
-                                    classes=addr_classes)
-    findings.extend(recurrence.findings(file=target))
-    report = LintReport(target, findings)
+        findings.extend(check(ctx.program, ctx.cfg, file=ctx.file))
+    return findings
+
+
+@register_lint_pass("collapse-bound", "static collapse opportunities",
+                    order=20)
+def _pass_collapse_bound(ctx):
+    ctx.report.collapse_bound = StaticCollapseBound(
+        ctx.program, rules=ctx.rules, cfg=ctx.cfg)
+    return ()
+
+
+@register_lint_pass("addr-class", "load address classification", order=30)
+def _pass_addr_class(ctx):
+    classes = AddressClassification(ctx.program, ctx.cfg)
+    ctx.shared["addr_classes"] = classes
+    ctx.report.addr_classes = classes
+    return ()
+
+
+@register_lint_pass("recurrence", "loop recurrence (recMII) bounds",
+                    order=40)
+def _pass_recurrence(ctx):
+    classes = ctx.shared["addr_classes"]
+    recurrence = RecurrenceAnalysis(ctx.program, cfg=ctx.cfg,
+                                    forest=classes.forest,
+                                    classes=classes)
+    ctx.shared["recurrence"] = recurrence
+    ctx.report.recurrence = recurrence
+    return recurrence.findings(file=ctx.file)
+
+
+@register_lint_pass("memdep", "may-alias conflict pairs", order=50)
+def _pass_memdep(ctx):
+    classes = ctx.shared["addr_classes"]
+    ctx.report.memdep_bound = MemDepBound(ctx.program, cfg=ctx.cfg,
+                                          forest=classes.forest,
+                                          values=classes.values)
+    return ()
+
+
+@register_lint_pass("dae", "access/execute loop slicing", order=60)
+def _pass_dae(ctx):
+    dae = DAEAnalysis(ctx.program, cfg=ctx.cfg,
+                      recurrence=ctx.shared["recurrence"])
+    ctx.report.dae = dae
+    return dae.findings(file=ctx.file)
+
+
+def lint_program(program, target="<program>", rules=None):
+    """Run all registered passes over an assembled program."""
+    cfg = ControlFlowGraph(program)
+    report = LintReport(target, [])
     report.instructions = cfg.n
     report.blocks = len(cfg.leaders)
-    report.collapse_bound = StaticCollapseBound(program, rules=rules,
-                                               cfg=cfg)
-    report.addr_classes = addr_classes
-    report.recurrence = recurrence
-    report.memdep_bound = MemDepBound(program, cfg=cfg,
-                                      forest=addr_classes.forest,
-                                      values=addr_classes.values)
+    ctx = LintContext(program, cfg, target, rules, report)
+    for lint_pass in lint_passes():
+        found = lint_pass.run(ctx)
+        if found:
+            report.extend(found)
     return report
 
 

@@ -60,6 +60,8 @@ class LintReport:
         self.recurrence = None
         #: filled in by the analyzer: MemDepBound or None
         self.memdep_bound = None
+        #: filled in by the analyzer: DAEAnalysis or None
+        self.dae = None
         #: instruction / basic-block counts for the summary line
         self.instructions = 0
         self.blocks = 0
@@ -81,11 +83,16 @@ class LintReport:
         return [f for f in self.findings if f.severity == SEV_ERROR]
 
     def render(self):
-        """One line per finding; a summary line when clean."""
-        if self.findings:
-            return "\n".join(f.render() for f in self.findings)
-        return "%s: clean (%d instructions, %d blocks)" % (
-            self.target, self.instructions, self.blocks)
+        """One line per finding; a summary line when error-free.
+
+        Warnings print *and* the clean summary follows — "clean" means
+        no errors, matching the exit-code convention of ``repro lint``.
+        """
+        lines = [f.render() for f in self.findings]
+        if self.ok:
+            lines.append("%s: clean (%d instructions, %d blocks)" % (
+                self.target, self.instructions, self.blocks))
+        return "\n".join(lines)
 
     def __repr__(self):
         return "<LintReport %s: %d findings>" % (self.target,

@@ -269,6 +269,11 @@ class RecurrenceAnalysis:
                 carried[r] |= out[r]
         return in_state, carried
 
+    def body_reaching(self, loop):
+        """Public access to the per-iteration reaching-writer state;
+        :mod:`repro.lint.dae` builds its address cones on it."""
+        return self._body_reaching(loop)
+
     def _register_edges(self, loop, nodes, in_state, carried):
         """Register and condition-code must edges between
         once-per-iteration nodes."""

@@ -1,0 +1,86 @@
+"""Declarative lint-pass registry.
+
+Mirrors :func:`repro.core.config.register_config`: a pass registers
+itself once with :func:`register_lint_pass` and the driver
+(:func:`repro.lint.analyzer.lint_program`) iterates
+:func:`lint_passes`, so a new pass reaches ``repro lint`` (and
+``--all``) structurally — there is no hand-maintained call list to
+forget to extend.
+
+A pass is a callable ``fn(ctx)`` receiving a :class:`LintContext`; it
+returns an iterable of :class:`~repro.lint.findings.Finding` (or
+``None``) and may attach analysis objects to ``ctx.report`` and share
+intermediates with later passes through ``ctx.shared`` (e.g. the
+address-classification pass publishes ``ctx.shared["addr_classes"]``
+for the recurrence pass, which in turn publishes
+``ctx.shared["recurrence"]`` for the DAE slicer).
+"""
+
+
+class LintContext:
+    """Everything one lint run hands to its passes."""
+
+    __slots__ = ("program", "cfg", "file", "rules", "report", "shared")
+
+    def __init__(self, program, cfg, file, rules, report):
+        self.program = program
+        self.cfg = cfg
+        self.file = file
+        #: CollapseRules override (None = paper rules)
+        self.rules = rules
+        self.report = report
+        #: pass-to-pass scratch space, keyed by convention on pass name
+        self.shared = {}
+
+
+class LintPass:
+    """One registered pass: metadata plus the callable."""
+
+    __slots__ = ("name", "title", "order", "fn")
+
+    def __init__(self, name, title, order, fn):
+        self.name = name
+        self.title = title
+        self.order = order
+        self.fn = fn
+
+    def run(self, ctx):
+        return self.fn(ctx)
+
+    def __repr__(self):
+        return "<LintPass %s (order %d)>" % (self.name, self.order)
+
+
+#: name -> LintPass; mutated only through (un)register_lint_pass
+LINT_PASSES = {}
+
+
+def register_lint_pass(name, title, order=100):
+    """Decorator registering ``fn(ctx)`` as lint pass ``name``.
+
+    ``order`` fixes the execution sequence (ties break on name), which
+    matters for passes consuming ``ctx.shared`` products of earlier
+    ones.  Registering a taken name raises ``ValueError`` — redefine a
+    pass by unregistering it first.
+    """
+    def decorate(fn):
+        if name in LINT_PASSES:
+            raise ValueError("lint pass %r is already registered" % (name,))
+        LINT_PASSES[name] = LintPass(name, title, order, fn)
+        return fn
+    return decorate
+
+
+def unregister_lint_pass(name):
+    """Remove a registered pass (primarily for tests)."""
+    del LINT_PASSES[name]
+
+
+def lint_passes():
+    """All registered passes in execution order."""
+    return sorted(LINT_PASSES.values(),
+                  key=lambda p: (p.order, p.name))
+
+
+__all__ = ["LintContext", "LintPass", "LINT_PASSES",
+           "register_lint_pass", "unregister_lint_pass", "lint_passes"]

@@ -24,7 +24,14 @@ semantics promise (the always-on version of ``test_scheduler_verify``):
   sanitizer's own last-store map, and the *memory-order recovery
   invariant* holds at the end of the run: no load's final issue cycle
   precedes the completion of the last program-order store to its word
-  (i.e. no committed load kept a stale value).
+  (i.e. no committed load kept a stale value);
+- under decoupled access/execute (``config.dae``, configuration H):
+  only statically access-slice members bypass into the access window,
+  access-window occupancy never exceeds ``window_size``, every queue
+  entry is a boundary load of its loop, per-loop queue occupancy never
+  exceeds the plan's static depth, queue pops preserve FIFO order, and
+  no execute-side consumer pops a queue entry before the entry's load
+  completed.
 
 The sanitizer maintains its own register/memory last-writer map and per
 -position requirement sets, so a scheduler bug in arc construction or
@@ -51,7 +58,7 @@ class SchedulerSanitizer:
     #: cap on recorded violation messages (the count keeps rising)
     MAX_RECORDED = 20
 
-    def __init__(self, trace, config, mispredicted=None):
+    def __init__(self, trace, config, mispredicted=None, dae_plan=None):
         self.trace = trace
         self.config = config
         self.mispredicted = mispredicted if mispredicted is not None \
@@ -66,6 +73,9 @@ class SchedulerSanitizer:
         self.mem_speculations = 0
         self.mem_violations = 0
         self.mem_squashes = 0
+        self.dae_bypasses = 0
+        self.dae_enqueues = 0
+        self.dae_pops = 0
 
         static = trace.static
         self._sidx = trace.sidx
@@ -97,6 +107,12 @@ class SchedulerSanitizer:
         self._fence_issue = None
         self._cycle = -1
         self._issued_this_cycle = 0
+        #: DAE (configuration H) replica state; the hooks also work
+        #: plan-less (bookkeeping only, no membership checks)
+        self._dae_plan = dae_plan if config.dae else None
+        self._dae_bypassed = set()
+        self._access_occupancy = 0
+        self._dae_queues = {}      # loop header -> FIFO replica (list)
 
     # ------------------------------------------------------------------
 
@@ -145,11 +161,19 @@ class SchedulerSanitizer:
             self._violate(
                 "position %d fetched past unissued mispredicted branch "
                 "at position %d" % (i, self._fence_pos))
-        self._occupancy += 1
-        if self._occupancy > self.config.window_size:
-            self._violate(
-                "window occupancy %d exceeds size %d at position %d"
-                % (self._occupancy, self.config.window_size, i))
+        if i in self._dae_bypassed:
+            self._access_occupancy += 1
+            if self._access_occupancy > self.config.window_size:
+                self._violate(
+                    "access window occupancy %d exceeds size %d at "
+                    "position %d" % (self._access_occupancy,
+                                     self.config.window_size, i))
+        else:
+            self._occupancy += 1
+            if self._occupancy > self.config.window_size:
+                self._violate(
+                    "window occupancy %d exceeds size %d at position %d"
+                    % (self._occupancy, self.config.window_size, i))
         require = self._arcs(i)
         if self._cls[self._sidx[i]] == LD:
             p = self._mem_writer.get(self._eff_addr[i] >> 2, -1)
@@ -267,7 +291,11 @@ class SchedulerSanitizer:
         self._eliminated.add(p)
         self._issue_cycle[p] = cycle
         self._completion[p] = cycle
-        self._occupancy -= 1
+        if p in self._dae_bypassed:
+            self._dae_bypassed.discard(p)
+            self._access_occupancy -= 1
+        else:
+            self._occupancy -= 1
         # An eliminated position can no longer be merged into, so its
         # requirement set is dead (mirrors on_issue).
         self._require.pop(p, None)
@@ -318,6 +346,72 @@ class SchedulerSanitizer:
         self._completion[p] = None
         self._squashed.add(p)
 
+    # -- decoupled access/execute hooks (configuration H) --------------
+
+    def on_dae_bypass(self, i):
+        """Position ``i`` is about to enter the *access* window instead
+        of the (full) main window."""
+        self.dae_bypasses += 1
+        if self._entered[i]:
+            self._violate("position %d bypassed after already entering "
+                          "the window" % (i,))
+        plan = self._dae_plan
+        if plan is not None and self._sidx[i] not in plan.access_of:
+            self._violate(
+                "position %d bypassed into the access window but is "
+                "not an access-slice member of any clean loop" % (i,))
+        self._dae_bypassed.add(i)
+
+    def on_dae_enqueue(self, header, i, cycle):
+        """Boundary load ``i`` pushes its value into loop ``header``'s
+        FIFO queue."""
+        self.dae_enqueues += 1
+        plan = self._dae_plan
+        if plan is not None \
+                and plan.boundary_of.get(self._sidx[i]) != header:
+            self._violate(
+                "position %d enqueued on loop #%d's queue but is not "
+                "one of its boundary loads" % (i, header))
+        queue = self._dae_queues.setdefault(header, [])
+        queue.append(i)
+        if plan is not None:
+            depth = plan.capacity.get(header)
+            if depth is not None and len(queue) > depth:
+                self._violate(
+                    "loop #%d queue holds %d entries, static depth "
+                    "bound is %d" % (header, len(queue), depth))
+
+    def on_dae_deliver(self, entry, consumer, cycle):
+        """Queue entry ``entry`` is consumed by execute-side
+        ``consumer`` issuing at ``cycle`` (or reclaimed dead when
+        ``consumer`` is -1)."""
+        if consumer < 0:
+            return                  # architectural reclaim: no timing
+        comp = self._completion[entry]
+        if comp is None:
+            self._violate(
+                "queue entry %d delivered to consumer %d before the "
+                "load issued at all" % (entry, consumer))
+        elif comp > cycle:
+            self._violate(
+                "execute consumer %d issued at cycle %d before queue "
+                "entry %d completes at %d"
+                % (consumer, cycle, entry, comp))
+
+    def on_dae_pop(self, header, entry, cycle):
+        """Entry ``entry`` leaves the head of loop ``header``'s queue."""
+        self.dae_pops += 1
+        queue = self._dae_queues.get(header)
+        if not queue or queue[0] != entry:
+            self._violate(
+                "pop of entry %d violates FIFO order on loop #%d's "
+                "queue (head: %s)"
+                % (entry, header, queue[0] if queue else "empty"))
+            if queue and entry in queue:
+                queue.remove(entry)
+        else:
+            queue.pop(0)
+
     def on_issue(self, i, cycle):
         """Position ``i`` issues at ``cycle``."""
         reissue = i in self._squashed
@@ -366,7 +460,11 @@ class SchedulerSanitizer:
         self._completion[i] = cycle + self._lat[self._sidx[i]]
         if not reissue:
             # A replay re-uses the window slot freed at first issue.
-            self._occupancy -= 1
+            if i in self._dae_bypassed:
+                self._dae_bypassed.discard(i)
+                self._access_occupancy -= 1
+            else:
+                self._occupancy -= 1
         # Issued positions can no longer be merged into, so the
         # requirement set has served its purpose; keep memory bounded
         # by the window size rather than the trace length.
@@ -403,6 +501,9 @@ class SchedulerSanitizer:
         if self._occupancy != 0 and not self.violations:
             self._violate("window occupancy %d at end of run"
                           % (self._occupancy,))
+        if self._access_occupancy != 0 and not self.violations:
+            self._violate("access window occupancy %d at end of run"
+                          % (self._access_occupancy,))
         if self.violation_count:
             shown = "\n  ".join(self.violations)
             more = self.violation_count - len(self.violations)
@@ -424,6 +525,10 @@ class SchedulerSanitizer:
                      "events replay-verified"
                      % (self.mem_syncs, self.mem_speculations,
                         self.mem_violations))
+        if self.dae_bypasses or self.dae_enqueues:
+            text += ("; dae: %d bypasses, %d enqueues, %d FIFO pops "
+                     "checked" % (self.dae_bypasses, self.dae_enqueues,
+                                  self.dae_pops))
         return text
 
 

@@ -59,6 +59,19 @@ def cached_trace(name, scale=1.0):
     return get_workload(name).trace(scale=scale)
 
 
+@lru_cache(maxsize=64)
+def cached_dae_plan(name, scale=1.0):
+    """Static access/execute decoupling plan for a workload kernel.
+
+    Configuration-H simulations consume it (``repro.lint.dae``); the
+    plan is a pure function of the assembled program, so it caches per
+    (name, scale) alongside the trace.
+    """
+    from ..lint.dae import DAEAnalysis
+    program = get_workload(name).build(scale=scale)
+    return DAEAnalysis(program).plan()
+
+
 def suite_traces(scale=1.0, names=None):
     """Traces for the whole suite (or a named subset), in suite order."""
     if names is None:

@@ -106,8 +106,8 @@ def test_repr_mentions_name():
 # ----------------------------------------------------------------------
 
 def test_registry_letters_in_order():
-    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G")
-    assert [spec.letter for spec in config_specs()] == list("ABCDEFG")
+    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G", "H")
+    assert [spec.letter for spec in config_specs()] == list("ABCDEFGH")
 
 
 def test_config_f_realistic_memory():
@@ -122,6 +122,45 @@ def test_config_g_adds_collapsing():
     config = paper_config("G", 8)
     assert config.mem_spec == "mdpt"
     assert config.collapsing
+
+
+def test_config_h_decoupled():
+    config = paper_config("H", 8)
+    assert config.dae
+    assert config.mem_spec == "perfect"
+    assert not config.collapsing and config.load_spec == "none"
+    assert "dae" in MachineConfig(8, dae=True).name
+
+
+def test_dae_excludes_mdpt_and_value_speculation():
+    with pytest.raises(ConfigError):
+        MachineConfig(8, dae=True, mem_spec="mdpt")
+    with pytest.raises(ConfigError):
+        MachineConfig(8, dae=True, value_spec=True)
+
+
+def test_mdpt_geometry_validation():
+    config = MachineConfig(8, mem_spec="mdpt", mdpt_entries=64,
+                           mdpt_store_set=2)
+    assert config.mdpt_entries == 64 and config.mdpt_store_set == 2
+    with pytest.raises(ConfigError):
+        MachineConfig(8, mem_spec="mdpt", mdpt_entries=100)
+    with pytest.raises(ConfigError):
+        MachineConfig(8, mem_spec="mdpt", mdpt_store_set=0)
+    with pytest.raises(ConfigError):
+        MachineConfig(8, mdpt_entries=64)   # needs mem_spec="mdpt"
+
+
+def test_explicit_default_geometry_keeps_cache_key():
+    explicit = paper_config("F", 8, mdpt_entries=512, mdpt_store_set=4)
+    assert explicit.fingerprint() == paper_config("F", 8).fingerprint()
+
+
+def test_fingerprint_includes_dae():
+    a = paper_config("A", 8).fingerprint()
+    h = paper_config("H", 8).fingerprint()
+    assert h.get("dae") and not a.get("dae")
+    assert a != h
 
 
 def test_fingerprint_includes_mem_spec():
@@ -141,7 +180,7 @@ def test_register_rejects_bad_letters_and_knobs():
         register_config("A", "duplicate")
     with pytest.raises(ConfigError):
         register_config("X", "bad knob", issue_width=4)
-    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G")
+    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G", "H")
 
 
 def test_register_validates_knob_values_eagerly():

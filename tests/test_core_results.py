@@ -73,3 +73,32 @@ def test_sim_result_carries_config_metadata():
     result = _result(10)
     assert result.issue_width == 8
     assert result.window_size == 16
+
+
+def test_dae_stats_round_trip_through_payload():
+    from repro.core.daestats import DAEStats
+    stats = DAEStats()
+    stats.bypassed = 5
+    stats.degraded = 1
+    loop = stats.loop(26)
+    loop.runs = 3
+    loop.enqueued = 12
+    loop.popped = 11
+    loop.peak = 4
+    loop.full_stalls = 2
+    loop.chase_deps = 0
+    loop.chase_stalls = 0
+    stats.loop(40).chase_deps = 7
+
+    result = _result(10)
+    result.dae = stats
+    payload = result.to_payload()
+    back = SimResult.from_payload(payload)
+    assert back.dae is not None
+    assert back.dae.to_payload() == stats.to_payload()
+    assert back.dae.loops[26].peak == 4
+    assert back.dae.peak == 4
+    assert back.dae.chase_deps == 7
+
+    plain = SimResult.from_payload(_result(10).to_payload())
+    assert plain.dae is None

@@ -74,6 +74,15 @@ def test_address_classes(capsys):
     assert "FAILED" not in output
 
 
+def test_decoupled_study(capsys):
+    run_example("decoupled_study.py")
+    output = capsys.readouterr().out
+    assert "access/execute slices" in output
+    assert "clean" in output and "chase-poisoned" in output
+    assert "cross-check: ok" in output
+    assert "FAILED" not in output
+
+
 def test_future_predictors(capsys):
     run_example("future_predictors.py", "0.02", "8")
     output = capsys.readouterr().out
@@ -98,5 +107,6 @@ def test_every_example_is_covered(name):
     covered = {"quickstart.py", "paper_headline.py",
                "pointer_chasing_study.py", "custom_workload.py",
                "collapse_anatomy.py", "extensions_study.py",
-               "future_predictors.py", "address_classes.py"}
+               "future_predictors.py", "address_classes.py",
+               "decoupled_study.py"}
     assert name in covered

@@ -117,3 +117,20 @@ def test_mdpt_cells_identical(name, letter):
     memdep = scalar.get("memdep")
     assert memdep is not None
     assert memdep["loads"] > 0
+
+
+@pytest.mark.parametrize("name", [workload.name for workload in ALL])
+def test_dae_cells_identical(name):
+    """Configuration H threads a lint-derived DAE plan into the
+    scheduler; queue accounting and timing must not depend on the
+    active kernel (the plan itself is pure-python and shared)."""
+    from repro.core.config import paper_config
+    from repro.workloads import cached_dae_plan
+    trace = cached_trace(name, 0.03)
+    config = paper_config("H", 8)
+    plan = cached_dae_plan(name, 0.03)
+    scalar, vector = _both(
+        lambda: simulate_trace(trace, config,
+                               dae_plan=plan).to_payload())
+    assert scalar == vector
+    assert "dae" in scalar

@@ -1,0 +1,84 @@
+"""The declarative lint-pass registry (repro.lint.registry): built-in
+pass roster, ordering, duplicate rejection, and structural pickup of
+new passes by the driver and the CLI."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cli import main
+from repro.lint import (
+    lint_passes,
+    lint_program,
+    register_lint_pass,
+    unregister_lint_pass,
+)
+from repro.lint.findings import Finding, SEV_WARNING
+
+from .test_lint_recurrence import ACCUMULATOR
+
+_BUILTINS = ("dataflow", "collapse-bound", "addr-class", "recurrence",
+             "memdep", "dae")
+
+
+def test_builtin_passes_registered_in_order():
+    names = [p.name for p in lint_passes()]
+    assert list(_BUILTINS) == [n for n in names if n in _BUILTINS]
+    orders = [p.order for p in lint_passes()]
+    assert orders == sorted(orders)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError):
+        @register_lint_pass("dae", "impostor", order=99)
+        def _impostor(ctx):
+            return ()
+
+
+def test_unknown_unregister_rejected():
+    with pytest.raises(KeyError):
+        unregister_lint_pass("no-such-pass")
+
+
+def test_throwaway_pass_reaches_driver_and_cli(capsys):
+    @register_lint_pass("throwaway", "test-only pass", order=95)
+    def _throwaway(ctx):
+        return [Finding("throwaway-check",
+                        "planted by test_lint_registry",
+                        file=ctx.file, line=1, severity=SEV_WARNING)]
+
+    try:
+        # Driver pickup: no analyzer edit, the pass just runs.
+        report = lint_program(assemble(ACCUMULATOR), target="<t>")
+        assert any(f.check == "throwaway-check" for f in report.findings)
+        assert report.ok     # a warning does not spoil "clean"
+
+        # CLI pickup: the finding shows up in `repro lint --all`.
+        code = main(["lint", "--all", "--scale", "0.03"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throwaway-check" in out
+        assert "planted by test_lint_registry" in out
+    finally:
+        unregister_lint_pass("throwaway")
+    assert all(p.name != "throwaway" for p in lint_passes())
+
+
+def test_pass_ordering_controls_execution_order():
+    seen = []
+
+    @register_lint_pass("zz-first", "runs before dataflow", order=1)
+    def _first(ctx):
+        seen.append("first")
+        return ()
+
+    @register_lint_pass("aa-last", "runs after dae", order=999)
+    def _last(ctx):
+        seen.append("last")
+        return ()
+
+    try:
+        lint_program(assemble(ACCUMULATOR))
+        assert seen == ["first", "last"]
+    finally:
+        unregister_lint_pass("zz-first")
+        unregister_lint_pass("aa-last")
