@@ -1,0 +1,73 @@
+! value_chain.s — which recurrences result-value speculation breaks
+! (`repro lint --value --recur`, docs/LINT.md "Result-value classes").
+!
+!   PYTHONPATH=src python -m repro lint examples/value_chain.s --value --recur
+!   PYTHONPATH=src python examples/value_study.py
+!
+! Two innermost loops with opposite fates under configuration I
+! (C + stride value prediction with squash/replay, docs/MODEL.md):
+!
+! * `spill` keeps its counter IN MEMORY — the classic spilled
+!   induction variable.  Each lap loads the count, increments it and
+!   stores it back: ld(2) -> add(1) -> st(1) -> carried mem arc, a
+!   4-cycle recurrence that neither collapsing (loads are not
+!   collapsible producers) nor address speculation (the aliasing store
+!   is a true dependence) touches: recMII 4 in A, C and E.  But the
+!   *values* the load returns walk a perfect stride of 1, so the
+!   two-delta value table locks on after warmup and config I's bypass
+!   hands each lap's count to the add before the load even issues —
+!   variant V cuts the load's out-arc and the cycle dissolves (no
+!   recurrence binds V; its ceiling column reads "inf").
+!
+! * `chase` walks a shuffled circular list.  The pointer values repeat
+!   with a long period and no constant stride, so the confidence gate
+!   never opens: config I leaves the carried 2-cycle load recurrence
+!   exactly where machines A, C and E left it.  Variant V's *static*
+!   ceiling still cuts the arc (any load is a candidate), which is the
+!   gap the `--value-check` coverage caps account for: the static bound
+!   stays sound, the achieved IPC shows which loads delivered.
+!
+! The chase loop also reloads a never-written cell each lap: an
+! `invariant`-class load (address fixed, every in-loop store proved
+! disjoint — there are none), the one class whose steady-state
+! prediction the cross-check pins exactly.
+
+        .equ SPILL_LAPS, 16
+        .equ CHASE_LAPS, 24
+        .text
+main:
+        set     count, %g4          ! the spilled counter's home
+        mov     SPILL_LAPS, %g1
+spill:  ld      [%g4], %o1          ! load the counter (values stride 1)
+        add     %o1, 1, %o1         ! bump it
+        st      %o1, [%g4]          ! spill it back: carried through memory
+        subcc   %g1, 1, %g1
+        bne     spill
+        set     head, %o0           ! list cursor (follows memory)
+        set     bias, %g5           ! never-written cell
+        mov     CHASE_LAPS, %g2
+        mov     0, %o5
+chase:  ld      [%o0], %o0          ! next pointer: no value stride
+        ld      [%g5], %o4          ! invariant-class load
+        add     %o5, %o4, %o5       ! accumulate the bias
+        subcc   %g2, 1, %g2
+        bne     chase
+        set     result, %o3
+        st      %o5, [%o3]
+        halt
+
+! The list is circular (n8 -> n1) and shuffled so the pointer value
+! stream never settles into a stride, as in recurrence_chain.s.
+        .data
+count:  .word   0
+bias:   .word   5
+head:   .word   n4
+n1:     .word   n6
+n2:     .word   n7
+n3:     .word   n1
+n4:     .word   n3
+n5:     .word   n8
+n6:     .word   n2
+n7:     .word   n5
+n8:     .word   n1
+result: .word   0

@@ -194,7 +194,7 @@ class DependenceGraph:
 
 
 def restructured_depths(trace, collapse=False, cut_addr_loads=None,
-                        cut_all_loads=False):
+                        cut_all_loads=False, cut_value_producers=None):
     """Per-position depths of the *restructured* dependence graph
     (Figure 1.e): the sound dataflow limit of the collapsing /
     speculating machines.
@@ -220,8 +220,20 @@ def restructured_depths(trace, collapse=False, cut_addr_loads=None,
     address producer, so cutting the arcs entirely — with
     ``cut_all_loads`` for the ideal machine — under-estimates it
     soundly.  Memory and store-data arcs are never contracted or cut.
+
+    ``cut_value_producers`` (a set of static indices) removes every
+    register, condition-code and store-data arc *out of* those
+    producers — the graph result-value speculation executes (variant
+    V of :mod:`repro.lint.recurrence`): a consumer of a predicted
+    value no longer waits for the producer at all.  Memory
+    (store-to-load) arcs are kept — value speculation bypasses a
+    register result, not the stored word.  Cutting every out-arc of
+    the full static cut set under-estimates config I, which bypasses
+    only confidently-predicted *loads* and replays mispredictions.
     """
-    if cut_addr_loads is None and kernel.use_numpy():
+    vcut_set = frozenset(cut_value_producers) if cut_value_producers \
+        else frozenset()
+    if cut_addr_loads is None and not vcut_set and kernel.use_numpy():
         from .nkernel import variant_depths
         return variant_depths(trace, collapse=collapse,
                               cut_all_loads=cut_all_loads).tolist()
@@ -254,21 +266,25 @@ def restructured_depths(trace, collapse=False, cut_addr_loads=None,
             for src in (src1_col[s], src2_col[s]):
                 if src >= 0 and reg_writer[src] >= 0:
                     p = reg_writer[src]
+                    if sidx[p] in vcut_set:
+                        continue
                     value = starts[p] if contract \
                         and producer_ok[sidx[p]] else depths[p]
                     if value > start:
                         start = value
         if cls == ST:
             data = datasrc_col[s]
-            if data >= 0 and reg_writer[data] >= 0 \
-                    and depths[reg_writer[data]] > start:
-                start = depths[reg_writer[data]]
+            if data >= 0 and reg_writer[data] >= 0:
+                p = reg_writer[data]
+                if sidx[p] not in vcut_set and depths[p] > start:
+                    start = depths[p]
         if reads_cc_col[s] and reg_writer[32] >= 0:
             p = reg_writer[32]
-            value = starts[p] if contract and producer_ok[sidx[p]] \
-                else depths[p]
-            if value > start:
-                start = value
+            if sidx[p] not in vcut_set:
+                value = starts[p] if contract and producer_ok[sidx[p]] \
+                    else depths[p]
+                if value > start:
+                    start = value
         if cls == LD:
             p = mem_writer.get(eff_addr[i] >> 2, -1)
             if p >= 0 and depths[p] > start:

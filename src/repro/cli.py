@@ -327,7 +327,7 @@ def _lint_recur_check(name, report, scale, widest=2048):
           % (name, "ok" if check.ok else "FAILED",
              check.loops_checked, check.runs_checked, check.widest))
     from .lint.ipcbound import SIM_LETTERS
-    graph_keys = {"A": "A", "C": "C", "E": "E_ideal"}
+    graph_keys = {"A": "A", "C": "C", "E": "E_ideal", "V": "V"}
     for variant in VARIANTS:
         bound = check.static_bound[variant]
         line = ("    %s: static floor %d cycles, bound %s IPC >= "
@@ -335,13 +335,43 @@ def _lint_recur_check(name, report, scale, widest=2048):
                 % (variant, check.static_floor[variant],
                    "%.2f" % bound if bound is not None else "inf",
                    check.ipc[variant]))
-        sim = check.sim.get(SIM_LETTERS[variant])
+        sim = check.sim.get(variant)
         if sim is not None:
             key = graph_keys[variant]
             if key != variant:
                 line += "; ideal-cut %.2f IPC" % (check.ipc[key],)
-            line += " >= simulated %.2f IPC" % (sim,)
+            line += (" >= simulated %s %.2f IPC"
+                     % (SIM_LETTERS[variant], sim))
         print(line)
+    for violation in check.violations:
+        print("    " + violation)
+    return check.ok
+
+
+def _lint_value_check(name, report, scale, widest=2048):
+    """Verify the static value classification against the per-PC
+    stride-predictor histograms and the variant-V soundness chain
+    (static ceiling >= graph-V dataflow IPC >= simulated config I)."""
+    from .lint import valueflow_cross_check
+    from .workloads import cached_trace
+    trace = cached_trace(name, scale)
+    check = valueflow_cross_check(report.valueflow, trace,
+                                  recurrence=report.recurrence,
+                                  widest=widest)
+    print("  value-check %s: %s — %d predictable load sites checked "
+          "(%d aliased, %d short skipped), coverage bound %.3f >= "
+          "dynamic %.3f, steady accuracy %.3f"
+          % (name, "ok" if check.ok else "FAILED", check.checked_sites,
+             check.skipped_aliased, check.skipped_short,
+             check.coverage_bound, check.dynamic_coverage,
+             check.steady_accuracy))
+    if check.sim_ipc is not None:
+        bound = ("%.2f" % check.static_bound
+                 if check.static_bound is not None else "inf")
+        print("    V: static ceiling %s IPC >= graph-V %.2f IPC >= "
+              "simulated I %.2f IPC (width %d, %d runs)"
+              % (bound, check.graph_ipc, check.sim_ipc, check.widest,
+                 check.runs_checked))
     for violation in check.violations:
         print("    " + violation)
     return check.ok
@@ -437,13 +467,24 @@ def cmd_lint(args):
                           % (report.target,)))
             else:
                 print("  no innermost reducible loops to slice")
+        if args.value and report.valueflow is not None:
+            rows = report.valueflow.summary_rows()
+            if rows:
+                print(render_table(
+                    ["index", "line", "class", "stride/k", "loop line",
+                     "depth"],
+                    [list(row) for row in rows],
+                    title="result-value classes: %s" % (report.target,)))
+            counts = report.valueflow.class_counts()
+            print("  value classes: " + "  ".join(
+                "%s %d" % (cls, n) for cls, n in counts.items() if n))
         if args.recur and report.recurrence is not None:
             rows = report.recurrence.summary_rows()
             if rows:
                 print(render_table(
                     ["line", "body", "nodes", "cycles",
-                     "recMII A", "recMII C", "recMII E",
-                     "ceil A", "ceil C", "ceil E", "note"],
+                     "recMII A", "recMII C", "recMII E", "recMII V",
+                     "ceil A", "ceil C", "ceil E", "ceil V", "note"],
                     [list(row) for row in rows],
                     title="loop recurrence bounds: %s"
                           % (report.target,)))
@@ -460,6 +501,10 @@ def cmd_lint(args):
         if args.recur_check and name is not None \
                 and report.recurrence is not None:
             if not _lint_recur_check(name, report, args.scale):
+                violated = True
+        if args.value_check and name is not None \
+                and report.valueflow is not None:
+            if not _lint_value_check(name, report, args.scale):
                 violated = True
         if args.memdep_check and name is not None \
                 and report.memdep_bound is not None:
@@ -581,6 +626,16 @@ def build_parser():
                              "against the trace dependence graphs and "
                              "the simulated machines (exit 2 on "
                              "violation)")
+    p_lint.add_argument("--value", action="store_true",
+                        help="print the per-instruction result-value "
+                             "class table (valueflow pass)")
+    p_lint.add_argument("--value-check", dest="value_check",
+                        action="store_true",
+                        help="run the stride value predictor per PC on "
+                             "workload targets and verify the static "
+                             "classification plus the variant-V chain "
+                             "static ceiling >= graph V >= simulated "
+                             "config I (exit 2 on violation)")
     p_lint.add_argument("--memdep", action="store_true",
                         help="print the per-reference may-alias table "
                              "(bounded congruence address forms)")

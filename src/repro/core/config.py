@@ -15,7 +15,11 @@ Seven configurations are studied:
 - **G**: F + dependence collapsing;
 - **H**: A + decoupled access/execute streams — statically-clean inner
   loops (``repro.lint.dae``) run their access slice ahead of the main
-  window through bounded FIFO value queues.
+  window through bounded FIFO value queues;
+- **I**: C + real result-value speculation — consumers of a load whose
+  stride value prediction is confident issue without waiting for it;
+  a misprediction squashes and replays the speculated consumers
+  (``repro.vpred``; the static side is ``repro.lint.valueflow``).
 
 Each letter is one :class:`ConfigSpec` entry in a registry; adding a
 configuration is a single :func:`register_config` call — the experiment
@@ -41,6 +45,15 @@ MEM_SPEC_PERFECT = "perfect"
 MEM_SPEC_MDPT = "mdpt"
 
 _MEM_SPECS = (MEM_SPEC_PERFECT, MEM_SPEC_MDPT)
+
+#: Value-speculation modes.  ``False`` disables; ``True`` is the legacy
+#: free-bypass extension (correct predictions drop the arc, wrong ones
+#: wait — no misprediction cost); ``VALUE_SPEC_REPLAY`` is config I's
+#: realistic mode: consumers issue on a confident prediction and a
+#: wrong one squashes and replays them after the load verifies.
+VALUE_SPEC_REPLAY = "replay"
+
+_VALUE_SPECS = (False, True, VALUE_SPEC_REPLAY)
 
 #: Issue widths used throughout the paper's evaluation.
 PAPER_ISSUE_WIDTHS = (4, 8, 16, 32, 2048)
@@ -75,6 +88,15 @@ class MachineConfig:
         if mem_spec not in _MEM_SPECS:
             raise ConfigError("unknown mem_spec %r (allowed: %s)"
                               % (mem_spec, ", ".join(_MEM_SPECS)))
+        if value_spec not in _VALUE_SPECS:
+            raise ConfigError(
+                "unknown value_spec %r (allowed: False, True, %r)"
+                % (value_spec, VALUE_SPEC_REPLAY))
+        if value_spec == VALUE_SPEC_REPLAY and mem_spec != MEM_SPEC_PERFECT:
+            raise ConfigError(
+                "value_spec=%r requires perfect memory disambiguation: "
+                "MDPT replay and value-speculation replay would race on "
+                "the same recovery bookkeeping" % (VALUE_SPEC_REPLAY,))
         if node_elimination and collapse_rules is None:
             raise ConfigError(
                 "node elimination is a collapsing extension: it needs "
@@ -147,7 +169,8 @@ class MachineConfig:
         if self.node_elimination:
             parts.append("elim")
         if self.value_spec:
-            parts.append("vspec")
+            parts.append("vspec" if self.value_spec is True
+                         else "vspec-%s" % (self.value_spec,))
         return "+".join(parts)
 
     @property
@@ -303,6 +326,8 @@ register_config("F", "A with MDPT store-set memory disambiguation",
 register_config("G", "F + dependence collapsing", collapse=True,
                 mem_spec=MEM_SPEC_MDPT)
 register_config("H", "A + decoupled access/execute streams", dae=True)
+register_config("I", "C + real value speculation (squash/replay)",
+                collapse=True, value_spec=VALUE_SPEC_REPLAY)
 
 
 def __getattr__(name):

@@ -54,12 +54,12 @@ class SimResult:
     __slots__ = ("config_name", "trace_name", "instructions", "cycles",
                  "loads", "collapse", "branch", "issue_width",
                  "window_size", "issue_cycles", "eliminated_positions",
-                 "memdep", "dae")
+                 "memdep", "dae", "value_spec")
 
     def __init__(self, config, trace_name, instructions, cycles, loads,
                  collapse, branch, issue_cycles=None,
                  eliminated_positions=frozenset(), memdep=None,
-                 dae=None):
+                 dae=None, value_spec=None):
         self.config_name = config.name
         self.issue_width = config.issue_width
         self.window_size = config.window_size
@@ -81,6 +81,9 @@ class SimResult:
         #: DAEStats when the run decoupled access/execute streams
         #: (``config.dae`` with a DAEPlan); None otherwise
         self.dae = dae
+        #: ValueSpecStats when the run used squash/replay value
+        #: speculation (config I); None otherwise
+        self.value_spec = value_spec
 
     @property
     def ipc(self):
@@ -125,6 +128,8 @@ class SimResult:
                        if self.memdep is not None else None),
             "dae": (self.dae.to_payload()
                     if self.dae is not None else None),
+            "value_spec": (self.value_spec.to_payload()
+                           if self.value_spec is not None else None),
         }
 
     @classmethod
@@ -164,6 +169,12 @@ class SimResult:
             result.dae = DAEStats.from_payload(dae)
         else:
             result.dae = None
+        value_spec = payload.get("value_spec")
+        if value_spec is not None:
+            from .vspecstats import ValueSpecStats
+            result.value_spec = ValueSpecStats.from_payload(value_spec)
+        else:
+            result.value_spec = None
         return result
 
     def __repr__(self):

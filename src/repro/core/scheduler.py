@@ -34,6 +34,17 @@ Semantics (paper Section 4):
   penalty, the MDPT (``repro.memdep``) learns the (load PC, store PC)
   pair, and promoted load PCs synchronize with the youngest matching
   in-flight store (MDST) at window entry instead of speculating.
+- Result-value speculation with recovery (``value_spec == "replay"``,
+  configuration I): a consumer of a load whose value prediction is
+  *confident* drops the dependence arc — for free when the prediction
+  is correct (the legacy ``value_spec=True`` behaviour), speculatively
+  when it is wrong: the consumer may issue on the bad value, and when
+  the load completes (verification) every such consumer is squashed
+  and replayed with the architectural value after the flush penalty.
+  A speculatively-issued consumer withholds its completion from its
+  own consumers until the replay, so bad values never propagate
+  un-squashably; a wrong-predicted load that already completed merely
+  re-imposes the arc (the consumer waits — no squash).
 - Decoupled access/execute (``config.dae``, configuration H): given a
   static :class:`~repro.lint.dae.DAEPlan`, members of a clean loop's
   access slice may enter a second *access window* (same capacity) when
@@ -62,6 +73,7 @@ from .config import (
     LOAD_SPEC_NONE,
     LOAD_SPEC_REAL,
     MEM_SPEC_MDPT,
+    VALUE_SPEC_REPLAY,
 )
 from .elimination import compute_sole_readers
 from .results import (
@@ -206,11 +218,22 @@ class WindowScheduler:
             dae_stats = None
 
         value_spec = config.value_spec
+        value_replay = value_spec == VALUE_SPEC_REPLAY
         if value_spec:
             vp_attempted = self.value_prediction.attempted
             vp_correct = self.value_prediction.correct
         else:
             vp_attempted = vp_correct = None
+        if value_replay:
+            from ..memdep import FLUSH_PENALTY
+            from .vspecstats import ValueSpecStats
+            vspec_stats = ValueSpecStats()
+            vspec_wrong = {}     # consumer -> wrong-predicted load producers
+            value_watch = {}     # load -> [(consumer, kind)] riding on it
+            value_replaying = set()  # squashed, awaiting replay issue
+            vspec_heap = []      # (load completion cycle, load pos)
+        else:
+            vspec_stats = None
 
         width = config.issue_width
         window_limit = config.window_size
@@ -409,16 +432,43 @@ class WindowScheduler:
 
             for p, kind, arc_collapsible, uses in arcs:
                 if value_spec and cls_col[sidx[p]] == LD \
-                        and vp_attempted.get(p, False) \
-                        and vp_correct.get(p, False):
-                    # Value speculation (Figure 1.d extension): the
-                    # consumer uses the predicted load value and does not
-                    # wait for the load at all.  The load itself still
-                    # executes to verify the prediction.
-                    if san is not None:
-                        san.on_value_bypass(i, p, kind)
-                    continue
-                if issue_cycle[p] >= 0:
+                        and vp_attempted.get(p, False):
+                    if vp_correct.get(p, False):
+                        # Value speculation (Figure 1.d extension): the
+                        # consumer uses the predicted load value and does
+                        # not wait for the load at all.  The load itself
+                        # still executes to verify the prediction.
+                        if value_replay:
+                            vspec_stats.bypassed += 1
+                        if san is not None:
+                            san.on_value_bypass(i, p, kind)
+                        continue
+                    if value_replay:
+                        if issue_cycle[p] >= 0 and completion[p] <= now \
+                                and not vspec_wrong.get(p):
+                            # The load already completed and verified:
+                            # the misprediction was caught before this
+                            # consumer existed, so it reads the
+                            # architectural value like any resolved arc.
+                            vspec_stats.late += 1
+                        else:
+                            # Wrong confident prediction: drop the arc
+                            # anyway and ride the bad value.  The load's
+                            # verification squashes and replays every
+                            # consumer registered on the watch list.
+                            vspec_stats.speculated += 1
+                            vspec_wrong.setdefault(i, set()).add(p)
+                            value_watch.setdefault(p, []).append((i, kind))
+                            if issue_cycle[p] >= 0 \
+                                    and not vspec_wrong.get(p):
+                                heappush(vspec_heap, (completion[p], p))
+                            if san is not None:
+                                san.on_value_speculate(i, p, kind)
+                            continue
+                    # legacy value_spec=True: a wrong prediction simply
+                    # keeps the arc (the machine magically knows).
+                if issue_cycle[p] >= 0 \
+                        and not (value_replay and vspec_wrong.get(p)):
                     comp = completion[p]
                     if kind == _KIND_ADDR:
                         if comp > b_addr:
@@ -441,6 +491,12 @@ class WindowScheduler:
                         legal = False
                     if legal and not rules.allow_cross_block \
                             and block_of.get(p) != block_counter:
+                        legal = False
+                    if legal and value_replay and vspec_wrong.get(p):
+                        # Never fold into a producer that is itself
+                        # riding a mispredicted value: the merged group
+                        # would inherit its optimistic bounds without
+                        # inheriting its squash obligation.
                         legal = False
                     if legal:
                         # (a squashed producer left the group table at
@@ -777,7 +833,64 @@ class WindowScheduler:
                         wait.add(p)
 
         # --------------------------------------------------------------
-        while issued < n or (mem_realistic and pending_violation):
+        def verify_values(now):
+            """value-replay mode: drain matured load verifications —
+            squash issued consumers that rode the wrong prediction and
+            schedule their replay; release unissued ones to wait for
+            the architectural value (no penalty: nothing was undone)."""
+            nonlocal issued
+            while vspec_heap and vspec_heap[0][0] <= now:
+                when, p = heappop(vspec_heap)
+                if p in eliminated or issue_cycle[p] < 0 \
+                        or completion[p] != when or vspec_wrong.get(p):
+                    continue        # stale: squashed, re-timed, or the
+                                    # load itself is still speculative
+                watchers = value_watch.pop(p, None)
+                if not watchers:
+                    continue
+                for w, kind in watchers:
+                    if w in eliminated:
+                        continue
+                    wrong = vspec_wrong.get(w)
+                    if wrong is None or p not in wrong:
+                        continue
+                    wrong.discard(p)
+                    if issue_cycle[w] >= 0 and w not in value_replaying:
+                        # Issued on the bad value: squash exactly once.
+                        issue_cycle[w] = -1
+                        completion[w] = 0
+                        issued -= 1
+                        value_replaying.add(w)
+                        vspec_stats.squashes += 1
+                        if san is not None:
+                            san.on_value_squash(w, p, now)
+                    if w in value_replaying:
+                        if not wrong:
+                            del vspec_wrong[w]
+                            restart = when + FLUSH_PENALTY
+                            bound_addr[w] = 0
+                            bound_other[w] = restart
+                            heappush(future_heap, (restart, w))
+                    else:
+                        # Never issued: the dropped arc re-materializes —
+                        # fold the load's completion into the bound and
+                        # let the consumer wait like any resolved arc.
+                        if kind == _KIND_ADDR:
+                            if when > bound_addr.get(w, 0):
+                                bound_addr[w] = when
+                        elif when > bound_other.get(w, 0):
+                            bound_other[w] = when
+                        if not wrong:
+                            del vspec_wrong[w]
+                            if w not in pend_addr and w not in pend_other:
+                                ba = bound_addr.get(w, 0)
+                                bo = bound_other.get(w, 0)
+                                ready_at = ba if ba > bo else bo
+                                heappush(future_heap, (ready_at, w))
+
+        # --------------------------------------------------------------
+        while issued < n or (mem_realistic and pending_violation) \
+                or (value_replay and vspec_wrong):
             # Fill the window (kept full except behind a mispredicted,
             # still-unissued conditional branch; with fetch_taken_break,
             # at most one taken control transfer enters per cycle).  In
@@ -841,6 +954,10 @@ class WindowScheduler:
                         continue
                     fire_violation(viol_load, viol_store, comp_s)
 
+            # Fire matured value verifications (replay mode).
+            if value_replay:
+                verify_values(cycle)
+
             # Mature future events.
             while future_heap and future_heap[0][0] <= cycle:
                 heappush(ready_heap, heappop(future_heap)[1])
@@ -852,7 +969,7 @@ class WindowScheduler:
                 if pos in eliminated:
                     # Eliminated after being scheduled: consumes nothing.
                     continue
-                if mem_realistic:
+                if mem_realistic or value_replay:
                     # Squash/replay leaves stale heap entries behind;
                     # re-validate before issuing.
                     if issue_cycle[pos] >= 0:
@@ -875,6 +992,10 @@ class WindowScheduler:
                     # A replay re-uses the window slot freed at its first
                     # issue; it does not occupy the window again.
                     replaying.discard(pos)
+                elif value_replay and pos in value_replaying:
+                    # Same for a value-speculation replay.
+                    value_replaying.discard(pos)
+                    vspec_stats.replays += 1
                 elif dae_mode and pos in bypassed:
                     bypassed.discard(pos)
                     access_count -= 1
@@ -884,8 +1005,10 @@ class WindowScheduler:
                     for p in pop_on_issue.pop(pos, ()):
                         _dae_deliver(p, pos, cycle)
                 last_issue = cycle
-                if block_fetch and pos == fence_pos:
-                    # The blocking branch issued; resume fetch next cycle.
+                if block_fetch and pos == fence_pos \
+                        and not (value_replay and vspec_wrong.get(pos)):
+                    # The blocking branch issued (non-speculatively);
+                    # resume fetch next cycle.
                     block_fetch = False
                 bound_addr.pop(pos, None)
                 bound_other.pop(pos, None)
@@ -894,6 +1017,17 @@ class WindowScheduler:
                     block_of.pop(pos, None)
                 if mem_realistic:
                     verify_memory_order(pos, cycle)
+                if value_replay:
+                    if cls_col[sidx[pos]] == LD and value_watch.get(pos) \
+                            and not vspec_wrong.get(pos):
+                        # Architectural completion scheduled: arm the
+                        # verification event for the riders.
+                        heappush(vspec_heap, (completion[pos], pos))
+                    if vspec_wrong.get(pos):
+                        # Speculative issue: withhold the completion from
+                        # consumers until the replay produces the
+                        # architectural value.
+                        continue
                 notify(pos, cycle)
 
             if issued_now:
@@ -904,6 +1038,10 @@ class WindowScheduler:
                     viol_next = violation_heap[0][0]
                     if next_cycle is None or viol_next < next_cycle:
                         next_cycle = viol_next
+                if value_replay and vspec_heap:
+                    vnext = vspec_heap[0][0]
+                    if next_cycle is None or vnext < next_cycle:
+                        next_cycle = vnext
                 if next_cycle is None:
                     cycle += 1
                 elif fetch_break and fetched < n and not block_fetch \
@@ -930,4 +1068,5 @@ class WindowScheduler:
             eliminated_positions=eliminated,
             memdep=memdep_stats,
             dae=dae_stats,
+            value_spec=vspec_stats,
         )

@@ -11,7 +11,7 @@ from ..addrpred.runner import run_address_predictor
 from ..bpred.combining import CombiningPredictor, PerfectPredictor
 from ..bpred.runner import run_branch_predictor
 from ..vpred.runner import run_value_predictor
-from .config import LOAD_SPEC_REAL
+from .config import LOAD_SPEC_REAL, VALUE_SPEC_REPLAY
 from .scheduler import WindowScheduler
 
 
@@ -26,9 +26,18 @@ def load_outcomes(trace, table=None):
     return run_address_predictor(trace, table)
 
 
-def value_outcomes(trace, table=None):
-    """Program-order value-prediction pass (extension)."""
-    return run_value_predictor(trace, table)
+def value_outcomes(trace, table=None, predictor="last"):
+    """Program-order value-prediction pass (extension).  ``predictor``
+    selects the :mod:`repro.vpred` family member ("last", "stride",
+    "fcm", "hybrid")."""
+    return run_value_predictor(trace, table, predictor=predictor)
+
+
+def _value_predictor_kind(config):
+    """Config I speculates on the confident *stride* predictor — the
+    mechanism the valueflow lint statically bounds; the legacy oracle
+    mode (``value_spec=True``) keeps the original last-value pass."""
+    return "stride" if config.value_spec == VALUE_SPEC_REPLAY else "last"
 
 
 def make_sanitizer(trace, config, branch_result=None, dae_plan=None):
@@ -57,7 +66,8 @@ def simulate_trace(trace, config, branch_result=None, load_prediction=None,
     if load_prediction is None and config.load_spec == LOAD_SPEC_REAL:
         load_prediction = load_outcomes(trace)
     if value_prediction is None and config.value_spec:
-        value_prediction = value_outcomes(trace)
+        value_prediction = value_outcomes(
+            trace, predictor=_value_predictor_kind(config))
     sanitizer = make_sanitizer(trace, config, branch_result,
                                dae_plan=dae_plan) if sanitize else None
     scheduler = WindowScheduler(trace, config, branch_result,
@@ -74,6 +84,7 @@ def simulate_many(trace, configs, sanitize=False, dae_plan=None):
     real_branch = None
     perfect_branch = None
     load_prediction = None
+    value_predictions = {}      # predictor kind -> program-order pass
     results = []
     for config in configs:
         if config.perfect_branches:
@@ -89,9 +100,17 @@ def simulate_many(trace, configs, sanitize=False, dae_plan=None):
             if load_prediction is None:
                 load_prediction = load_outcomes(trace)
             prediction = load_prediction
+        vpred = None
+        if config.value_spec:
+            kind = _value_predictor_kind(config)
+            if kind not in value_predictions:
+                value_predictions[kind] = value_outcomes(trace,
+                                                         predictor=kind)
+            vpred = value_predictions[kind]
         results.append(simulate_trace(trace, config,
                                       branch_result=branch_result,
                                       load_prediction=prediction,
+                                      value_prediction=vpred,
                                       sanitize=sanitize,
                                       dae_plan=dae_plan
                                       if config.dae else None))

@@ -1,0 +1,74 @@
+"""Per-run result-value speculation statistics (configuration I).
+
+Counts the scheduler's value-speculation events:
+
+- ``bypassed`` — dependence arcs dropped for free: the consumer of a
+  confidently-predicted load whose prediction was *correct*;
+- ``speculated`` — arcs dropped speculatively: the prediction was
+  confident but *wrong*, so the consumer issued on a bad value and is
+  on the hook for recovery;
+- ``late`` — arcs from a wrongly-predicted load that had already
+  completed when the consumer entered the window: the consumer simply
+  waits (no speculation, no recovery);
+- ``squashes`` — speculated consumers squashed when their load's
+  verification exposed the misprediction (each squashed consumer is
+  counted once, however many wrong arcs it rode);
+- ``replays`` — squashed consumers re-issued with the architectural
+  value.  The sanitizer asserts ``replays == squashes`` at the end of
+  every run: recovery happens exactly once per squashed consumer.
+"""
+
+
+class ValueSpecStats:
+    """Value-speculation behaviour of one simulated run."""
+
+    __slots__ = ("bypassed", "speculated", "late", "squashes", "replays")
+
+    def __init__(self):
+        self.bypassed = 0
+        self.speculated = 0
+        self.late = 0
+        self.squashes = 0
+        self.replays = 0
+
+    @property
+    def attempted(self):
+        """Arcs dropped on a confident prediction, right or wrong."""
+        return self.bypassed + self.speculated
+
+    def merge(self, other):
+        self.bypassed += other.bypassed
+        self.speculated += other.speculated
+        self.late += other.late
+        self.squashes += other.squashes
+        self.replays += other.replays
+        return self
+
+    def to_payload(self):
+        """JSON-safe dict for the disk-cache codec (see repro.cache)."""
+        return {
+            "bypassed": self.bypassed,
+            "speculated": self.speculated,
+            "late": self.late,
+            "squashes": self.squashes,
+            "replays": self.replays,
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        stats = cls()
+        stats.bypassed = int(payload.get("bypassed", 0))
+        stats.speculated = int(payload.get("speculated", 0))
+        stats.late = int(payload.get("late", 0))
+        stats.squashes = int(payload.get("squashes", 0))
+        stats.replays = int(payload.get("replays", 0))
+        return stats
+
+    def __repr__(self):
+        return ("ValueSpecStats(bypassed=%d, speculated=%d, late=%d, "
+                "squashes=%d, replays=%d)"
+                % (self.bypassed, self.speculated, self.late,
+                   self.squashes, self.replays))
+
+
+__all__ = ["ValueSpecStats"]

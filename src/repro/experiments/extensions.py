@@ -116,23 +116,29 @@ def recurrence_bounds(runner):
     dependence graphs vs the simulated machines.
 
     Per workload and graph variant (A base, C collapsed, E
-    d-speculated): the static ceiling ``instructions / recurrence
-    floor`` derived from program text by :mod:`repro.lint.recurrence`,
-    the dataflow-limit IPC of the matching restructured trace graph,
-    and the simulated IPC at the widest machine.  ``graph E`` cuts only
-    the loads the static pass classifies predictable (realizable
-    speculation); ``graph E*`` cuts every load's address arcs — the
-    oracle configuration E actually models, and the graph its simulated
-    IPC is checked against.
+    d-speculated, V value-speculated): the static ceiling
+    ``instructions / recurrence floor`` derived from program text by
+    :mod:`repro.lint.recurrence`, the dataflow-limit IPC of the
+    matching restructured trace graph, and the simulated IPC at the
+    widest machine (variant V checks against configuration I).
+    ``graph E`` cuts only the loads the static pass classifies
+    predictable (realizable speculation); ``graph E*`` cuts every
+    load's address arcs — the oracle configuration E actually models,
+    and the graph its simulated IPC is checked against.  ``graph V``
+    cuts every out-arc of the static value cut set (all loads plus
+    stride/invariant-predictable producers), the sound envelope of
+    configuration I's squash/replay speculation.
     """
-    from ..lint.ipcbound import recurrence_cross_check
+    from ..lint.ipcbound import SIM_LETTERS, recurrence_cross_check
     from ..lint.recurrence import VARIANTS, RecurrenceAnalysis
     from ..workloads.registry import get_workload
     width = runner.widths[-1]
+    graph_keys = ("A", "C", "E", "E_ideal", "V")
     headers = (["workload", "loops"]
                + ["static %s" % v for v in VARIANTS]
-               + ["graph A", "graph C", "graph E", "graph E*"]
-               + ["%s @ widest" % v for v in VARIANTS]
+               + ["graph A", "graph C", "graph E", "graph E*",
+                  "graph V"]
+               + ["%s @ widest" % SIM_LETTERS[v] for v in VARIANTS]
                + ["check"])
     rows = []
     for name in runner.names:
@@ -144,18 +150,19 @@ def recurrence_bounds(runner):
                                            simulate=False)
             return [check.n, check.loops_checked,
                     [check.static_floor[v] for v in VARIANTS],
-                    [check.cp[k] for k in ("A", "C", "E", "E_ideal")],
+                    [check.cp[k] for k in graph_keys],
                     len(check.violations)]
 
         n, loops, floors, paths, violations = runner.cached_blob(
             "recurrence-bounds",
-            {"name": name, "scale": repr(runner.scale)}, compute)
+            {"name": name, "scale": repr(runner.scale),
+             "variants": "".join(VARIANTS)}, compute)
         graph_ipc = [n / cp if cp else 0.0 for cp in paths]
-        sims = [runner.result(name, letter, width).ipc
-                for letter in VARIANTS]
+        sims = [runner.result(name, SIM_LETTERS[v], width).ipc
+                for v in VARIANTS]
         ok = not violations
         for limit, sim in zip((graph_ipc[0], graph_ipc[1],
-                               graph_ipc[3]), sims):
+                               graph_ipc[3], graph_ipc[4]), sims):
             if limit * (1 + 1e-9) < sim:
                 ok = False
         rows.append([name, loops]
@@ -167,8 +174,9 @@ def recurrence_bounds(runner):
         "limits vs simulated machines (widest width: %d)" % width,
         headers, rows,
         note="per variant: static ceiling >= matching graph limit >= "
-             "simulated IPC (E via graph E*, all address arcs cut); "
-             "'inf' = no once-per-iteration must-recurrence survives")
+             "simulated IPC (E via graph E*, all address arcs cut; "
+             "V via graph V against configuration I); 'inf' = no "
+             "once-per-iteration must-recurrence survives")
 
 
 def predictor_comparison(runner, width=16):
@@ -269,6 +277,55 @@ def memory_speculation(runner):
              "(<= 1: realistic disambiguation cannot beat perfect "
              "memory); violation / MDST-sync / flush-cycle rates per "
              "1k instructions, configuration F, summed over the suite")
+
+
+@register_exhibit(
+    "value_speculation", order=63, letters=("C", "E", "I"),
+    note="Configuration I (C + stride result-value speculation with "
+         "squash/replay, docs/MODEL.md): consumers of "
+         "predicted-confident loads issue on the predicted value, the "
+         "load's completion verifies it, and every consumer that rode "
+         "a wrong value is squashed and replayed once after the flush "
+         "penalty.  Shape: I <= E at every width (oracle value "
+         "speculation bounds any realizable predictor), and I may dip "
+         "below C at small widths/scales — a wrong confident "
+         "prediction costs a squash plus the flush penalty where "
+         "configuration C would merely have waited.")
+def value_speculation(runner):
+    """Stride value speculation (I) between C and the oracle E."""
+    from ..core.vspecstats import ValueSpecStats
+    headers = ["width", "C", "I", "E", "I/C", "I/E",
+               "bypass/1k", "spec/1k", "squash/1k", "late/1k"]
+    rows = []
+    for width in runner.widths:
+        c = runner.results("C", width)
+        e = runner.results("E", width)
+        i = runner.results("I", width)
+        merged = ValueSpecStats()
+        instructions = 0
+        for result in i:
+            if result.value_spec is not None:
+                merged.merge(result.value_spec)
+            instructions += result.instructions
+        per_1k = 1000.0 / max(1, instructions)
+        rows.append([
+            WIDTH_LABELS.get(width, str(width)),
+            mean_ipc(c), mean_ipc(i), mean_ipc(e),
+            mean_speedup(i, c), mean_speedup(i, e),
+            per_1k * merged.bypassed,
+            per_1k * merged.speculated,
+            per_1k * merged.squashes,
+            per_1k * merged.late,
+        ])
+    return Exhibit(
+        "Value speculation",
+        "Stride result-value speculation with squash/replay (I)",
+        headers, rows, precision=3,
+        note="harmonic-mean IPC; I/C and I/E harmonic-mean ratios "
+             "(I/E <= 1: the oracle bounds the mechanism); "
+             "bypassed-arc / wrong-speculation / squash / "
+             "late-consumer rates per 1k instructions, configuration "
+             "I, summed over the suite")
 
 
 #: MDPT geometry sweep for the sensitivity exhibit: entry counts x

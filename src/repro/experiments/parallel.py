@@ -65,13 +65,18 @@ def _run_cell(task):
                     time.perf_counter() - started, True, cache.stats())
     trace, branch, loads = _cell_inputs(name, scale, cache_dir)
     prediction = loads if config.load_spec == "real" else None
+    values = None
+    if config.value_spec:
+        from ..core.simulator import _value_predictor_kind, value_outcomes
+        values = value_outcomes(trace,
+                                predictor=_value_predictor_kind(config))
     dae_plan = cached_dae_plan(name, scale) if config.dae else None
     sanitizer = None
     if sanitize:
         from ..core.simulator import make_sanitizer
         sanitizer = make_sanitizer(trace, config, branch,
                                    dae_plan=dae_plan)
-    result = WindowScheduler(trace, config, branch, prediction,
+    result = WindowScheduler(trace, config, branch, prediction, values,
                              sanitizer=sanitizer,
                              dae_plan=dae_plan).run()
     if not keep_schedules:

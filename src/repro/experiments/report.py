@@ -180,6 +180,7 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
         parts.extend(_extension_sections(runner))
     parts.extend(_addr_class_section(runner))
     parts.extend(_recurrence_section(runner))
+    parts.extend(_valueflow_section(runner))
     parts.extend(_dae_section(runner))
     if sanitize:
         parts.append("_Sanitized run: %d simulations re-checked against "
@@ -290,6 +291,56 @@ def _recurrence_section(runner):
         "",
         "```",
         exhibit.render(),
+        "```",
+        "",
+    ]
+
+
+def _valueflow_section(runner):
+    """Static result-value classification vs the stride value predictor
+    and the variant-V/config-I chain (docs/LINT.md,
+    ``repro lint --value-check``)."""
+    from ..lint.recurrence import RecurrenceAnalysis
+    from ..lint.valueflow import ValueFlowAnalysis, valueflow_cross_check
+    from ..metrics import render_table
+    from ..vpred.runner import run_value_predictor
+    from ..workloads.registry import get_workload
+    width = runner.widths[-1]
+    headers = ["workload", "sites", "cov bound", "dynamic cov",
+               "ceiling V", "graph V", "I @ widest", "check"]
+    rows = []
+    for name in runner.names:
+        program = get_workload(name).build(scale=runner.scale)
+        valueflow = ValueFlowAnalysis(program)
+        recurrence = RecurrenceAnalysis(program, valueflow=valueflow)
+        trace = runner.trace(name)
+        prediction = run_value_predictor(trace, predictor="stride",
+                                         per_pc=True)
+        check = valueflow_cross_check(
+            valueflow, trace, result=prediction, recurrence=recurrence,
+            sim_ipc=runner.result(name, "I", width).ipc, widest=width)
+        ceiling = "%.2f" % (check.static_bound,) \
+            if check.static_bound is not None else "inf"
+        rows.append([name, len(valueflow.sites),
+                     "%.3f" % check.coverage_bound,
+                     "%.3f" % check.dynamic_coverage,
+                     ceiling, "%.2f" % check.graph_ipc,
+                     "%.2f" % check.sim_ipc,
+                     "ok" if check.ok else "FAILED"])
+    return [
+        "## Static result-value classification",
+        "",
+        "*Per-workload result-value sites (docs/LINT.md, `repro lint "
+        "--value`), the class-capped static coverage bound vs the "
+        "stride value predictor's dynamic confident coverage, and the "
+        "variant-V chain — static IPC ceiling >= graph-V dataflow "
+        "limit >= simulated configuration I at width %d "
+        "(`repro lint --value-check`).*" % (width,),
+        "",
+        "```",
+        render_table(headers, rows,
+                     title="result-value classes and config-I "
+                           "cross-check"),
         "```",
         "",
     ]

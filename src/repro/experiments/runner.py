@@ -21,7 +21,12 @@ import time
 from ..cache import DiskCache
 from ..core.config import PAPER_ISSUE_WIDTHS, config_letters, paper_config
 from ..core.scheduler import WindowScheduler
-from ..core.simulator import branch_outcomes, load_outcomes
+from ..core.simulator import (
+    _value_predictor_kind,
+    branch_outcomes,
+    load_outcomes,
+    value_outcomes,
+)
 from ..workloads.registry import SUITE, cached_dae_plan, cached_trace
 from .parallel import SweepProfile, run_cells
 
@@ -80,6 +85,7 @@ class ExperimentRunner:
         self._results = {}
         self._branch = {}
         self._loads = {}
+        self._values = {}       # (name, predictor kind) -> vpred pass
 
     # ------------------------------------------------------------------
 
@@ -113,6 +119,16 @@ class ExperimentRunner:
             self._loads[name] = load_outcomes(self.trace(name))
         return self._loads[name]
 
+    def value_prediction(self, name, config):
+        """Program-order value-prediction pass for a ``value_spec``
+        cell (config I runs on the confident stride predictor)."""
+        kind = _value_predictor_kind(config)
+        key = (name, kind)
+        if key not in self._values:
+            self._values[key] = value_outcomes(self.trace(name),
+                                               predictor=kind)
+        return self._values[key]
+
     def _dae_plan(self, name, config):
         """Static decoupling plan for configuration-H cells; the plan
         derives from the workload's assembly at this runner's scale."""
@@ -140,10 +156,12 @@ class ExperimentRunner:
             if result is None:
                 prediction = (self.load_prediction(name)
                               if config.load_spec == "real" else None)
+                values = (self.value_prediction(name, config)
+                          if config.value_spec else None)
                 dae_plan = self._dae_plan(name, config)
                 scheduler = WindowScheduler(
                     self.trace(name), config, self.branch(name),
-                    prediction,
+                    prediction, values,
                     sanitizer=self._make_sanitizer(name, config,
                                                    dae_plan),
                     dae_plan=dae_plan)
@@ -188,6 +206,8 @@ class ExperimentRunner:
             values = value_prediction
             if callable(values):
                 values = values()
+            elif values is None and config.value_spec:
+                values = self.value_prediction(name, config)
             dae_plan = self._dae_plan(name, config)
             scheduler = WindowScheduler(
                 self.trace(name), config, self.branch(name), prediction,

@@ -82,6 +82,15 @@ from .registry import (
     unregister_lint_pass,
 )
 from .sanitize import SanitizeError, SchedulerSanitizer
+from .valueflow import (
+    VALUE_PREDICTABLE_CLASSES,
+    ValueflowCheck,
+    ValueFlowAnalysis,
+    ValueSite,
+    class_join,
+    class_leq,
+    valueflow_cross_check,
+)
 
 __all__ = [
     "AddressCheck",
@@ -109,7 +118,13 @@ __all__ = [
     "SEV_ERROR",
     "SEV_WARNING",
     "StaticCollapseBound",
+    "VALUE_PREDICTABLE_CLASSES",
+    "ValueFlowAnalysis",
+    "ValueSite",
+    "ValueflowCheck",
     "check_addr_untracked",
+    "class_join",
+    "class_leq",
     "cross_check",
     "dae_cross_check",
     "elementary_cycles",
@@ -123,4 +138,5 @@ __all__ = [
     "register_lint_pass",
     "static_signature",
     "unregister_lint_pass",
+    "valueflow_cross_check",
 ]

@@ -29,6 +29,7 @@ from .findings import Finding, LintReport
 from .memdep import MemDepBound
 from .recurrence import RecurrenceAnalysis
 from .registry import LintContext, lint_passes, register_lint_pass
+from .valueflow import ValueFlowAnalysis
 
 #: check name -> callable(program, cfg, file) for the dataflow passes
 LINT_CHECKS = {
@@ -65,13 +66,25 @@ def _pass_addr_class(ctx):
     return ()
 
 
+@register_lint_pass("valueflow", "result-value predictability", order=35)
+def _pass_valueflow(ctx):
+    classes = ctx.shared["addr_classes"]
+    valueflow = ValueFlowAnalysis(ctx.program, cfg=ctx.cfg,
+                                  forest=classes.forest,
+                                  values=classes.values)
+    ctx.shared["valueflow"] = valueflow
+    ctx.report.valueflow = valueflow
+    return ()
+
+
 @register_lint_pass("recurrence", "loop recurrence (recMII) bounds",
                     order=40)
 def _pass_recurrence(ctx):
     classes = ctx.shared["addr_classes"]
     recurrence = RecurrenceAnalysis(ctx.program, cfg=ctx.cfg,
                                     forest=classes.forest,
-                                    classes=classes)
+                                    classes=classes,
+                                    valueflow=ctx.shared["valueflow"])
     ctx.shared["recurrence"] = recurrence
     ctx.report.recurrence = recurrence
     return recurrence.findings(file=ctx.file)

@@ -56,6 +56,8 @@ class LintReport:
         self.collapse_bound = None
         #: filled in by the analyzer: AddressClassification or None
         self.addr_classes = None
+        #: filled in by the analyzer: ValueFlowAnalysis or None
+        self.valueflow = None
         #: filled in by the analyzer: RecurrenceAnalysis or None
         self.recurrence = None
         #: filled in by the analyzer: MemDepBound or None

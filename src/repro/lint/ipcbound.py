@@ -2,9 +2,9 @@
 
 :mod:`repro.lint.recurrence` derives, from program text alone, the
 per-iteration recurrence latency of every innermost reducible loop
-under three graph variants (base A, collapsed C, load-speculated E).
-This module asserts the full soundness chain against one trace of the
-same program:
+under four graph variants (base A, collapsed C, load-speculated E,
+value-speculated V).  This module asserts the full soundness chain
+against one trace of the same program:
 
 1. **static <= dynamic growth** — for every run of an analyzed loop
    and every variant, the static per-lap recurrence latency is at most
@@ -30,7 +30,13 @@ same program:
    load's address dependences, not only the statically predictable
    ones — the contracted graph with **all** load address arcs cut
    against config E.  The statically-cut E graph is bridged to the
-   ideal one by ``CP(static cut) >= CP(all cut)``.
+   ideal one by ``CP(static cut) >= CP(all cut)``.  Variant V checks
+   against config I (stride value speculation with squash/replay):
+   the V graph cuts every out-arc of the static value cut set — all
+   loads plus stride/invariant-predictable producers — a strict
+   superset of the arcs config I's machine ever bypasses (only
+   confidently-predicted loads, and wrong predictions replay), so
+   ``graph V IPC >= simulated config-I IPC`` is a theorem.
 
 A violation anywhere in the chain means a static must-edge does not
 materialize, a latency is mismodeled, or the scheduler outruns its
@@ -43,7 +49,7 @@ from .addrclass import PREDICTABLE_CLASSES
 from .recurrence import VARIANTS
 
 #: simulated machine letter per graph variant
-SIM_LETTERS = {"A": "A", "C": "C", "E": "E"}
+SIM_LETTERS = {"A": "A", "C": "C", "E": "E", "V": "I"}
 
 _REL_TOL = 1e-9
 
@@ -86,14 +92,17 @@ class RecurrenceCheck:
         return instructions / cycles
 
 
-def variant_depth_arrays(trace, classes):
-    """The four dynamic depth arrays the chain compares against:
-    ``A`` (base), ``C`` (freely contracted), ``E`` (contracted +
-    statically predictable loads cut) and ``E_ideal`` (contracted +
-    every load cut, the sound bound on ideal speculation)."""
+def variant_depth_arrays(trace, classes, value_cut=None):
+    """The dynamic depth arrays the chain compares against: ``A``
+    (base), ``C`` (freely contracted), ``E`` (contracted + statically
+    predictable loads cut), ``E_ideal`` (contracted + every load cut,
+    the sound bound on ideal speculation) and — when ``value_cut``
+    (the static value-speculation cut set) is given — ``V``
+    (contracted + every out-arc of the cut set removed, the sound
+    bound on config I's result-value speculation)."""
     predictable = {index for index, site in classes.by_index.items()
                    if site.cls in PREDICTABLE_CLASSES}
-    return {
+    arrays = {
         "A": DependenceGraph(trace).depths(),
         "C": restructured_depths(trace, collapse=True),
         "E": restructured_depths(trace, collapse=True,
@@ -101,6 +110,10 @@ def variant_depth_arrays(trace, classes):
         "E_ideal": restructured_depths(trace, collapse=True,
                                        cut_all_loads=True),
     }
+    if value_cut is not None:
+        arrays["V"] = restructured_depths(trace, collapse=True,
+                                          cut_value_producers=value_cut)
+    return arrays
 
 
 def _scan_runs(analysis, trace):
@@ -144,15 +157,17 @@ def recurrence_cross_check(analysis, trace, sim_ipcs=None, widest=2048,
 
     ``analysis`` is a :class:`repro.lint.recurrence.RecurrenceAnalysis`
     of the program that produced ``trace``.  ``sim_ipcs`` may supply
-    precomputed ``{"A": ipc, "C": ipc, "E": ipc}`` at the widest
-    machine (e.g. from a report runner's cache); otherwise the three
-    configurations are simulated here at width ``widest`` unless
-    ``simulate`` is False, which skips link 3.
+    precomputed ``{"A": ipc, "C": ipc, "E": ipc, "V": ipc}`` at the
+    widest machine (e.g. from a report runner's cache); otherwise the
+    matching configurations (config I for variant V) are simulated
+    here at width ``widest`` unless ``simulate`` is False, which skips
+    link 3.
     """
     check = RecurrenceCheck()
     check.n = len(trace)
     check.widest = widest
-    depths = variant_depth_arrays(trace, analysis.classes)
+    depths = variant_depth_arrays(trace, analysis.classes,
+                                  value_cut=analysis.value_cut)
     lat = trace.static.lat
     sidx = trace.sidx
     for key, array in depths.items():
@@ -223,7 +238,7 @@ def recurrence_cross_check(analysis, trace, sim_ipcs=None, widest=2048,
             sim_ipcs[variant] = result.ipc
     if sim_ipcs:
         check.sim = dict(sim_ipcs)
-        links = (("A", "A"), ("C", "C"), ("E", "E_ideal"))
+        links = (("A", "A"), ("C", "C"), ("E", "E_ideal"), ("V", "V"))
         for variant, graph_key in links:
             sim = sim_ipcs.get(variant)
             if sim is None:
@@ -241,6 +256,12 @@ def recurrence_cross_check(analysis, trace, sim_ipcs=None, widest=2048,
                 "critical path (%d -> %d) — impossible for a pure "
                 "edge removal"
                 % (check.cp["E"], check.cp["E_ideal"]))
+        if "V" in check.cp and check.cp["V"] > check.cp["C"]:
+            check.violations.append(
+                "cutting the value-speculated producers' out-arcs "
+                "lengthened the critical path (%d -> %d) — impossible "
+                "for a pure edge removal"
+                % (check.cp["C"], check.cp["V"]))
     return check
 
 

@@ -34,6 +34,14 @@ matching the machines the simulator models:
     :mod:`repro.lint.addrclass` classifies stride/affine/invariant —
     the edges realizable d-speculation breaks.  A cycle containing a
     cut edge is no recurrence at all and contributes no bound.
+``V``
+    collapsed, with every edge *out of* a value-speculatable producer
+    cut: all loads (config I attempts any load the confidence gate
+    opens for) plus every non-load whose result
+    :mod:`repro.lint.valueflow` classifies stride/invariant-
+    predictable.  These are the edges result-value speculation breaks;
+    memory (store-to-load) edges are never cut — value speculation
+    bypasses a *register* result, not the stored word.
 
 Only *must* edges enter the graph (singleton reaching-writer masks,
 must-alias memory): omitting an edge can only weaken the computed
@@ -54,9 +62,10 @@ from .cycles import elementary_cycles
 from .findings import Finding, SEV_WARNING
 from .induction import INV
 from .loops import LoopForest
+from .valueflow import ValueFlowAnalysis
 
 #: graph variants, in report order
-VARIANTS = ("A", "C", "E")
+VARIANTS = ("A", "C", "E", "V")
 
 _NUM_SLOTS = 33          # 32 registers + condition codes (slot 32)
 _CC = 32
@@ -69,9 +78,10 @@ class RecEdge:
     """One must-dependence edge of a loop-body graph."""
 
     __slots__ = ("src", "dst", "dist", "kind", "lat", "contractible",
-                 "cut")
+                 "cut", "vcut")
 
-    def __init__(self, src, dst, dist, kind, lat, contractible, cut):
+    def __init__(self, src, dst, dist, kind, lat, contractible, cut,
+                 vcut=False):
         self.src = src
         self.dst = dst
         self.dist = dist        # 0 = same iteration, 1 = loop-carried
@@ -79,12 +89,14 @@ class RecEdge:
         self.lat = lat          # latency of the producer
         self.contractible = contractible
         self.cut = cut          # broken by realizable d-speculation (E)
+        self.vcut = vcut        # broken by result-value speculation (V)
 
     def __repr__(self):
-        return "<RecEdge %d->%d d%d %s%s%s>" % (
+        return "<RecEdge %d->%d d%d %s%s%s%s>" % (
             self.src, self.dst, self.dist, self.kind,
             " collapse" if self.contractible else "",
-            " cut" if self.cut else "")
+            " cut" if self.cut else "",
+            " vcut" if self.vcut else "")
 
 
 class CycleBound:
@@ -157,13 +169,19 @@ class RecurrenceAnalysis:
     loops."""
 
     def __init__(self, program, cfg=None, forest=None, classes=None,
-                 cycle_limit=256):
+                 valueflow=None, cycle_limit=256):
         self.program = program
         self.cfg = cfg if cfg is not None else ControlFlowGraph(program)
         self.forest = forest if forest is not None \
             else LoopForest(self.cfg)
         self.classes = classes if classes is not None \
             else AddressClassification(program, self.cfg, self.forest)
+        self.valueflow = valueflow if valueflow is not None \
+            else ValueFlowAnalysis(program, self.cfg, self.forest,
+                                   values=self.classes.values)
+        #: static indices variant V cuts the out-edges of — the single
+        #: source of truth shared with the dynamic graph V
+        self.value_cut = self.valueflow.cut_indices()
         self.table = StaticTable.from_program(program)
         self.cycle_limit = cycle_limit
         self.loops = []             # LoopRecurrence, analyzed loops
@@ -295,8 +313,9 @@ class RecurrenceAnalysis:
                             and table.producer_ok[src])
             cut = (kind == "reg" and table.cls[dst] == LD
                    and self._load_cut(dst))
+            vcut = src in self.value_cut
             edges.append(RecEdge(src, dst, dist, kind, table.lat[src],
-                                 contractible, cut))
+                                 contractible, cut, vcut))
 
         def resolve(dst, slot, kind):
             state = in_state.get(dst)
@@ -399,8 +418,10 @@ class RecurrenceAnalysis:
                 dist = 1
             else:
                 continue
+            # Never vcut: value speculation bypasses register results,
+            # not the stored memory word.
             edges.append(RecEdge(store, load, dist, "mem",
-                                 table.lat[store], False, False))
+                                 table.lat[store], False, False, False))
         return edges
 
     # -- cycle enumeration and per-variant latencies -------------------
@@ -434,9 +455,11 @@ class RecurrenceAnalysis:
                 lat_c = sum(edge.lat for edge in combo
                             if not edge.contractible)
                 broken = any(edge.cut for edge in combo)
+                vbroken = any(edge.vcut for edge in combo)
                 cycles.append(CycleBound(nodes, dist, {
                     "A": lat_a, "C": lat_c,
-                    "E": None if broken else lat_c}))
+                    "E": None if broken else lat_c,
+                    "V": None if vbroken else lat_c}))
         return cycles, truncated
 
     # -- reporting -----------------------------------------------------
@@ -457,8 +480,8 @@ class RecurrenceAnalysis:
         return found
 
     def summary_rows(self):
-        """Rows (header line, body, nodes, cycles, recMII A/C/E,
-        ceiling A/C/E, note) for the CLI ``--recur`` table."""
+        """Rows (header line, body, nodes, cycles, recMII A/C/E/V,
+        ceiling A/C/E/V, note) for the CLI ``--recur`` table."""
         instrs = self.program.instructions
 
         def fmt_recmii(value):
@@ -484,9 +507,11 @@ class RecurrenceAnalysis:
                 fmt_recmii(rec.recmii("A")),
                 fmt_recmii(rec.recmii("C")),
                 fmt_recmii(rec.recmii("E")),
+                fmt_recmii(rec.recmii("V")),
                 fmt_ceiling(rec.ipc_ceiling("A")),
                 fmt_ceiling(rec.ipc_ceiling("C")),
                 fmt_ceiling(rec.ipc_ceiling("E")),
+                fmt_ceiling(rec.ipc_ceiling("V")),
                 note or "-",
             ])
         return rows

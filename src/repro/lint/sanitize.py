@@ -25,6 +25,14 @@ semantics promise (the always-on version of ``test_scheduler_verify``):
   invariant* holds at the end of the run: no load's final issue cycle
   precedes the completion of the last program-order store to its word
   (i.e. no committed load kept a stale value);
+- under squash/replay value speculation (``value_spec == "replay"``,
+  configuration I): every reported squash names a consumer that had
+  issued while riding a wrong-predicted load value, each squashed
+  consumer replays exactly once (the run cannot end with a squashed,
+  un-replayed position), and the *value recovery invariant* holds at
+  the end of the run: no consumer that speculated on a wrong value
+  kept a final issue cycle earlier than the watched load's completion
+  (i.e. no stale speculative value was committed);
 - under decoupled access/execute (``config.dae``, configuration H):
   only statically access-slice members bypass into the access window,
   access-window occupancy never exceeds ``window_size``, every queue
@@ -73,6 +81,8 @@ class SchedulerSanitizer:
         self.mem_speculations = 0
         self.mem_violations = 0
         self.mem_squashes = 0
+        self.value_speculations = 0
+        self.value_squashes = 0
         self.dae_bypasses = 0
         self.dae_enqueues = 0
         self.dae_pops = 0
@@ -102,6 +112,7 @@ class SchedulerSanitizer:
         self._mem_realistic = config.mem_spec == "mdpt"
         self._mem_dep = {}         # load pos -> last prior same-word store
         self._squashed = set()     # squashed, awaiting replay
+        self._value_watch = {}     # consumer -> wrong-value loads ridden
         self._occupancy = 0
         self._fence_pos = None     # latest mispredicted branch entered
         self._fence_issue = None
@@ -273,6 +284,42 @@ class SchedulerSanitizer:
             require.discard((p, kind))
             self._consumers.get(p, set()).discard(i)
         self.relaxed_arcs += 1
+
+    def on_value_speculate(self, i, p, kind):
+        """Consumer ``i`` drops its arc to load ``p`` on a *wrong*
+        confident prediction: it may issue on the bad value and must be
+        squashed and replayed when ``p``'s verification exposes it."""
+        self.value_speculations += 1
+        if self._cls[self._sidx[p]] != LD:
+            self._violate(
+                "value speculation of %d reported against position %d, "
+                "which is not a load" % (i, p))
+        require = self._require.get(i)
+        if require is None:
+            self._violate("value speculation on unentered position %d"
+                          % (i,))
+            return
+        require.discard((p, kind))
+        self._consumers.get(p, set()).discard(i)
+        self.relaxed_arcs += 1
+        self._value_watch.setdefault(i, set()).add(p)
+
+    def on_value_squash(self, w, p, cycle):
+        """Consumer ``w`` is squashed for replay: it issued riding the
+        wrong-predicted value of load ``p``, whose verification fired."""
+        self.value_squashes += 1
+        if p not in self._value_watch.get(w, ()):
+            self._violate(
+                "value squash of %d against load %d it never "
+                "speculated on" % (w, p))
+        if self._issue_cycle[w] is None:
+            self._violate(
+                "position %d value-squashed without having issued"
+                % (w,))
+            return
+        self._issue_cycle[w] = None
+        self._completion[w] = None
+        self._squashed.add(w)
 
     def on_eliminate(self, p, cycle):
         """Producer ``p`` is removed without executing (its sole reader
@@ -498,6 +545,26 @@ class SchedulerSanitizer:
                     "load %d finally issued at cycle %d before the last "
                     "prior store to its word (position %d) completed at "
                     "%d: stale value committed" % (i, li, p, pc))
+        # Value recovery invariant: a consumer that rode a wrong
+        # prediction must have finally issued no earlier than the
+        # watched load's completion — the replay (or the released wait)
+        # re-imposed the architectural value.
+        for w, loads in sorted(self._value_watch.items()):
+            if w in self._eliminated:
+                continue
+            li = self._issue_cycle[w]
+            for p in sorted(loads):
+                if p in self._eliminated:
+                    continue
+                pc = self._completion[p]
+                if li is None or pc is None:
+                    continue
+                if li < pc:
+                    self._violate(
+                        "consumer %d finally issued at cycle %d before "
+                        "the wrong-predicted load %d it rode completed "
+                        "at %d: stale speculative value committed"
+                        % (w, li, p, pc))
         if self._occupancy != 0 and not self.violations:
             self._violate("window occupancy %d at end of run"
                           % (self._occupancy,))
@@ -525,6 +592,10 @@ class SchedulerSanitizer:
                      "events replay-verified"
                      % (self.mem_syncs, self.mem_speculations,
                         self.mem_violations))
+        if self.value_speculations or self.value_squashes:
+            text += ("; vspec: %d speculations, %d squash/replay pairs "
+                     "verified" % (self.value_speculations,
+                                   self.value_squashes))
         if self.dae_bypasses or self.dae_enqueues:
             text += ("; dae: %d bypasses, %d enqueues, %d FIFO pops "
                      "checked" % (self.dae_bypasses, self.dae_enqueues,

@@ -1,0 +1,638 @@
+"""Static per-instruction result-value predictability classification.
+
+The address-classification pass (:mod:`repro.lint.addrclass`) asks
+*where* a load will point; this pass asks *what value* an instruction
+will produce — the static side of the Sazeides & Smith value-locality
+taxonomy, and the input to recurrence variant **V**
+(:mod:`repro.lint.recurrence`), which prices loop recurrences under
+result-value speculation (machine config I).
+
+Every result-producing instruction is classified relative to its
+innermost natural loop using the loop-relative value forms of
+:mod:`repro.lint.induction` plus the bounded-congruence address
+machinery of :mod:`repro.lint.memdep`:
+
+============= =========================================================
+``constant``    an immediate materialization (``mov rd, imm`` /
+                ``sethi``): the same value every execution
+``invariant``   loop-invariant during any single run — for non-loads a
+                computation over invariant inputs; for loads an
+                invariant address whose word no store in the loop can
+                touch (every in-body store proved word-disjoint by the
+                bounded-congruence resolver)
+``stride``      a basic induction variable's update (``r = r ± imm``
+                once per iteration): consecutive results differ by the
+                constant step
+``affine``      an affine function of a basic IV: constant
+                per-iteration result stride (possibly statically
+                unknown)
+``periodic``    a provable short cycle — currently the XOR toggle
+                ``xor r, imm -> r`` executing once per iteration
+                (period 2); stride predictors cannot lock onto it, FCM
+                predictors can
+``load``        the result is (or is derived from) a load the loop
+                produced: value known only to memory
+``unknown``     everything else (hash mixing, multiple reaching
+                definitions, call results, irreducible regions)
+``straight``    not inside any natural loop: no per-PC pattern to claim
+============= =========================================================
+
+The classes form a join-semilattice ordered by claim strength
+(``constant ⊑ invariant ⊑ stride ⊑ affine ⊑ unknown``,
+``constant ⊑ periodic ⊑ unknown``, ``load ⊑ unknown``); ``class_join``
+returns the weakest claim covering both operands, so merging control
+paths can only *lose* precision — the soundness direction.
+
+Two artifacts are derived:
+
+- a **static coverage upper bound** on the stride *value* predictor's
+  confident coverage per load PC: the invariant class predicts exact
+  steady-state behaviour (misses confined to warmup plus re-lock after
+  loop re-entries), every other class carries an audited coverage cap;
+  :func:`valueflow_cross_check` asserts both directions against the
+  dynamic per-PC histograms of ``repro.vpred``;
+
+- the **variant-V cut set** (:meth:`ValueFlowAnalysis.cut_indices`):
+  static indices whose result a value-speculating machine may bypass —
+  every load (config I attempts any confident load) plus every
+  statically stride/invariant-predictable non-load producer.  Both the
+  static recMII variant V and the dynamic graph V cut exactly this
+  set, which is what makes the static ceiling a theorem over the
+  simulated config-I IPC (see :func:`valueflow_cross_check`).
+"""
+
+from ..isa.opcodes import Opcode
+from .cfg import ControlFlowGraph
+from .dataflow import reg_defs
+from .induction import AFFINE, INV, IV, LOAD, LoopValues
+from .loops import LoopForest
+from .memdep import _add, _const, _disjoint, _Resolver
+
+CLASS_CONSTANT = "constant"
+CLASS_INVARIANT = "invariant"
+CLASS_STRIDE = "stride"
+CLASS_AFFINE = "affine"
+CLASS_PERIODIC = "periodic"
+CLASS_LOAD = "load"
+CLASS_UNKNOWN = "unknown"
+CLASS_STRAIGHT = "straight"
+
+ALL_CLASSES = (CLASS_CONSTANT, CLASS_INVARIANT, CLASS_STRIDE,
+               CLASS_AFFINE, CLASS_PERIODIC, CLASS_LOAD, CLASS_UNKNOWN,
+               CLASS_STRAIGHT)
+
+#: classes whose result stream a two-delta stride predictor locks onto
+#: in steady state (constant per-execution delta within a run)
+VALUE_PREDICTABLE_CLASSES = frozenset(
+    (CLASS_CONSTANT, CLASS_INVARIANT, CLASS_STRIDE, CLASS_AFFINE))
+
+#: upward-closure of each class in the claim-strength order; the join
+#: of two classes is the lowest common member.
+_UP = {
+    CLASS_CONSTANT: frozenset((CLASS_CONSTANT, CLASS_INVARIANT,
+                               CLASS_STRIDE, CLASS_AFFINE,
+                               CLASS_PERIODIC, CLASS_UNKNOWN)),
+    CLASS_INVARIANT: frozenset((CLASS_INVARIANT, CLASS_STRIDE,
+                                CLASS_AFFINE, CLASS_UNKNOWN)),
+    CLASS_STRIDE: frozenset((CLASS_STRIDE, CLASS_AFFINE, CLASS_UNKNOWN)),
+    CLASS_AFFINE: frozenset((CLASS_AFFINE, CLASS_UNKNOWN)),
+    CLASS_PERIODIC: frozenset((CLASS_PERIODIC, CLASS_UNKNOWN)),
+    CLASS_LOAD: frozenset((CLASS_LOAD, CLASS_UNKNOWN)),
+    CLASS_STRAIGHT: frozenset((CLASS_STRAIGHT, CLASS_UNKNOWN)),
+    CLASS_UNKNOWN: frozenset((CLASS_UNKNOWN,)),
+}
+
+#: rank by generality: larger = weaker claim (higher in the order)
+_RANK = {cls: len(_UP) - len(up) for cls, up in _UP.items()}
+
+
+def class_leq(a, b):
+    """True when class ``a`` makes at least as strong a claim as ``b``
+    (``a ⊑ b`` in the predictability lattice)."""
+    return b in _UP[a]
+
+
+def class_join(a, b):
+    """Least upper bound: the weakest claim soundly covering both."""
+    common = _UP[a] & _UP[b]
+    return min(common, key=lambda cls: (_RANK[cls], cls))
+
+
+#: per-class upper bound on the fraction of dynamic loads whose stride
+#: value prediction the confidence gate opens for.  1.0 for classes
+#: with no negative claim; the ``load`` cap is an audited empirical
+#: bound over the registered workloads (see docs/LINT.md) — memory
+#: content can be arbitrarily regular (zero fills, sequential IDs), so
+#: the cap encodes how regular the suite's actually is, and a violation
+#: means the audit needs redoing.  Audit (stride predictor, per-class
+#: confident coverage, scales 0.03/0.05/0.2): the ``load`` class peaks
+#: at 0.233 (compress @ 0.03); 0.5 doubles that margin.
+VALUE_COVERAGE_CAP = {
+    CLASS_CONSTANT: 1.0,
+    CLASS_INVARIANT: 1.0,
+    CLASS_STRIDE: 1.0,
+    CLASS_AFFINE: 1.0,
+    CLASS_PERIODIC: 1.0,
+    CLASS_LOAD: 0.5,
+    CLASS_UNKNOWN: 1.0,
+    CLASS_STRAIGHT: 1.0,
+}
+
+#: two-delta warmup: a cold entry needs at most 3 observations before
+#: a stride-0 value stream predicts (see repro.vpred.stride)
+WARMUP_MISSES = 3
+#: misses per observed value-stride change before the table re-locks
+RELOCK_MISSES = 2
+#: per-PC checks need this many observations to be meaningful
+MIN_OBSERVATIONS = 16
+#: slack on the stride-change budget for invariant sites, on top of
+#: the entry-derived term (see :func:`valueflow_cross_check`)
+STABILITY_BASE = 4
+
+#: relative tolerance of the IPC-chain comparisons (matches ipcbound)
+_REL_TOL = 1e-9
+
+_CALL_OPS = frozenset((Opcode.CALL, Opcode.JMPL))
+_TOGGLE_OPS = frozenset((Opcode.XOR, Opcode.XORCC))
+_CONST_OPS = frozenset((Opcode.SETHI,))
+
+
+class ValueSite:
+    """One static result-producing instruction with its value class."""
+
+    __slots__ = ("index", "line", "pc", "cls", "stride", "period",
+                 "loop", "note")
+
+    def __init__(self, index, line, pc, cls, stride=None, period=None,
+                 loop=None, note=""):
+        self.index = index
+        self.line = line
+        self.pc = pc
+        self.cls = cls
+        self.stride = stride    # per-iteration result stride when known
+        self.period = period    # period k for the periodic class
+        self.loop = loop        # innermost Loop or None
+        self.note = note
+
+    def __repr__(self):
+        return "<ValueSite #%d %s stride=%r period=%r>" % (
+            self.index, self.cls, self.stride, self.period)
+
+
+class ValueFlowAnalysis:
+    """Per-program result-value classification of every instruction
+    that writes a register."""
+
+    def __init__(self, program, cfg=None, forest=None, values=None):
+        self.program = program
+        self.cfg = cfg if cfg is not None else ControlFlowGraph(program)
+        self.forest = forest if forest is not None \
+            else LoopForest(self.cfg)
+        self.values = values if values is not None \
+            else LoopValues(program, self.cfg, self.forest)
+        self._resolver = _Resolver(program, self.cfg, self.forest,
+                                   self.values)
+        self.sites = []
+        self.by_index = {}
+        self.load_sites = []        # the cross-check universe
+        self._store_forms = {}      # loop header -> [(index, form)]
+        self._classify()
+
+    def _classify(self):
+        for i, ins in enumerate(self.program.instructions):
+            if ins.is_store or ins.rd <= 0:
+                continue            # no architectural result (%g0 sinks)
+            site = self._classify_site(i, ins)
+            self.sites.append(site)
+            self.by_index[i] = site
+            if ins.is_load:
+                self.load_sites.append(site)
+
+    def _classify_site(self, i, ins):
+        line = ins.line
+        pc = self.program.address_of_index(i)
+        loop = self.forest.loop_of(i)
+        if loop is None:
+            return ValueSite(i, line, pc, CLASS_STRAIGHT)
+        if self.forest.in_irreducible_region(i):
+            return ValueSite(i, line, pc, CLASS_UNKNOWN, loop=loop,
+                             note="irreducible region")
+        if ins.is_load:
+            return self._classify_load(i, ins, loop)
+        if ins.opcode in _CALL_OPS:
+            return ValueSite(i, line, pc, CLASS_UNKNOWN, loop=loop,
+                             note="call result")
+        kind, stride = self.values._def_form(i, loop, set())
+        if kind == INV:
+            if ins.opcode in _CONST_OPS \
+                    or (ins.opcode is Opcode.MOV and ins.imm is not None):
+                return ValueSite(i, line, pc, CLASS_CONSTANT, stride=0,
+                                 loop=loop)
+            return ValueSite(i, line, pc, CLASS_INVARIANT, stride=0,
+                             loop=loop)
+        if kind == IV:
+            return ValueSite(i, line, pc, CLASS_STRIDE, stride=stride,
+                             loop=loop)
+        if kind == AFFINE:
+            iv = self.values.ivs_of(loop).get(ins.rd)
+            if iv is not None and i in iv.sites:
+                # The IV's own update: results walk the step exactly.
+                return ValueSite(i, line, pc, CLASS_STRIDE,
+                                 stride=stride, loop=loop)
+            return ValueSite(i, line, pc, CLASS_AFFINE, stride=stride,
+                             loop=loop)
+        if kind == LOAD:
+            return ValueSite(i, line, pc, CLASS_LOAD, loop=loop)
+        period = self._toggle_period(i, ins, loop)
+        if period is not None:
+            return ValueSite(i, line, pc, CLASS_PERIODIC, period=period,
+                             loop=loop)
+        return ValueSite(i, line, pc, CLASS_UNKNOWN, loop=loop)
+
+    # -- loads: invariant value iff invariant address + no in-loop write
+
+    def _classify_load(self, i, ins, loop):
+        line = ins.line
+        pc = self.program.address_of_index(i)
+        if ins.rs1 >= 0:
+            base = self.values.form(ins.rs1, i, loop)
+            if ins.imm is not None or ins.rs2 < 0:
+                offset = (INV, 0)
+            else:
+                offset = self.values.form(ins.rs2, i, loop)
+            if base[0] != INV or offset[0] != INV:
+                return ValueSite(i, line, pc, CLASS_LOAD, loop=loop,
+                                 note="address varies in loop")
+        if self._loop_has_call(loop):
+            return ValueSite(i, line, pc, CLASS_LOAD, loop=loop,
+                             note="call in loop may store")
+        form = self._ref_form(i, ins)
+        if form is None:
+            return ValueSite(i, line, pc, CLASS_LOAD, loop=loop,
+                             note="address unresolved")
+        for store, store_form in self._stores_of(loop):
+            if store_form is None \
+                    or not _disjoint(form, store_form):
+                return ValueSite(i, line, pc, CLASS_LOAD, loop=loop,
+                                 note="store #%d may alias" % (store,))
+        return ValueSite(i, line, pc, CLASS_INVARIANT, stride=0,
+                         loop=loop)
+
+    def _loop_has_call(self, loop):
+        instrs = self.program.instructions
+        return any(instrs[s].opcode in _CALL_OPS for s in loop.body)
+
+    def _ref_form(self, i, ins):
+        """Bounded-congruence address form of a memory instruction
+        (mirrors ``MemDepBound._collect``)."""
+        if ins.rs1 < 0:
+            return _const(ins.imm if ins.imm is not None else 0)
+        base = self._resolver.value_at(ins.rs1, i)
+        if ins.imm is not None:
+            offset = _const(ins.imm)
+        elif ins.rs2 >= 0:
+            offset = self._resolver.value_at(ins.rs2, i)
+        else:
+            offset = _const(0)
+        return _add(base, offset)
+
+    def _stores_of(self, loop):
+        forms = self._store_forms.get(loop.header)
+        if forms is None:
+            instrs = self.program.instructions
+            forms = [(s, self._ref_form(s, instrs[s]))
+                     for s in sorted(loop.body) if instrs[s].is_store]
+            self._store_forms[loop.header] = forms
+        return forms
+
+    # -- periodic(k): the XOR toggle ------------------------------------
+
+    def _toggle_period(self, i, ins, loop):
+        """Period of a provable value cycle at ``i``, or None.
+
+        Currently the XOR toggle: ``xor r, imm -> r`` (imm != 0) as the
+        only in-body definition of ``r``, executing exactly once per
+        iteration, in a loop no call can clobber.  The input of each
+        execution is the previous execution's output (the entry value
+        on iteration one, invariant per run), so results alternate with
+        period 2 within every run.
+        """
+        if ins.opcode not in _TOGGLE_OPS or ins.imm is None \
+                or ins.imm == 0 or ins.rs1 != ins.rd:
+            return None
+        instrs = self.program.instructions
+        reg = ins.rd
+        for s in loop.body:
+            if s != i and reg in reg_defs(instrs[s]):
+                return None
+        if self._loop_has_call(loop):
+            return None
+        if self.forest.loop_of(i) is not loop:
+            return None
+        dom = self.forest.dom
+        if not all(dom.dominates(i, tail)
+                   for tail, _ in loop.back_edges):
+            return None
+        return 2
+
+    # -- derived artifacts ----------------------------------------------
+
+    def cut_indices(self):
+        """Static indices whose out-arcs (register, condition-code and
+        store-data, never memory) recurrence variant V and dynamic
+        graph V cut: every load, plus every non-load producer whose
+        result class is stride/invariant-predictable.  The soundness of
+        the V chain needs only that the static and dynamic graphs cut
+        the *same* set; this method is that single source of truth."""
+        cut = set()
+        for i, ins in enumerate(self.program.instructions):
+            if ins.is_load:
+                cut.add(i)
+        for site in self.sites:
+            if site.cls in VALUE_PREDICTABLE_CLASSES \
+                    and site.index not in cut:
+                cut.add(site.index)
+        return cut
+
+    def class_counts(self):
+        """Static site count per class (all result producers)."""
+        counts = dict.fromkeys(ALL_CLASSES, 0)
+        for site in self.sites:
+            counts[site.cls] += 1
+        return counts
+
+    def dynamic_class_counts(self, trace):
+        """Dynamic *load* count per class for a trace of this program
+        (the value predictor observes loads only)."""
+        counts = dict.fromkeys(ALL_CLASSES, 0)
+        by_index = self.by_index
+        is_load = {site.index for site in self.load_sites}
+        for s in trace.sidx:
+            if s in is_load:
+                counts[by_index[s].cls] += 1
+        return counts
+
+    def coverage_bound(self, trace):
+        """Static upper bound on the stride value predictor's coverage
+        of ``trace``: the fraction of dynamic loads whose prediction
+        the confidence gate may use, weighting each load by its site's
+        class cap."""
+        counts = self.dynamic_class_counts(trace)
+        total = sum(counts.values())
+        if not total:
+            return 1.0
+        weighted = sum(VALUE_COVERAGE_CAP[cls] * n
+                       for cls, n in counts.items())
+        return weighted / total
+
+    def aliased_indices(self, table_entries=4096):
+        """Load sites whose PCs collide in a direct-mapped table of
+        ``table_entries`` entries (word-aligned indexing)."""
+        groups = {}
+        for site in self.load_sites:
+            groups.setdefault((site.pc >> 2) & (table_entries - 1),
+                              []).append(site.index)
+        aliased = set()
+        for members in groups.values():
+            if len(members) > 1:
+                aliased.update(members)
+        return aliased
+
+    def summary_rows(self):
+        """Rows (index, line, class, stride/period, loop-header line,
+        depth) for the CLI ``--value`` table."""
+        rows = []
+        instrs = self.program.instructions
+        for site in self.sites:
+            if site.loop is not None:
+                header_ins = instrs[site.loop.header]
+                loop_line = header_ins.line if header_ins.line \
+                    is not None else 0
+                depth = site.loop.depth
+            else:
+                loop_line = "-"
+                depth = 0
+            if site.cls == CLASS_PERIODIC:
+                detail = "k=%d" % (site.period,)
+            elif site.cls in VALUE_PREDICTABLE_CLASSES:
+                detail = site.stride if site.stride is not None else "?"
+            else:
+                detail = "-"
+            rows.append([site.index,
+                         site.line if site.line is not None else 0,
+                         site.cls, detail, loop_line, depth])
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Dynamic cross-check: per-PC histograms + the variant-V IPC chain.
+# ----------------------------------------------------------------------
+
+class ValueflowCheck:
+    """Result of :func:`valueflow_cross_check` for one
+    (program, trace) pair."""
+
+    __slots__ = ("violations", "checked_sites", "skipped_aliased",
+                 "skipped_short", "coverage_bound", "dynamic_coverage",
+                 "steady_accuracy", "loads", "static_floor",
+                 "static_bound", "graph_cp", "graph_ipc", "sim_ipc",
+                 "widest", "runs_checked")
+
+    def __init__(self):
+        self.violations = []
+        self.checked_sites = 0
+        self.skipped_aliased = 0
+        self.skipped_short = 0
+        self.coverage_bound = 1.0
+        self.dynamic_coverage = 0.0
+        self.steady_accuracy = 0.0
+        self.loads = 0
+        #: largest single-run variant-V recurrence floor (cycles)
+        self.static_floor = 0
+        #: n / floor, None when no run produced a floor (unbounded)
+        self.static_bound = None
+        self.graph_cp = 0
+        self.graph_ipc = 0.0
+        self.sim_ipc = None
+        self.widest = 0
+        self.runs_checked = 0
+
+    @property
+    def ok(self):
+        return not self.violations
+
+
+def valueflow_cross_check(valueflow, trace, result=None, recurrence=None,
+                          sim_ipc=None, widest=2048, simulate=True,
+                          table_entries=4096):
+    """Verify the static value claims against the dynamic machinery.
+
+    Two halves, matching the acceptance inequalities:
+
+    - **per PC** — ``result`` (or a fresh
+      ``run_value_predictor(trace, predictor="stride", per_pc=True)``
+      pass) must respect every invariant-class load's soundness floor
+      ``correct >= count - WARMUP - RELOCK * stride_changes`` with the
+      stride-change budget derived from dynamic loop entries, and the
+      trace-weighted class caps must dominate the dynamic confident
+      coverage;
+
+    - **variant V** — with ``recurrence`` (a
+      :class:`~repro.lint.recurrence.RecurrenceAnalysis` built over
+      this ``valueflow``), the chain *static variant-V ceiling >=
+      graph-V dataflow IPC >= simulated config-I IPC at width
+      ``widest``* is asserted: link 1 checks each run's static per-lap
+      latency against the anchor's depth growth in graph V, link 2
+      checks the floor against graph V's issue-based critical path,
+      and link 3 simulates config I (or takes ``sim_ipc``).  Both
+      sides cut exactly :meth:`ValueFlowAnalysis.cut_indices`, so a
+      violation means a must-edge failed to materialize or the
+      scheduler outran its own dependence graph.
+    """
+    check = ValueflowCheck()
+    check.widest = widest
+    if result is None:
+        from ..vpred.runner import run_value_predictor
+        result = run_value_predictor(trace, predictor="stride",
+                                     per_pc=True)
+    per_pc = result.per_pc
+    if per_pc is None:
+        raise ValueError("valueflow_cross_check needs per-PC stats: run "
+                         "the predictor with per_pc=True")
+
+    from .addrclass import count_loop_entries
+    aliased = valueflow.aliased_indices(table_entries)
+    site_loops = {site.loop for site in valueflow.load_sites
+                  if site.cls in VALUE_PREDICTABLE_CLASSES
+                  and site.loop is not None}
+    entries = count_loop_entries(trace, site_loops)
+    warm_correct = 0
+    warm_total = 0
+    for site in valueflow.load_sites:
+        if site.cls not in VALUE_PREDICTABLE_CLASSES:
+            continue
+        stat = per_pc.get(site.pc)
+        if stat is None:
+            continue
+        if site.index in aliased:
+            check.skipped_aliased += 1
+            continue
+        if stat.count < MIN_OBSERVATIONS:
+            check.skipped_short += 1
+            continue
+        check.checked_sites += 1
+        warm = max(0, stat.count - WARMUP_MISSES)
+        warm_correct += min(stat.correct, warm)
+        warm_total += warm
+        floor = stat.count - WARMUP_MISSES \
+            - RELOCK_MISSES * stat.stride_changes
+        if stat.correct < floor:
+            check.violations.append(
+                "line %s: load #%d (%s) broke the stride-value re-lock "
+                "bound: %d/%d correct, floor %d with %d stride changes"
+                % (site.line, site.index, site.cls, stat.correct,
+                   stat.count, floor, stat.stride_changes))
+        loop_entries = entries.get(site.loop.header, 1)
+        budget = STABILITY_BASE + RELOCK_MISSES * loop_entries
+        if stat.stride_changes > budget:
+            check.violations.append(
+                "line %s: load #%d classified %s but its value stream "
+                "changed stride %d times over %d loads across %d loop "
+                "entries (budget %d) — statically claimed invariance "
+                "does not hold within the loop"
+                % (site.line, site.index, site.cls, stat.stride_changes,
+                   stat.count, loop_entries, budget))
+    if warm_total:
+        check.steady_accuracy = warm_correct / warm_total
+    check.loads = result.loads
+    if result.loads:
+        attempted = sum(1 for used in result.attempted.values() if used)
+        check.dynamic_coverage = attempted / result.loads
+        check.coverage_bound = valueflow.coverage_bound(trace)
+        if check.coverage_bound < check.dynamic_coverage:
+            check.violations.append(
+                "static value-coverage bound %.3f < dynamic stride "
+                "predictor coverage %.3f — the load-class cap is "
+                "violated or loads are misclassified"
+                % (check.coverage_bound, check.dynamic_coverage))
+
+    # ---- variant V: static ceiling >= graph V >= simulated config I
+    if recurrence is None:
+        return check
+    from ..analysis import restructured_depths
+    from .ipcbound import _scan_runs
+
+    cut = recurrence.valueflow.cut_indices()
+    depths = restructured_depths(trace, collapse=True,
+                                 cut_value_producers=cut)
+    n = len(trace)
+    lat = trace.static.lat
+    sidx = trace.sidx
+    check.graph_cp = max(depth - lat[sidx[i]]
+                         for i, depth in enumerate(depths)) + 1 \
+        if depths else 0
+    check.graph_ipc = n / check.graph_cp if check.graph_cp else 0.0
+
+    for rec, anchors, _ in _scan_runs(recurrence, trace):
+        best = rec.best.get("V")
+        if best is None:
+            continue
+        cycle_lat = best.latency["V"]
+        if not cycle_lat:
+            continue                # fully contracted: no constraint
+        positions = anchors.get(best.anchor, ())
+        laps = (len(positions) - 1) // best.dist
+        if laps < 1:
+            continue
+        check.runs_checked += 1
+        growth = depths[positions[laps * best.dist]] \
+            - depths[positions[0]]
+        need = laps * cycle_lat
+        if growth < need:
+            check.violations.append(
+                "loop@%d variant V: static recurrence floor %d cycles "
+                "(%d laps x %d) exceeds graph-V depth growth %d at "
+                "anchor #%d"
+                % (rec.loop.header, need, laps, cycle_lat, growth,
+                   best.anchor))
+        if need > check.static_floor:
+            check.static_floor = need
+    if check.static_floor:
+        check.static_bound = n / check.static_floor
+        if check.static_floor > check.graph_cp:
+            check.violations.append(
+                "variant V: static cycle floor %d exceeds the graph-V "
+                "critical path %d — static IPC ceiling %.3f undercuts "
+                "the dataflow limit %.3f"
+                % (check.static_floor, check.graph_cp,
+                   check.static_bound, check.graph_ipc))
+
+    if sim_ipc is None and simulate:
+        from ..core.config import paper_config
+        from ..core.simulator import simulate_trace
+        sim_ipc = simulate_trace(trace, paper_config("I", widest)).ipc
+    if sim_ipc is not None:
+        check.sim_ipc = sim_ipc
+        if check.graph_ipc * (1 + _REL_TOL) < sim_ipc:
+            check.violations.append(
+                "variant V: graph-V dataflow limit %.3f IPC < simulated "
+                "config-I %.3f IPC at width %d — the scheduler outran "
+                "its own dependence graph"
+                % (check.graph_ipc, sim_ipc, widest))
+        if check.static_bound is not None \
+                and check.static_bound * (1 + _REL_TOL) < sim_ipc:
+            check.violations.append(
+                "variant V: static IPC ceiling %.3f < simulated "
+                "config-I %.3f IPC at width %d"
+                % (check.static_bound, sim_ipc, widest))
+    return check
+
+
+__all__ = [
+    "ALL_CLASSES", "CLASS_AFFINE", "CLASS_CONSTANT", "CLASS_INVARIANT",
+    "CLASS_LOAD", "CLASS_PERIODIC", "CLASS_STRAIGHT", "CLASS_STRIDE",
+    "CLASS_UNKNOWN", "MIN_OBSERVATIONS", "RELOCK_MISSES",
+    "STABILITY_BASE", "VALUE_COVERAGE_CAP", "VALUE_PREDICTABLE_CLASSES",
+    "ValueFlowAnalysis", "ValueSite", "ValueflowCheck", "WARMUP_MISSES",
+    "class_join", "class_leq", "valueflow_cross_check",
+]

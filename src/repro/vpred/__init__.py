@@ -1,7 +1,28 @@
-"""Load-value prediction (extension; paper Figure 1.d, citing [9])."""
+"""Load-value prediction (extension; paper Figure 1.d, citing [9]).
 
+A family of predictors behind one runner/stat shape: last-value
+(:mod:`.last_value`), two-delta stride (:mod:`.stride`), finite-context
+(:mod:`.fcm`) and a stride+FCM hybrid.  Config I consumes the stride
+table's outcomes; ``lint.valueflow`` statically upper-bounds its
+confident coverage.
+"""
+
+from .fcm import FCMValueTable, HybridValueTable
 from .last_value import LastValueEntry, LastValueTable
-from .runner import ValuePredictionResult, run_value_predictor
+from .runner import (
+    PC_WARMUP,
+    PREDICTORS,
+    PerPCValueStat,
+    ValuePredictionResult,
+    make_value_table,
+    run_last_value_predictor,
+    run_value_predictor,
+)
+from .stride import StrideValueEntry, StrideValueTable
 
 __all__ = ["LastValueEntry", "LastValueTable",
-           "ValuePredictionResult", "run_value_predictor"]
+           "StrideValueEntry", "StrideValueTable",
+           "FCMValueTable", "HybridValueTable",
+           "PerPCValueStat", "ValuePredictionResult",
+           "PREDICTORS", "PC_WARMUP", "make_value_table",
+           "run_value_predictor", "run_last_value_predictor"]

@@ -1,0 +1,123 @@
+"""Finite-context (Markov) and hybrid value predictors.
+
+Stride tables cannot predict values that repeat a non-arithmetic
+*pattern* — flag words that alternate, state machines cycling through a
+short set, pointer fields revisited on every traversal.  The
+finite-context-method predictor covers those: a first-level table keeps
+each load PC's last value, a second-level correlation table remembers
+which value followed that context last time (Sazeides & Smith's FCM,
+structurally the :class:`repro.addrpred.markov.MarkovTable` transplanted
+to the value domain):
+
+- :class:`FCMValueTable` — (load PC, last value) -> next value; any
+  repeating value sequence predicts perfectly from the second period on;
+- :class:`HybridValueTable` — stride *and* FCM side by side with a
+  per-PC 2-bit chooser trained toward whichever component was right on
+  disagreement (McFarling-style selection).
+
+Both keep the family's confidence policy (+1 correct / -2 wrong, use
+when the counter exceeds 1) and the ``observe(pc, value)`` interface the
+runner consumes, so every predictor drops into the same sweep.
+"""
+
+_MASK32 = 0xFFFFFFFF
+
+
+class _FCMEntry:
+    __slots__ = ("last_value", "confidence")
+
+    def __init__(self):
+        self.last_value = 0
+        self.confidence = 0
+
+
+class FCMValueTable:
+    """(PC, last value) -> next value correlation predictor."""
+
+    def __init__(self, entries=4096, correlation_entries=16384,
+                 counter_bits=2, confidence_threshold=2,
+                 correct_reward=1, wrong_penalty=2):
+        for size in (entries, correlation_entries):
+            if size <= 0 or size & (size - 1):
+                raise ValueError("table sizes must be powers of two")
+        self.entries = entries
+        self.index_mask = entries - 1
+        self.correlation_mask = correlation_entries - 1
+        self.counter_max = (1 << counter_bits) - 1
+        self.confidence_threshold = confidence_threshold
+        self.correct_reward = correct_reward
+        self.wrong_penalty = wrong_penalty
+        self._per_pc = [_FCMEntry() for _ in range(entries)]
+        # Correlation table: next value by hash of (pc, last value).
+        self._next = [0] * correlation_entries
+
+    def index_of(self, pc):
+        return (pc >> 2) & self.index_mask
+
+    def _correlation_index(self, pc, value):
+        return ((pc >> 2) ^ (value >> 2) ^ (value >> 13)) \
+            & self.correlation_mask
+
+    def observe(self, pc, value):
+        """One dynamic load in program order; returns
+        ``(would_use, correct, predicted)`` for the pre-update state."""
+        value &= _MASK32
+        entry = self._per_pc[self.index_of(pc)]
+        slot = self._correlation_index(pc, entry.last_value)
+        predicted = self._next[slot]
+        would_use = entry.confidence >= self.confidence_threshold
+        correct = predicted == value and predicted != 0
+        if correct:
+            entry.confidence = min(entry.confidence + self.correct_reward,
+                                   self.counter_max)
+        else:
+            entry.confidence = max(entry.confidence - self.wrong_penalty,
+                                   0)
+        self._next[slot] = value
+        entry.last_value = value
+        return would_use, correct, predicted
+
+    def entry(self, pc):
+        return self._per_pc[self.index_of(pc)]
+
+
+class HybridValueTable:
+    """Stride + FCM with a per-PC chooser.
+
+    ``observe`` runs both components in program order; the chooser picks
+    which component's (use, correctness) outcome governs speculation and
+    is trained on disagreements.
+    """
+
+    def __init__(self, stride_table=None, fcm_table=None,
+                 chooser_entries=4096, counter_bits=2):
+        from .stride import StrideValueTable
+        if chooser_entries <= 0 or chooser_entries & (chooser_entries - 1):
+            raise ValueError("chooser size must be a power of two")
+        self.stride = stride_table or StrideValueTable()
+        self.fcm = fcm_table or FCMValueTable()
+        self.chooser_mask = chooser_entries - 1
+        self.chooser_max = (1 << counter_bits) - 1
+        self.chooser_threshold = 1 << (counter_bits - 1)
+        # Upper half selects FCM.
+        self._chooser = [self.chooser_threshold - 1] * chooser_entries
+
+    def _chooser_index(self, pc):
+        return (pc >> 2) & self.chooser_mask
+
+    def observe(self, pc, value):
+        stride_use, stride_ok, stride_pred = self.stride.observe(pc, value)
+        fcm_use, fcm_ok, fcm_pred = self.fcm.observe(pc, value)
+        slot = self._chooser_index(pc)
+        pick_fcm = self._chooser[slot] >= self.chooser_threshold
+        if pick_fcm:
+            outcome = (fcm_use, fcm_ok, fcm_pred)
+        else:
+            outcome = (stride_use, stride_ok, stride_pred)
+        if stride_ok != fcm_ok:
+            if fcm_ok:
+                self._chooser[slot] = min(self._chooser[slot] + 1,
+                                          self.chooser_max)
+            else:
+                self._chooser[slot] = max(self._chooser[slot] - 1, 0)
+        return outcome

@@ -2,64 +2,280 @@
 
 Mirrors :mod:`repro.addrpred.runner`: all loads train the table in
 program order, producing timing-independent per-load outcomes the
-scheduler consumes for the ``value_spec`` extension.
+scheduler consumes for the ``value_spec`` extension and config I's
+squash/replay mode.
+
+The pass runs any member of the predictor family — ``"last"`` (value
+locality), ``"stride"`` (two-delta over values; config I's table),
+``"fcm"`` (finite-context), ``"hybrid"`` (stride + FCM with a chooser) —
+behind one runner/stat shape.  With ``per_pc=True`` it additionally
+keeps one :class:`PerPCValueStat` histogram per static load PC:
+accuracy, confidence-gate coverage, and the number of *stride changes*
+in the value stream — the quantity the static ``lint.valueflow``
+classification cross-checks its per-site claims against, exactly as
+``lint.addrclass`` checks ``addrpred``'s histograms.
 """
 
 from .. import kernel
 from ..trace.records import LD
+from .fcm import FCMValueTable, HybridValueTable
 from .last_value import LastValueTable
+from .stride import StrideValueTable
+
+#: Predictor kinds the runner accepts.
+PREDICTORS = ("last", "stride", "fcm", "hybrid")
+
+#: observations before a cold stride entry can predict (first access
+#: seeds the value, the stride must then be seen twice)
+PC_WARMUP = 3
+
+_TABLES = {
+    "last": LastValueTable,
+    "stride": StrideValueTable,
+    "fcm": FCMValueTable,
+    "hybrid": HybridValueTable,
+}
+
+
+def make_value_table(predictor="last"):
+    """A fresh default-parameter table of the given predictor kind."""
+    try:
+        factory = _TABLES[predictor]
+    except KeyError:
+        raise ValueError("unknown value predictor %r (expected one of %s)"
+                         % (predictor, ", ".join(PREDICTORS)))
+    return factory()
+
+
+class PerPCValueStat:
+    """Dynamic predictor behaviour of one static load (one PC).
+
+    ``stride_changes`` counts observations whose value delta differs
+    from the previous delta at the same PC — the quantity that bounds
+    two-delta stride misses from above (each change costs at most two
+    misses before the table re-locks; see ``repro.lint.valueflow``).
+    """
+
+    __slots__ = ("pc", "count", "correct", "attempted",
+                 "attempted_correct", "warm_correct", "stride_changes",
+                 "_last_value", "_last_stride")
+
+    def __init__(self, pc):
+        self.pc = pc
+        self.count = 0
+        self.correct = 0
+        self.attempted = 0
+        self.attempted_correct = 0
+        #: correct predictions beyond the first PC_WARMUP observations
+        self.warm_correct = 0
+        self.stride_changes = 0
+        self._last_value = None
+        self._last_stride = None
+
+    def observe(self, value, would_use, correct):
+        self.count += 1
+        if correct:
+            self.correct += 1
+            if self.count > PC_WARMUP:
+                self.warm_correct += 1
+        if would_use:
+            self.attempted += 1
+            if correct:
+                self.attempted_correct += 1
+        if self._last_value is not None:
+            stride = (value - self._last_value) & 0xFFFFFFFF
+            if self._last_stride is not None \
+                    and stride != self._last_stride:
+                self.stride_changes += 1
+            self._last_stride = stride
+        self._last_value = value
+
+    @property
+    def accuracy(self):
+        return self.correct / self.count if self.count else 0.0
+
+    @property
+    def steady_accuracy(self):
+        """Accuracy over observations past the per-PC warmup."""
+        steady = self.count - PC_WARMUP
+        if steady <= 0:
+            return 0.0
+        return self.warm_correct / steady
+
+    @property
+    def coverage(self):
+        """Fraction of observations the confidence gate opened for."""
+        return self.attempted / self.count if self.count else 0.0
+
+    def __repr__(self):
+        return "<PerPCValueStat pc=0x%x n=%d acc=%.2f cov=%.2f changes=%d>" \
+            % (self.pc, self.count, self.accuracy, self.coverage,
+               self.stride_changes)
 
 
 class ValuePredictionResult:
-    """Per-load value-prediction outcomes (keyed by trace position)."""
+    """Per-load value-prediction outcomes (keyed by trace position).
 
-    __slots__ = ("attempted", "correct", "loads", "would_correct")
+    ``attempted[pos]`` is True when confidence allowed using the
+    prediction; ``correct[pos]`` is True when the predicted value
+    matched.  ``per_pc`` maps PC -> :class:`PerPCValueStat` when the run
+    collected histograms, else None.
+    """
 
-    def __init__(self):
+    __slots__ = ("attempted", "correct", "loads", "would_correct",
+                 "first_misses", "warm_would_correct", "per_pc",
+                 "predictor")
+
+    def __init__(self, predictor="last"):
         self.attempted = {}
         self.correct = {}
         self.loads = 0
         self.would_correct = 0
+        #: dynamic loads that were the first access of their PC (the
+        #: table entry was cold)
+        self.first_misses = 0
+        #: correct predictions among non-first accesses
+        self.warm_would_correct = 0
+        self.per_pc = None
+        self.predictor = predictor
 
     @property
     def raw_accuracy(self):
-        """Value locality: fraction of loads returning the same value as
-        the previous execution of the same static load."""
+        """Fraction of loads whose table prediction was correct,
+        independent of confidence (for ``"last"`` this is value
+        locality: loads returning the same value as the previous
+        execution of the same static load)."""
         if not self.loads:
             return 0.0
         return self.would_correct / self.loads
 
+    @property
+    def steady_accuracy(self):
+        """Accuracy excluding the first access of every PC, whose miss
+        is structural (cold entry) rather than a predictor failure."""
+        warm = self.loads - self.first_misses
+        if warm <= 0:
+            return 0.0
+        return self.warm_would_correct / warm
 
-def run_value_predictor(trace, table=None):
-    """One program-order value-prediction pass (vectorized under the
-    numpy kernel when the default table is used; an explicit ``table``
-    runs the sequential loop so its trained entries stay observable)."""
+    @property
+    def confident_coverage(self):
+        """Fraction of loads speculated on: confidence gate open *and*
+        the prediction correct — the coverage the static valueflow
+        bound must dominate."""
+        if not self.loads:
+            return 0.0
+        used = sum(1 for position, used in self.attempted.items()
+                   if used and self.correct[position])
+        return used / self.loads
+
+
+def run_value_predictor(trace, table=None, predictor="last", per_pc=False):
+    """One program-order value-prediction pass over ``trace``.
+
+    ``predictor`` selects the family member when no explicit ``table``
+    is given.  ``per_pc=True`` additionally collects a
+    :class:`PerPCValueStat` per static load PC in ``result.per_pc``.
+
+    With a default table the ``"last"``, ``"stride"``, ``"fcm"`` and
+    ``"hybrid"`` kinds dispatch to the vectorized sweeps
+    (:mod:`repro.vpred.nsweep`) under the numpy kernel; an explicit
+    ``table`` runs the sequential loop so its trained entries stay
+    observable.
+    """
+    if predictor not in PREDICTORS:
+        raise ValueError("unknown value predictor %r (expected one of %s)"
+                         % (predictor, ", ".join(PREDICTORS)))
     if table is None:
         if kernel.use_numpy():
-            from .nsweep import last_value_sweep
-            positions, would_use, correct = last_value_sweep(trace)
-            result = ValuePredictionResult()
-            result.loads = int(positions.shape[0])
-            result.would_correct = int(correct.sum())
-            result.attempted = dict(zip(positions.tolist(),
-                                        would_use.tolist()))
-            result.correct = dict(zip(positions.tolist(),
-                                      correct.tolist()))
-            return result
-        table = LastValueTable()
+            return _run_numpy(trace, predictor, per_pc)
+        table = make_value_table(predictor)
     static = trace.static
     cls = static.cls
     pcs = static.pc
     values = trace.mem_value
-    result = ValuePredictionResult()
+    result = ValuePredictionResult(predictor)
     observe = table.observe
+    attempted = result.attempted
+    correct_map = result.correct
+    seen_pcs = set()
+    histograms = {} if per_pc else None
     for position, sidx in enumerate(trace.sidx):
         if cls[sidx] != LD:
             continue
-        would_use, correct, _ = observe(pcs[sidx], values[position])
+        pc = pcs[sidx]
+        value = values[position]
+        would_use, correct, _ = observe(pc, value)
         result.loads += 1
-        if correct:
-            result.would_correct += 1
-        result.attempted[position] = would_use
-        result.correct[position] = correct
+        if pc in seen_pcs:
+            if correct:
+                result.would_correct += 1
+                result.warm_would_correct += 1
+        else:
+            seen_pcs.add(pc)
+            result.first_misses += 1
+            if correct:
+                # Possible only for value 0 (cold entries predict 0);
+                # count it in the raw view.
+                result.would_correct += 1
+        attempted[position] = would_use
+        correct_map[position] = correct
+        if histograms is not None:
+            stat = histograms.get(pc)
+            if stat is None:
+                stat = histograms[pc] = PerPCValueStat(pc)
+            stat.observe(value & 0xFFFFFFFF, would_use, correct)
+    if histograms is not None:
+        result.per_pc = histograms
+    return result
+
+
+def run_last_value_predictor(trace, table=None):
+    """Deprecated aggregate-only entry point: use
+    ``run_value_predictor(trace, predictor="last", per_pc=True)``."""
+    return run_value_predictor(trace, table)
+
+
+def _run_numpy(trace, predictor, per_pc):
+    """Vectorized pass, byte-identical to the sequential default run."""
+    from .nsweep import value_per_pc_sweep, value_sweep
+
+    result = ValuePredictionResult(predictor)
+    positions, would_use, correct = value_sweep(trace, predictor)
+    result.loads = int(positions.shape[0])
+    result.attempted = dict(zip(positions.tolist(), would_use.tolist()))
+    result.correct = dict(zip(positions.tolist(), correct.tolist()))
+    if not result.loads:
+        if per_pc:
+            result.per_pc = {}
+        return result
+
+    import numpy as np
+
+    from .nsweep import _load_stream
+
+    _, pc, value = _load_stream(trace)
+    # First occurrence of each PC: a structurally cold table entry.
+    seen = np.zeros(len(pc), dtype=bool)
+    order = np.argsort(pc, kind="stable")
+    pc_sorted = pc[order]
+    first_sorted = np.empty(len(pc), dtype=bool)
+    first_sorted[0] = True
+    first_sorted[1:] = pc_sorted[1:] != pc_sorted[:-1]
+    seen[order] = ~first_sorted
+    result.first_misses = int(first_sorted.sum())
+    result.would_correct = int(correct.sum())
+    result.warm_would_correct = int((correct & seen).sum())
+
+    if per_pc:
+        stats = value_per_pc_sweep(pc, value, would_use, correct)
+        # Insert in first-occurrence program order, like the scalar pass.
+        histograms = {}
+        for index in np.sort(order[first_sorted]).tolist():
+            pc_value = int(pc[index])
+            stat = PerPCValueStat(pc_value)
+            for field, field_value in stats[pc_value].items():
+                setattr(stat, field, field_value)
+            histograms[pc_value] = stat
+        result.per_pc = histograms
     return result

@@ -1,0 +1,103 @@
+"""Two-delta stride value predictor with confidence.
+
+The last-value table (``repro.vpred.last_value``) captures value
+*locality*; the stride table captures value *computability* — loads and
+results that walk an arithmetic sequence (induction variables spilled to
+memory, sequential IDs, array cursors).  Sazeides & Smith's taxonomy
+calls these stride-predictable; the static ``lint.valueflow`` pass
+upper-bounds exactly this predictor's confident coverage.
+
+Mechanically this is the paper's two-delta address table
+(:class:`repro.addrpred.two_delta.TwoDeltaTable`) transplanted to the
+value domain:
+
+- 4096-entry direct-mapped, indexed by the 14 LSBs of the load PC;
+- last value, last observed stride, and a *predicting* stride replaced
+  only when the same stride repeats (two-delta rule) — a last-value
+  predictor is the degenerate case whose predicting stride never leaves
+  zero;
+- the same 2-bit confidence policy (+1 correct, -2 wrong, use when the
+  counter exceeds 1), so coverage numbers are comparable across the
+  family.
+
+Values are 32 bits; stride arithmetic wraps at 2**32.
+"""
+
+_MASK32 = 0xFFFFFFFF
+
+
+class StrideValueEntry:
+    """One predictor entry (exposed for unit tests)."""
+
+    __slots__ = ("last_value", "last_stride", "stride", "confidence")
+
+    def __init__(self):
+        self.last_value = 0
+        self.last_stride = 0
+        self.stride = 0
+        self.confidence = 0
+
+
+class StrideValueTable:
+    """Two-delta stride predictor over loaded values.
+
+    ``observe(pc, value)`` performs one program-order step for a dynamic
+    load: it returns ``(would_use, correct, predicted)`` computed
+    *before* the update, then trains stride state and confidence.
+    """
+
+    def __init__(self, entries=4096, counter_bits=2,
+                 confidence_threshold=2, correct_reward=1,
+                 wrong_penalty=2):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self.entries = entries
+        self.index_mask = entries - 1
+        self.counter_max = (1 << counter_bits) - 1
+        self.confidence_threshold = confidence_threshold
+        self.correct_reward = correct_reward
+        self.wrong_penalty = wrong_penalty
+        self._table = [StrideValueEntry() for _ in range(entries)]
+
+    def index_of(self, pc):
+        return (pc >> 2) & self.index_mask
+
+    def peek(self, pc):
+        """Prediction for the next execution of the load at ``pc``."""
+        entry = self._table[self.index_of(pc)]
+        predicted = (entry.last_value + entry.stride) & _MASK32
+        would_use = entry.confidence >= self.confidence_threshold
+        return would_use, predicted
+
+    def observe(self, pc, value):
+        """One dynamic load in program order.
+
+        Returns ``(would_use, correct, predicted)`` for the state
+        *before* this access, then trains the entry.
+        """
+        value &= _MASK32
+        entry = self._table[self.index_of(pc)]
+        predicted = (entry.last_value + entry.stride) & _MASK32
+        would_use = entry.confidence >= self.confidence_threshold
+        correct = predicted == value
+
+        # Confidence update (+1 correct, -2 wrong, saturating 2 bits).
+        if correct:
+            count = entry.confidence + self.correct_reward
+            entry.confidence = min(count, self.counter_max)
+        else:
+            count = entry.confidence - self.wrong_penalty
+            entry.confidence = max(count, 0)
+
+        # Two-delta stride update: promote the new stride into the
+        # predicting stride only when seen twice in a row.
+        new_stride = (value - entry.last_value) & _MASK32
+        if new_stride == entry.last_stride:
+            entry.stride = new_stride
+        entry.last_stride = new_stride
+        entry.last_value = value
+        return would_use, correct, predicted
+
+    def entry(self, pc):
+        """The entry the load at ``pc`` maps to (testing/diagnostics)."""
+        return self._table[self.index_of(pc)]

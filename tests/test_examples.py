@@ -83,6 +83,15 @@ def test_decoupled_study(capsys):
     assert "FAILED" not in output
 
 
+def test_value_study(capsys):
+    run_example("value_study.py")
+    output = capsys.readouterr().out
+    assert "result-value classes" in output
+    assert "memory-carried counter" in output
+    assert "cross-check: ok" in output
+    assert "FAILED" not in output
+
+
 def test_future_predictors(capsys):
     run_example("future_predictors.py", "0.02", "8")
     output = capsys.readouterr().out
@@ -108,5 +117,5 @@ def test_every_example_is_covered(name):
                "pointer_chasing_study.py", "custom_workload.py",
                "collapse_anatomy.py", "extensions_study.py",
                "future_predictors.py", "address_classes.py",
-               "decoupled_study.py"}
+               "decoupled_study.py", "value_study.py"}
     assert name in covered

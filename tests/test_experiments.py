@@ -42,18 +42,21 @@ def test_runner_memoises(runner):
 def test_figure2_ordering(runner):
     """E >= D >= C >= B >= A (harmonic-mean IPC) at every width, the
     realistic-disambiguation configs never beat their perfect-memory
-    counterparts (F <= A, G <= C), and the decoupled machine H never
-    falls below A (queues only relax window occupancy)."""
+    counterparts (F <= A, G <= C), the decoupled machine H never
+    falls below A (queues only relax window occupancy), and the
+    value-speculating I stays under E (ideal speculation bounds any
+    realizable prediction mechanism)."""
     exhibit = figure2(runner)
     assert exhibit.headers == ["width", "A", "B", "C", "D", "E", "F",
-                               "G", "H"]
+                               "G", "H", "I"]
     for row in exhibit.rows:
-        _, a, b, c, d, e, f, g, h = row
+        _, a, b, c, d, e, f, g, h, i = row
         assert e >= d >= c >= b * 0.999 >= a * 0.98
         assert a > 1.0           # superscalar base beats scalar
         assert f <= a * 1.02    # MDPT costs IPC (2% anomaly tolerance)
         assert g <= c * 1.02
         assert h >= a * 0.999   # decoupling never hurts the mean
+        assert i <= e * 1.001   # real value speculation under ideal E
 
 
 def test_figure2_ipc_grows_with_width(runner):
@@ -66,16 +69,17 @@ def test_figure2_ipc_grows_with_width(runner):
 def test_figure3_speedups(runner):
     exhibit = figure3(runner)
     assert exhibit.headers == ["width", "B", "C", "D", "E", "F", "G",
-                               "H"]
+                               "H", "I"]
     for row in exhibit.rows:
-        _, b, c, d, e, f, g, h = row
+        _, b, c, d, e, f, g, h, i = row
         assert 0.99 <= b < e
         assert c > 1.05          # collapsing clearly helps
         assert d >= c * 0.999    # adding speculation never hurts means
-        assert e == max(b, c, d, e, f, g, h)
+        assert e == max(b, c, d, e, f, g, h, i)
         assert f <= 1.02        # realistic memory can't beat perfect
         assert 1.0 < g <= c * 1.02
         assert h >= 0.999       # decoupling never slows the machine
+        assert 0 < i <= e       # replay penalties keep I under ideal E
 
 
 def test_figure3_collapsing_dominates(runner):

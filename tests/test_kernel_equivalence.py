@@ -83,9 +83,21 @@ def test_predictor_sweeps_identical(name, scale):
             assert getattr(stat, field) == getattr(other, field), \
                 (hex(pc), field)
 
-    scalar, vector = _both(lambda: run_value_predictor(trace))
-    for field in ("loads", "would_correct", "attempted", "correct"):
-        assert getattr(scalar, field) == getattr(vector, field), field
+    for predictor in ("last", "stride", "fcm", "hybrid"):
+        scalar, vector = _both(
+            lambda: run_value_predictor(trace, predictor=predictor,
+                                        per_pc=True))
+        for field in ("loads", "would_correct", "first_misses",
+                      "warm_would_correct", "attempted", "correct"):
+            assert getattr(scalar, field) == getattr(vector, field), \
+                (predictor, field)
+        assert list(scalar.attempted) == list(vector.attempted), predictor
+        assert list(scalar.per_pc) == list(vector.per_pc), predictor
+        for pc, stat in scalar.per_pc.items():
+            other = vector.per_pc[pc]
+            for field in stat.__slots__:
+                assert getattr(stat, field) == getattr(other, field), \
+                    (predictor, hex(pc), field)
 
 
 @pytest.mark.parametrize("name", [workload.name for workload in ALL])
@@ -117,6 +129,23 @@ def test_mdpt_cells_identical(name, letter):
     memdep = scalar.get("memdep")
     assert memdep is not None
     assert memdep["loads"] > 0
+
+
+@pytest.mark.parametrize("name", [workload.name for workload in ALL])
+def test_value_spec_cells_identical(name):
+    """Configuration I runs the kernel-dispatched stride value sweep
+    upstream of the scheduler; the full result payload — cycles,
+    squash/replay counts, collapse stats — must not depend on the
+    active kernel."""
+    from repro.core.config import paper_config
+    trace = cached_trace(name, 0.03)
+    config = paper_config("I", 8)
+    scalar, vector = _both(
+        lambda: simulate_trace(trace, config).to_payload())
+    assert scalar == vector
+    vspec = scalar.get("value_spec")
+    assert vspec is not None
+    assert vspec["replays"] == vspec["squashes"]
 
 
 @pytest.mark.parametrize("name", [workload.name for workload in ALL])

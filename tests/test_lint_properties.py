@@ -112,3 +112,119 @@ def test_irreducible_edges_are_undominated_retreats(cfg):
         assert not dominates_bf(cfg, reach, head, tail)
         # The edge closes a cycle: its head reaches its tail.
         assert tail in reachable_from(cfg, head)
+
+
+# ---------------------------------------------------------------------
+# value-predictability class lattice (repro.lint.valueflow)
+#
+# The soundness of every merge in the valueflow classification rests on
+# class_join being a real join over the class_leq order: merging control
+# paths may only weaken a claim, never strengthen it.
+
+from repro.lint.valueflow import (        # noqa: E402 (grouped section)
+    ALL_CLASSES,
+    CLASS_AFFINE,
+    CLASS_STRIDE,
+    CLASS_UNKNOWN,
+    class_join,
+    class_leq,
+)
+
+classes = st.sampled_from(ALL_CLASSES)
+
+
+@given(classes, classes)
+def test_join_commutative_and_upper(a, b):
+    j = class_join(a, b)
+    assert j == class_join(b, a)
+    assert class_leq(a, j) and class_leq(b, j)
+
+
+@given(classes, classes, classes)
+def test_join_associative(a, b, c):
+    assert class_join(class_join(a, b), c) \
+        == class_join(a, class_join(b, c))
+
+
+@given(classes)
+def test_join_idempotent_and_top(a):
+    assert class_join(a, a) == a
+    assert class_join(a, CLASS_UNKNOWN) == CLASS_UNKNOWN
+    assert class_leq(a, CLASS_UNKNOWN)
+
+
+@given(classes, classes, classes)
+def test_leq_is_a_partial_order(a, b, c):
+    assert class_leq(a, a)
+    if class_leq(a, b) and class_leq(b, a):
+        assert a == b
+    if class_leq(a, b) and class_leq(b, c):
+        assert class_leq(a, c)
+
+
+@given(classes, classes)
+def test_join_is_least_upper_bound(a, b):
+    """class_join(a, b) is below every common upper bound — the
+    brute-force LUB definition over the full (tiny) lattice."""
+    j = class_join(a, b)
+    for u in ALL_CLASSES:
+        if class_leq(a, u) and class_leq(b, u):
+            assert class_leq(j, u), (a, b, u)
+
+
+@given(classes, classes, classes)
+def test_join_monotone(a, b, c):
+    """a ⊑ b implies a ⊔ c ⊑ b ⊔ c: refining one input can never
+    coarsen the merge."""
+    if class_leq(a, b):
+        assert class_leq(class_join(a, c), class_join(b, c))
+
+
+def test_claim_strength_chain():
+    assert class_leq(CLASS_STRIDE, CLASS_AFFINE)
+    assert class_leq(CLASS_AFFINE, CLASS_UNKNOWN)
+    assert not class_leq(CLASS_AFFINE, CLASS_STRIDE)
+
+
+def brute_force_period(imm, start):
+    """Cycle length of the value iteration ``v -> v ^ imm``."""
+    seen = {start: 0}
+    value = start
+    for step in range(1, 8):
+        value = (value ^ imm) & 0xFFFFFFFF
+        if value in seen:
+            return step - seen[value]
+        seen[value] = step
+    raise AssertionError("toggle never cycled")
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=1, max_value=0xFFFFFFFF),
+       st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_toggle_brute_force_period_is_two(imm, start):
+    assert brute_force_period(imm, start) == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=4095),
+       st.integers(min_value=0, max_value=4095))
+def test_periodic_class_agrees_with_brute_force(imm, start):
+    """The analysis's periodic(k) claim for an XOR-toggle loop must
+    equal the brute-forced cycle length of its value stream."""
+    from repro.asm import assemble
+    from repro.lint import ValueFlowAnalysis
+    from repro.lint.valueflow import CLASS_PERIODIC
+
+    source = """
+        .text
+main:   mov     8, %%g1
+        mov     %d, %%o1
+loop:   xor     %%o1, %d, %%o1
+        subcc   %%g1, 1, %%g1
+        bne     loop
+        halt
+""" % (start, imm)
+    ana = ValueFlowAnalysis(assemble(source))
+    toggle = next(site for site in ana.sites
+                  if site.cls == CLASS_PERIODIC)
+    assert toggle.period == brute_force_period(imm, start)

@@ -214,7 +214,7 @@ def test_summary_rows_shape():
     ana = analysis_of(ACCUMULATOR)
     rows = ana.summary_rows()
     assert len(rows) == 1
-    assert len(rows[0]) == 11
+    assert len(rows[0]) == 13        # ... recMII A/C/E/V, ceil A/C/E/V
     assert rows[0][4] == "1"         # recMII A
     assert rows[0][5] == "0"         # recMII C (fully collapsed)
 
