@@ -1,0 +1,60 @@
+! exit_branch.s — load-driven exit-branch prediction (configuration J)
+! (`repro lint --branch`, docs/LINT.md "Branch predictability").
+!
+!   PYTHONPATH=src python -m repro lint examples/exit_branch.s --branch
+!
+! Two innermost loops whose exit branches have opposite fates under
+! load-driven branch prediction (Sridhar et al.'s LDBP, PAPERS.md):
+!
+! * `scan` walks an array of stride-5 values until one reaches LIMIT.
+!   The exit branch's condition cone terminates in a single load whose
+!   address the static pass classifies `stride` — so the branchflow
+!   plan maps the branch to its governing load, and configuration J
+!   resolves the exit at the load's address-generation time whenever
+!   the stride *value* predictor is confident and correct (which it
+!   is, once warm: the values themselves stride by 5).
+!
+! * `chase` follows a null-terminated linked list.  Its exit branch is
+!   also load-fed, but the governing load's address class is
+!   pointer-chasing (`ld [%o4], %o4` feeds itself) — statically
+!   unpredictable, so the plan excludes it and configuration J runs
+!   the exit exactly like configuration I: the data-dependent exit
+!   cannot be resolved early.
+!
+! Expected `--branch` classes: the `scan` exit is `exit` with a
+! stride-load note, the `chase` exit is `exit` with a pointer-load
+! note, and the plan holds exactly one entry (scan's).
+
+        .equ LIMIT, 80
+        .text
+main:
+        set     array, %o0          ! stride cursor
+        mov     0, %o1              ! running sum
+scan:   ld      [%o0], %o3          ! governing load: address strides,
+        add     %o1, %o3, %o1      !   values stride too (5,10,15,...)
+        add     %o0, 4, %o0
+        cmp     %o3, LIMIT
+        bl      scan                ! exit when the loaded value hits
+                                    !   LIMIT: load-driven, resolvable
+        set     head, %o4           ! list cursor
+chase:  ld      [%o4], %o4          ! next pointer: chases itself
+        tst     %o4
+        bne     chase               ! exit on null: load-driven but the
+                                    !   governor is pointer-chasing
+        set     result, %o5
+        st      %o1, [%o5]
+        halt
+
+        .data
+array:  .word   5, 10, 15, 20, 25, 30, 35, 40
+        .word   45, 50, 55, 60, 65, 70, 75, 80
+head:   .word   n1
+n1:     .word   n2
+n2:     .word   n3
+n3:     .word   n4
+n4:     .word   n5
+n5:     .word   n6
+n6:     .word   n7
+n7:     .word   n8
+n8:     .word   0
+result: .word   0

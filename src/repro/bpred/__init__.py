@@ -5,11 +5,19 @@ from .combining import CombiningPredictor, PerfectPredictor
 from .counters import CounterTable
 from .gshare import GsharePredictor
 from .local import LocalHistoryPredictor, StaticPredictor
-from .runner import BranchRunResult, run_branch_predictor
+from .runner import (
+    BranchRunResult,
+    PC_WARMUP,
+    PREDICTORS,
+    PerPCBranchStat,
+    make_branch_predictor,
+    run_branch_predictor,
+)
 
 __all__ = [
     "BimodalPredictor", "CombiningPredictor", "PerfectPredictor",
     "CounterTable", "GsharePredictor",
     "LocalHistoryPredictor", "StaticPredictor",
-    "BranchRunResult", "run_branch_predictor",
+    "BranchRunResult", "PerPCBranchStat", "PC_WARMUP", "PREDICTORS",
+    "make_branch_predictor", "run_branch_predictor",
 ]

@@ -1,28 +1,51 @@
-"""Vectorized combining-predictor sweep (numpy kernel).
+"""Vectorized branch-predictor sweeps (numpy kernel).
 
-Reproduces :func:`repro.bpred.runner.run_branch_predictor` with the
-default :class:`CombiningPredictor` exactly, without the per-branch
-Python loop:
+Reproduces :func:`repro.bpred.runner.run_branch_predictor` for the
+default-parameter combining, bimodal and local-history predictors
+exactly, without the per-branch Python loop:
 
 - the global history register seen by conditional branch ``j`` is
   rebuilt with shifted ORs — bit ``k`` of the pre-branch history is
   simply ``taken[j - 1 - k]`` over the conditional-branch stream;
-- each counter table (bimodal, gshare, chooser) becomes a segmented
-  clamped-counter scan over events bucketed by table index
-  (:mod:`repro.nscan`), yielding every branch's pre-update counter;
+- the local predictor's per-branch history registers are the same
+  construction *per history slot*: sorted stably by slot, bit ``k`` of
+  an event's history is its ``k+1``-back predecessor within the slot
+  segment;
+- each counter table (bimodal, gshare, chooser, local PHT) becomes a
+  segmented clamped-counter scan over events bucketed by table index
+  (:mod:`repro.nscan`), yielding every branch's pre-update counter —
+  which also gives the confidence bit (counter at 0 or maximum) for
+  free;
 - the chooser participates only on component disagreement, expressed as
   inactive (identity) steps rather than a separate event stream, which
   keeps its scan aligned with the prediction stream.
 
-The scalar runner stays the reference semantics; the result here is
+The scalar runner stays the reference semantics; the results here are
 byte-identical (the equivalence suite compares both on every workload).
 """
 
 import numpy as np
 
-from ..nscan import segment_sort, segmented_counter_states
+from ..nscan import (
+    segment_first_index,
+    segment_sort,
+    segmented_counter_states,
+)
 from ..trace.records import BRC
+from .bimodal import BimodalPredictor
 from .combining import CombiningPredictor
+from .local import LocalHistoryPredictor
+
+
+def _branch_stream(trace):
+    """(positions, pc, taken) over the conditional-branch stream."""
+    soa = trace.soa()
+    cls = soa.gathered("cls")
+    mask = cls == BRC
+    positions = np.flatnonzero(mask)
+    pc = soa.gathered("pc")[mask]
+    taken = soa.dyn["taken"][mask]
+    return positions, pc, taken
 
 
 def _table_states(index, step, table, active=None):
@@ -34,6 +57,11 @@ def _table_states(index, step, table, active=None):
     states = np.empty(index.shape[0], dtype=np.int64)
     states[order] = states_sorted
     return states
+
+
+def _saturated(states, table):
+    """Confidence bit per event: the pre-update counter is pinned."""
+    return (states == 0) | (states == table.maximum)
 
 
 def _global_history(taken, history_bits):
@@ -48,22 +76,42 @@ def _global_history(taken, history_bits):
     return history
 
 
+def _segment_history(seg_start, taken_sorted, history_bits):
+    """Per-event history register within each segment (pre-update).
+
+    ``taken_sorted`` is the outcome stream in segment-sorted order; bit
+    ``k`` of an event's history is its ``k+1``-back predecessor inside
+    the same segment (most recent outcome in bit 0), zero-filled at
+    segment starts — exactly the ``(history << 1) | taken`` register
+    the scalar local predictor shifts.
+    """
+    n = taken_sorted.shape[0]
+    history = np.zeros(n, dtype=np.int64)
+    bits = taken_sorted.astype(np.int64)
+    first = segment_first_index(seg_start)
+    idx = np.arange(n, dtype=np.int64)
+    for k in range(history_bits):
+        if n - 1 - k <= 0:
+            break
+        contribution = np.zeros(n, dtype=np.int64)
+        contribution[k + 1:] = bits[:n - 1 - k] << k
+        history |= np.where(idx - (k + 1) >= first, contribution, 0)
+    return history
+
+
 def combining_sweep(trace):
     """Per-conditional-branch outcome of the default combining predictor.
 
-    Returns ``(positions, correct, conditional)``: the trace positions of
-    conditional branches, a matching bool array of prediction
-    correctness, and the branch count.
+    Returns ``(positions, correct, confident, conditional)``: the trace
+    positions of conditional branches, matching bool arrays of
+    prediction correctness and pre-update confidence, and the branch
+    count.
     """
-    soa = trace.soa()
-    cls = soa.gathered("cls")
-    mask = cls == BRC
-    positions = np.flatnonzero(mask)
-    pc = soa.gathered("pc")[mask]
-    taken = soa.dyn["taken"][mask]
+    positions, pc, taken = _branch_stream(trace)
     conditional = int(positions.shape[0])
     if not conditional:
-        return positions, np.empty(0, dtype=bool), 0
+        empty = np.empty(0, dtype=bool)
+        return positions, empty, empty, 0
 
     reference = CombiningPredictor()
     word = pc >> 2
@@ -71,15 +119,15 @@ def combining_sweep(trace):
 
     bimodal_table = reference.bimodal.table
     bimodal_index = word & (bimodal_table.size - 1)
-    bimodal_pred = _table_states(bimodal_index, step, bimodal_table) \
-        >= bimodal_table.threshold
+    bimodal_states = _table_states(bimodal_index, step, bimodal_table)
+    bimodal_pred = bimodal_states >= bimodal_table.threshold
 
     gshare = reference.gshare
     history = _global_history(taken, gshare.history_bits) \
         & gshare.history_mask
     gshare_index = (word ^ history) & (gshare.table.size - 1)
-    gshare_pred = _table_states(gshare_index, step, gshare.table) \
-        >= gshare.table.threshold
+    gshare_states = _table_states(gshare_index, step, gshare.table)
+    gshare_pred = gshare_states >= gshare.table.threshold
 
     chooser = reference.chooser
     disagree = bimodal_pred != gshare_pred
@@ -89,4 +137,97 @@ def combining_sweep(trace):
                                active=disagree) >= chooser.threshold
 
     predicted = np.where(use_gshare, gshare_pred, bimodal_pred)
-    return positions, predicted == taken, conditional
+    chosen_states = np.where(use_gshare, gshare_states, bimodal_states)
+    confident = _saturated(chosen_states, bimodal_table)
+    return positions, predicted == taken, confident, conditional
+
+
+def bimodal_sweep(trace):
+    """Per-conditional-branch outcome of the default bimodal predictor."""
+    positions, pc, taken = _branch_stream(trace)
+    conditional = int(positions.shape[0])
+    if not conditional:
+        empty = np.empty(0, dtype=bool)
+        return positions, empty, empty, 0
+    reference = BimodalPredictor()
+    table = reference.table
+    step = np.where(taken, 1, -1).astype(np.int64)
+    index = (pc >> 2) & (table.size - 1)
+    states = _table_states(index, step, table)
+    predicted = states >= table.threshold
+    return (positions, predicted == taken, _saturated(states, table),
+            conditional)
+
+
+def local_sweep(trace):
+    """Per-conditional-branch outcome of the default two-level local
+    (PAg) predictor."""
+    positions, pc, taken = _branch_stream(trace)
+    conditional = int(positions.shape[0])
+    if not conditional:
+        empty = np.empty(0, dtype=bool)
+        return positions, empty, empty, 0
+    reference = LocalHistoryPredictor()
+    word = pc >> 2
+    slot = word & reference.history_mask_index
+    order, seg_start, _ = segment_sort(slot)
+    history_sorted = _segment_history(seg_start, taken[order],
+                                      reference.history_bits)
+    history = np.empty(conditional, dtype=np.int64)
+    history[order] = history_sorted
+    pht = reference.pht
+    step = np.where(taken, 1, -1).astype(np.int64)
+    states = _table_states(history & (pht.size - 1), step, pht)
+    predicted = states >= pht.threshold
+    return (positions, predicted == taken, _saturated(states, pht),
+            conditional)
+
+
+#: runner-facing dispatch: predictor name -> sweep
+SWEEPS = {
+    "combining": combining_sweep,
+    "bimodal": bimodal_sweep,
+    "local": local_sweep,
+}
+
+
+def branch_per_pc_sweep(pc, taken, correct, confident):
+    """Vectorized :class:`PerPCBranchStat` histograms, keyed by branch
+    PC.
+
+    Returns a dict ``pc -> field dict`` mirroring the scalar histogram
+    attributes; the runner wraps them back into ``PerPCBranchStat``
+    objects.
+    """
+    from .runner import PC_WARMUP
+
+    order, seg_start, _ = segment_sort(pc)
+    took = taken[order]
+    hit = correct[order]
+    sure = confident[order]
+    rank = np.arange(pc.shape[0], dtype=np.int64) \
+        - segment_first_index(seg_start) + 1
+
+    starts = np.flatnonzero(seg_start)
+    counts = np.diff(np.append(starts, pc.shape[0]))
+
+    def _sums(values):
+        return np.add.reduceat(values.astype(np.int64), starts)
+
+    pc_sorted = pc[order]
+    taken_sums = _sums(took)
+    correct_sums = _sums(hit)
+    warm_sums = _sums(hit & (rank > PC_WARMUP))
+    confident_sums = _sums(sure)
+    confident_correct_sums = _sums(sure & hit)
+    stats = {}
+    for i, start in enumerate(starts.tolist()):
+        stats[int(pc_sorted[start])] = {
+            "count": int(counts[i]),
+            "taken": int(taken_sums[i]),
+            "correct": int(correct_sums[i]),
+            "warm_correct": int(warm_sums[i]),
+            "confident": int(confident_sums[i]),
+            "confident_correct": int(confident_correct_sums[i]),
+        }
+    return stats

@@ -177,8 +177,12 @@ def cmd_simulate(args):
     if config.dae and args.workload in WORKLOADS:
         from .workloads import cached_dae_plan
         dae_plan = cached_dae_plan(args.workload, args.scale)
+    branch_plan = None
+    if config.branch_spec and args.workload in WORKLOADS:
+        from .workloads import cached_branch_plan
+        branch_plan = cached_branch_plan(args.workload, args.scale)
     result = simulate_trace(trace, config, sanitize=args.sanitize,
-                            dae_plan=dae_plan)
+                            dae_plan=dae_plan, branch_plan=branch_plan)
     print("%s on %s" % (config.name, trace.name))
     if args.sanitize:
         print("  sanitize     : ok (model invariants held)")
@@ -203,6 +207,12 @@ def cmd_simulate(args):
         print("  decoupled    : %d access ops bypassed, %d queued "
               "(peak occupancy %d), %d chase deps on coupled loops"
               % (dae.bypassed, dae.enqueued, dae.peak, dae.chase_deps))
+    if result.branch_spec is not None:
+        bspec = result.branch_spec
+        print("  exit branches: %d planned, %d resolved at "
+              "address-generation time, %d fences kept"
+              % (bspec.exit_branches, bspec.early_resolved,
+                 bspec.missed))
     return 0
 
 
@@ -399,9 +409,54 @@ def _lint_dae_check(name, report, scale):
     return check.ok
 
 
+def _lint_branch_check(name, report, scale, widest=2048):
+    """Verify the static branch classification against per-PC combining
+    histograms and the config-J soundness chain (static ceiling >=
+    measured accuracy >= early-resolution coverage)."""
+    from .lint import branchflow_cross_check
+    from .workloads import cached_trace
+    trace = cached_trace(name, scale)
+    check = branchflow_cross_check(report.branchflow, trace,
+                                   widest=widest)
+    print("  branch-check %s: %s — %d sites, %d trip floors checked, "
+          "coverage bound %.3f %s confident %.3f, ceiling %.4f %s "
+          "accuracy %.4f"
+          % (name, "ok" if check.ok else "FAILED", check.sites,
+             check.floors_checked, check.coverage_bound,
+             ">=" if check.coverage_bound >= check.confident_coverage
+             else "<", check.confident_coverage, check.ceiling,
+             ">=" if check.ceiling >= check.accuracy else "<",
+             check.accuracy))
+    if check.early_coverage is not None:
+        sim_i = check.sim.get("I")
+        sim_j = check.sim.get("J")
+        print("    J: %d plan branches, early coverage %.4f <= accuracy"
+              "; cycles J %d <= I %d (width %d, fetch floor %d)"
+              % (check.plan_branches, check.early_coverage,
+                 sim_j.cycles if sim_j is not None else -1,
+                 sim_i.cycles if sim_i is not None else -1,
+                 widest, check.floor))
+    for violation in check.violations:
+        print("    " + violation)
+    return check.ok
+
+
+def _lint_list():
+    """Render the registered lint-pass table (``repro lint --list``)."""
+    from .lint import lint_passes
+    rows = [[p.order, p.name, p.title,
+             " ".join(p.flags) if p.flags else "-"]
+            for p in lint_passes()]
+    print(render_table(["order", "pass", "title", "flags"], rows,
+                       title="registered lint passes"))
+    return 0
+
+
 def cmd_lint(args):
     from .lint import lint_path, lint_workload
 
+    if args.list_passes:
+        return _lint_list()
     targets = list(args.targets)
     if args.all:
         targets += [name for name in sorted(WORKLOADS)
@@ -478,6 +533,18 @@ def cmd_lint(args):
             counts = report.valueflow.class_counts()
             print("  value classes: " + "  ".join(
                 "%s %d" % (cls, n) for cls, n in counts.items() if n))
+        if args.branch and report.branchflow is not None:
+            rows = report.branchflow.summary_rows()
+            if rows:
+                print(render_table(
+                    ["index", "line", "class", "trip", "period",
+                     "exit", "load", "note"],
+                    [list(row) for row in rows],
+                    title="branch predictability classes: %s"
+                          % (report.target,)))
+            counts = report.branchflow.class_counts()
+            print("  branch classes: " + "  ".join(
+                "%s %d" % (cls, n) for cls, n in counts.items() if n))
         if args.recur and report.recurrence is not None:
             rows = report.recurrence.summary_rows()
             if rows:
@@ -513,6 +580,10 @@ def cmd_lint(args):
         if args.dae_check and name is not None \
                 and report.dae is not None:
             if not _lint_dae_check(name, report, args.scale):
+                violated = True
+        if args.branch_check and name is not None \
+                and report.branchflow is not None:
+            if not _lint_branch_check(name, report, args.scale):
                 violated = True
     if violated:
         return 2
@@ -655,6 +726,22 @@ def build_parser():
                              "never chase plus queue occupancy within "
                              "the static depth bound (exit 2 on "
                              "violation)")
+    p_lint.add_argument("--branch", action="store_true",
+                        help="print the per-branch predictability "
+                             "table (trip / exit / invariant / "
+                             "periodic / history / load / straight / "
+                             "unknown)")
+    p_lint.add_argument("--branch-check", dest="branch_check",
+                        action="store_true",
+                        help="verify trip floors, class-capped "
+                             "coverage and the accuracy ceiling "
+                             "against per-PC combining histograms "
+                             "plus a config-J (load-driven exit-"
+                             "branch) simulation (exit 2 on violation)")
+    p_lint.add_argument("--list", dest="list_passes",
+                        action="store_true",
+                        help="print the registered lint-pass table "
+                             "(name, slot, flags) and exit")
 
     return parser
 

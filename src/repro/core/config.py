@@ -1,6 +1,6 @@
 """Machine configurations (paper Section 4) on a declarative registry.
 
-Seven configurations are studied:
+The lettered configurations studied:
 
 - **A**: base superscalar (windowed issue, real branch prediction, ideal
   renaming, perfect disambiguation);
@@ -19,7 +19,12 @@ Seven configurations are studied:
 - **I**: C + real result-value speculation — consumers of a load whose
   stride value prediction is confident issue without waiting for it;
   a misprediction squashes and replays the speculated consumers
-  (``repro.vpred``; the static side is ``repro.lint.valueflow``).
+  (``repro.vpred``; the static side is ``repro.lint.valueflow``);
+- **J**: I + load-driven exit-branch prediction — loop-exit branches
+  whose compare cone is fed by a stride/affine-classified load
+  (``repro.lint.branchflow``'s :class:`BranchPlan`) resolve at the
+  governing load's address-generation time when its value prediction
+  is confident and correct, waiving the misprediction fetch fence.
 
 Each letter is one :class:`ConfigSpec` entry in a registry; adding a
 configuration is a single :func:`register_config` call — the experiment
@@ -68,14 +73,14 @@ class MachineConfig:
     __slots__ = ("name", "issue_width", "window_size", "collapse_rules",
                  "load_spec", "perfect_branches", "node_elimination",
                  "value_spec", "fetch_taken_break", "mem_spec", "dae",
-                 "mdpt_entries", "mdpt_store_set")
+                 "mdpt_entries", "mdpt_store_set", "branch_spec")
 
     def __init__(self, issue_width, window_size=None, collapse_rules=None,
                  load_spec=LOAD_SPEC_NONE, perfect_branches=False,
                  node_elimination=False, value_spec=False,
                  fetch_taken_break=False, mem_spec=MEM_SPEC_PERFECT,
                  dae=False, mdpt_entries=None, mdpt_store_set=None,
-                 name=None):
+                 branch_spec=False, name=None):
         if issue_width < 1:
             raise ConfigError("issue width must be positive")
         if window_size is None:
@@ -111,6 +116,13 @@ class MachineConfig:
                 "dae is incompatible with value speculation: a "
                 "predicted consumer could issue before its queue "
                 "entry's load completes")
+        if branch_spec and value_spec != VALUE_SPEC_REPLAY:
+            raise ConfigError(
+                "branch_spec requires value_spec=%r: a load-driven exit "
+                "branch resolves early exactly when its governing "
+                "load's value prediction is confident and correct, "
+                "which only the replay value-speculation pass tracks"
+                % (VALUE_SPEC_REPLAY,))
         if mdpt_entries is not None or mdpt_store_set is not None:
             if mem_spec != MEM_SPEC_MDPT:
                 raise ConfigError(
@@ -146,6 +158,11 @@ class MachineConfig:
         #: scheduler additionally needs a ``DAEPlan`` for the workload
         #: (``repro.workloads.cached_dae_plan``) to actually decouple.
         self.dae = dae
+        #: load-driven exit-branch prediction (configuration J); the
+        #: scheduler additionally needs a ``BranchPlan`` for the
+        #: workload (``repro.workloads.cached_branch_plan``) to waive
+        #: any fences.
+        self.branch_spec = branch_spec
         #: MDPT sizing overrides (None = the module defaults); kept as
         #: None when explicitly set to the defaults so cache
         #: fingerprints of default-sized runs stay identical.
@@ -171,6 +188,8 @@ class MachineConfig:
         if self.value_spec:
             parts.append("vspec" if self.value_spec is True
                          else "vspec-%s" % (self.value_spec,))
+        if self.branch_spec:
+            parts.append("bspec")
         return "+".join(parts)
 
     @property
@@ -197,6 +216,8 @@ class MachineConfig:
             print_["dae"] = True
         if self.mdpt_entries is not None or self.mdpt_store_set is not None:
             print_["mdpt"] = [self.mdpt_entries, self.mdpt_store_set]
+        if self.branch_spec:
+            print_["branch_spec"] = True
         return print_
 
     def width_label(self):
@@ -219,6 +240,7 @@ class MachineConfig:
 _SPEC_KNOBS = frozenset((
     "collapse", "load_spec", "mem_spec", "perfect_branches",
     "node_elimination", "value_spec", "fetch_taken_break", "dae",
+    "branch_spec",
 ))
 
 
@@ -328,6 +350,9 @@ register_config("G", "F + dependence collapsing", collapse=True,
 register_config("H", "A + decoupled access/execute streams", dae=True)
 register_config("I", "C + real value speculation (squash/replay)",
                 collapse=True, value_spec=VALUE_SPEC_REPLAY)
+register_config("J", "I + load-driven exit-branch prediction",
+                collapse=True, value_spec=VALUE_SPEC_REPLAY,
+                branch_spec=True)
 
 
 def __getattr__(name):

@@ -54,12 +54,12 @@ class SimResult:
     __slots__ = ("config_name", "trace_name", "instructions", "cycles",
                  "loads", "collapse", "branch", "issue_width",
                  "window_size", "issue_cycles", "eliminated_positions",
-                 "memdep", "dae", "value_spec")
+                 "memdep", "dae", "value_spec", "branch_spec")
 
     def __init__(self, config, trace_name, instructions, cycles, loads,
                  collapse, branch, issue_cycles=None,
                  eliminated_positions=frozenset(), memdep=None,
-                 dae=None, value_spec=None):
+                 dae=None, value_spec=None, branch_spec=None):
         self.config_name = config.name
         self.issue_width = config.issue_width
         self.window_size = config.window_size
@@ -84,6 +84,9 @@ class SimResult:
         #: ValueSpecStats when the run used squash/replay value
         #: speculation (config I); None otherwise
         self.value_spec = value_spec
+        #: BranchSpecStats when the run resolved load-driven exit
+        #: branches early (config J with a BranchPlan); None otherwise
+        self.branch_spec = branch_spec
 
     @property
     def ipc(self):
@@ -130,6 +133,8 @@ class SimResult:
                     if self.dae is not None else None),
             "value_spec": (self.value_spec.to_payload()
                            if self.value_spec is not None else None),
+            "branch_spec": (self.branch_spec.to_payload()
+                            if self.branch_spec is not None else None),
         }
 
     @classmethod
@@ -175,6 +180,12 @@ class SimResult:
             result.value_spec = ValueSpecStats.from_payload(value_spec)
         else:
             result.value_spec = None
+        branch_spec = payload.get("branch_spec")
+        if branch_spec is not None:
+            from .branchspecstats import BranchSpecStats
+            result.branch_spec = BranchSpecStats.from_payload(branch_spec)
+        else:
+            result.branch_spec = None
         return result
 
     def __repr__(self):

@@ -45,6 +45,15 @@ Semantics (paper Section 4):
   own consumers until the replay, so bad values never propagate
   un-squashably; a wrong-predicted load that already completed merely
   re-imposes the arc (the consumer waits — no squash).
+- Load-driven exit-branch prediction (``config.branch_spec``,
+  configuration J): given a static
+  :class:`~repro.lint.branchflow.BranchPlan`, a *mispredicted* plan
+  exit branch whose governing load's most recent dynamic instance was
+  confidently and correctly value-predicted resolves at the load's
+  address-generation time — the predicted value determines the branch
+  direction before fetch reaches the branch, so the fetch fence is
+  waived (Sridhar et al.'s LDBP, PAPERS.md).  An unpredicted or
+  wrongly-predicted governing load leaves the fence in place.
 - Decoupled access/execute (``config.dae``, configuration H): given a
   static :class:`~repro.lint.dae.DAEPlan`, members of a clean loop's
   access slice may enter a second *access window* (same capacity) when
@@ -110,10 +119,17 @@ class WindowScheduler:
         ``config.dae`` machine; without a plan a DAE configuration
         degenerates to its base machine (nothing decouples) and the
         result carries no DAE statistics.
+    branch_plan: BranchPlan or None
+        Static load-driven exit-branch contract
+        (``repro.lint.branchflow``) for a ``config.branch_spec``
+        machine; without a plan a configuration-J machine degenerates
+        to config I (no fences are waived) and the result carries no
+        branch-speculation statistics.
     """
 
     def __init__(self, trace, config, branch_result, load_prediction=None,
-                 value_prediction=None, sanitizer=None, dae_plan=None):
+                 value_prediction=None, sanitizer=None, dae_plan=None,
+                 branch_plan=None):
         if config.load_spec == LOAD_SPEC_REAL and load_prediction is None:
             raise ValueError("real load-speculation needs predictor output")
         if config.value_spec and value_prediction is None:
@@ -121,6 +137,8 @@ class WindowScheduler:
                              "pass (repro.vpred)")
         if dae_plan is not None and config.dae:
             dae_plan.validate(trace.static)
+        if branch_plan is not None and config.branch_spec:
+            branch_plan.validate(trace.static)
         self.trace = trace
         self.config = config
         self.branch_result = branch_result
@@ -128,6 +146,7 @@ class WindowScheduler:
         self.value_prediction = value_prediction
         self.sanitizer = sanitizer
         self.dae_plan = dae_plan if config.dae else None
+        self.branch_plan = branch_plan if config.branch_spec else None
 
     # ------------------------------------------------------------------
 
@@ -224,6 +243,17 @@ class WindowScheduler:
             vp_correct = self.value_prediction.correct
         else:
             vp_attempted = vp_correct = None
+        branch_plan = self.branch_plan
+        bspec_mode = branch_plan is not None
+        if bspec_mode:
+            from .branchspecstats import BranchSpecStats
+            bspec_stats = BranchSpecStats()
+            bspec_resolves = branch_plan.resolves
+            bspec_loads = set(bspec_resolves.values())
+            last_load_pos = {}   # governing-load sidx -> latest position
+        else:
+            bspec_stats = None
+
         if value_replay:
             from ..memdep import FLUSH_PENALTY
             from .vspecstats import ValueSpecStats
@@ -662,11 +692,31 @@ class WindowScheduler:
                         inflight_stores[pc_col[s]] = [
                             sp for sp in plist
                             if issue_cycle[sp] < 0 or completion[sp] > now]
+            if bspec_mode and cls == LD and s in bspec_loads:
+                last_load_pos[s] = i
             if cls == BRC or cls == CTI:
                 block_counter += 1
+                if bspec_mode and cls == BRC and s in bspec_resolves:
+                    bspec_stats.exit_branches += 1
                 if i in mispredicted:
-                    block_fetch = True
-                    fence_pos = i
+                    waived = False
+                    if bspec_mode and s in bspec_resolves:
+                        p = last_load_pos.get(bspec_resolves[s], -1)
+                        if p >= 0 and vp_attempted.get(p, False) \
+                                and vp_correct.get(p, False):
+                            # The governing load's confident, correct
+                            # value prediction determines the branch
+                            # direction at address-generation time:
+                            # fetch follows the resolved path, no fence.
+                            bspec_stats.early_resolved += 1
+                            waived = True
+                            if san is not None:
+                                san.on_branch_resolve(i, p, now)
+                        else:
+                            bspec_stats.missed += 1
+                    if not waived:
+                        block_fetch = True
+                        fence_pos = i
 
         # --------------------------------------------------------------
         def notify(p, now):
@@ -1069,4 +1119,5 @@ class WindowScheduler:
             memdep=memdep_stats,
             dae=dae_stats,
             value_spec=vspec_stats,
+            branch_spec=bspec_stats,
         )

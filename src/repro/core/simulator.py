@@ -40,25 +40,30 @@ def _value_predictor_kind(config):
     return "stride" if config.value_spec == VALUE_SPEC_REPLAY else "last"
 
 
-def make_sanitizer(trace, config, branch_result=None, dae_plan=None):
+def make_sanitizer(trace, config, branch_result=None, dae_plan=None,
+                   branch_plan=None):
     """Build a :class:`~repro.lint.sanitize.SchedulerSanitizer` for one
     (trace, config, branch outcome) triple."""
     from ..lint.sanitize import SchedulerSanitizer
     mispredicted = branch_result.mispredicted if branch_result is not None \
         else {}
     return SchedulerSanitizer(trace, config, mispredicted,
-                              dae_plan=dae_plan)
+                              dae_plan=dae_plan, branch_plan=branch_plan)
 
 
 def simulate_trace(trace, config, branch_result=None, load_prediction=None,
-                   value_prediction=None, sanitize=False, dae_plan=None):
+                   value_prediction=None, sanitize=False, dae_plan=None,
+                   branch_plan=None):
     """Simulate ``trace`` on ``config`` and return a ``SimResult``.
 
     With ``sanitize=True`` the run carries a scheduler sanitizer that
     re-checks the model invariants and raises
     :class:`~repro.lint.sanitize.SanitizeError` on any violation.
     ``dae_plan`` supplies the static access/execute slices a
-    ``config.dae`` machine decouples with (``repro.lint.dae``).
+    ``config.dae`` machine decouples with (``repro.lint.dae``);
+    ``branch_plan`` the load-driven exit-branch contract a
+    ``config.branch_spec`` machine resolves with
+    (``repro.lint.branchflow``).
     """
     if branch_result is None:
         branch_result = branch_outcomes(trace,
@@ -69,14 +74,18 @@ def simulate_trace(trace, config, branch_result=None, load_prediction=None,
         value_prediction = value_outcomes(
             trace, predictor=_value_predictor_kind(config))
     sanitizer = make_sanitizer(trace, config, branch_result,
-                               dae_plan=dae_plan) if sanitize else None
+                               dae_plan=dae_plan,
+                               branch_plan=branch_plan) if sanitize \
+        else None
     scheduler = WindowScheduler(trace, config, branch_result,
                                 load_prediction, value_prediction,
-                                sanitizer=sanitizer, dae_plan=dae_plan)
+                                sanitizer=sanitizer, dae_plan=dae_plan,
+                                branch_plan=branch_plan)
     return scheduler.run()
 
 
-def simulate_many(trace, configs, sanitize=False, dae_plan=None):
+def simulate_many(trace, configs, sanitize=False, dae_plan=None,
+                  branch_plan=None):
     """Simulate ``trace`` on several configurations, sharing predictor
     passes.  Returns a list of ``SimResult`` in the order of ``configs``.
     """
@@ -113,5 +122,7 @@ def simulate_many(trace, configs, sanitize=False, dae_plan=None):
                                       value_prediction=vpred,
                                       sanitize=sanitize,
                                       dae_plan=dae_plan
-                                      if config.dae else None))
+                                      if config.dae else None,
+                                      branch_plan=branch_plan
+                                      if config.branch_spec else None))
     return results

@@ -328,6 +328,56 @@ def value_speculation(runner):
              "I, summed over the suite")
 
 
+@register_exhibit(
+    "load_driven_branches", order=64, letters=("I", "J"),
+    note="Configuration J (I + load-driven exit-branch prediction, "
+         "docs/MODEL.md): a loop-exit branch the static branchflow "
+         "pass proves governed by a classified load resolves at the "
+         "load's address-generation time whenever the load's stride "
+         "value prediction is confident and correct, waiving the "
+         "misprediction fetch fence.  Shape: J <= I in cycles (a "
+         "waived fence can only unblock fetch earlier) so J/I >= 1 "
+         "in speedup; gains are confined to workloads whose kernels "
+         "expose a load-governed exit (the suite's pointer/table "
+         "kernels mostly do not), so most rows show J == I exactly.")
+def load_driven_branches(runner):
+    """Load-driven exit-branch prediction (J) over its base (I)."""
+    from ..core.branchspecstats import BranchSpecStats
+    headers = ["width", "I", "J", "J/I", "exit br/1k", "early/1k",
+               "missed/1k", "early frac"]
+    rows = []
+    for width in runner.widths:
+        i = runner.results("I", width)
+        j = runner.results("J", width)
+        merged = BranchSpecStats()
+        instructions = 0
+        for result in j:
+            if result.branch_spec is not None:
+                merged.merge(result.branch_spec)
+            instructions += result.instructions
+        per_1k = 1000.0 / max(1, instructions)
+        resolved = merged.early_resolved + merged.missed
+        rows.append([
+            WIDTH_LABELS.get(width, str(width)),
+            mean_ipc(i), mean_ipc(j),
+            mean_speedup(j, i),
+            per_1k * merged.exit_branches,
+            per_1k * merged.early_resolved,
+            per_1k * merged.missed,
+            (merged.early_resolved / resolved) if resolved else 0.0,
+        ])
+    return Exhibit(
+        "Load-driven branches",
+        "Load-driven exit-branch prediction on top of value "
+        "speculation (J)",
+        headers, rows, precision=3,
+        note="harmonic-mean IPC; J/I harmonic-mean speedup (>= 1: a "
+             "waived fence only helps); planned-exit-branch / "
+             "early-resolved / missed rates per 1k instructions and "
+             "the fraction of mispredicted planned exits resolved "
+             "early, summed over the suite")
+
+
 #: MDPT geometry sweep for the sensitivity exhibit: entry counts x
 #: store-set sizes around the defaults (512 entries, 4-entry sets).
 _MDPT_ENTRIES = (64, 128, 512, 1024)

@@ -26,7 +26,11 @@ from ..core.results import SimResult
 from ..core.scheduler import WindowScheduler
 from ..core.simulator import branch_outcomes, load_outcomes
 from ..metrics.tables import render_table
-from ..workloads.registry import cached_dae_plan, cached_trace
+from ..workloads.registry import (
+    cached_branch_plan,
+    cached_dae_plan,
+    cached_trace,
+)
 
 #: Per-worker-process memo: (name, scale, cache_dir) -> (trace, branch,
 #: loads).  Six workloads at bench scales fit comfortably in memory.
@@ -71,14 +75,18 @@ def _run_cell(task):
         values = value_outcomes(trace,
                                 predictor=_value_predictor_kind(config))
     dae_plan = cached_dae_plan(name, scale) if config.dae else None
+    branch_plan = (cached_branch_plan(name, scale)
+                   if config.branch_spec else None)
     sanitizer = None
     if sanitize:
         from ..core.simulator import make_sanitizer
         sanitizer = make_sanitizer(trace, config, branch,
-                                   dae_plan=dae_plan)
+                                   dae_plan=dae_plan,
+                                   branch_plan=branch_plan)
     result = WindowScheduler(trace, config, branch, prediction, values,
                              sanitizer=sanitizer,
-                             dae_plan=dae_plan).run()
+                             dae_plan=dae_plan,
+                             branch_plan=branch_plan).run()
     if not keep_schedules:
         result.issue_cycles = None
     if cache is not None:

@@ -102,6 +102,13 @@ def shape_checks(runner):
           all(v <= 1.02 for v in
               memspec.column("F/A") + memspec.column("G/C")))
 
+    from .extensions import load_driven_branches
+    ldbp = load_driven_branches(runner)
+    check("load-driven exit-branch prediction never hurts "
+          "(J >= I at every width: a waived fence only unblocks "
+          "fetch earlier)",
+          all(v >= 0.999 for v in ldbp.column("J/I")))
+
     from .extensions import decoupled_streams
     decoupled = decoupled_streams(runner)
     check("decoupled access/execute streams never hurt the mean "
@@ -181,6 +188,7 @@ def generate(scale=1.0, widths=PAPER_ISSUE_WIDTHS,
     parts.extend(_addr_class_section(runner))
     parts.extend(_recurrence_section(runner))
     parts.extend(_valueflow_section(runner))
+    parts.extend(_branchflow_section(runner))
     parts.extend(_dae_section(runner))
     if sanitize:
         parts.append("_Sanitized run: %d simulations re-checked against "
@@ -341,6 +349,62 @@ def _valueflow_section(runner):
         render_table(headers, rows,
                      title="result-value classes and config-I "
                            "cross-check"),
+        "```",
+        "",
+    ]
+
+
+def _branchflow_section(runner):
+    """Static branch-predictability classification vs the combining
+    predictor and the config-J chain (docs/LINT.md,
+    ``repro lint --branch-check``)."""
+    from ..bpred.runner import run_branch_predictor
+    from ..lint.branchflow import (
+        ALL_BRANCH_CLASSES,
+        BranchFlowAnalysis,
+        branchflow_cross_check,
+    )
+    from ..metrics import render_table
+    from ..workloads.registry import get_workload
+    width = runner.widths[-1]
+    headers = ["workload"] + list(ALL_BRANCH_CLASSES) \
+        + ["cov bound", "ceiling", "accuracy", "early cov", "check"]
+    rows = []
+    for name in runner.names:
+        program = get_workload(name).build(scale=runner.scale)
+        branchflow = BranchFlowAnalysis(program)
+        trace = runner.trace(name)
+        prediction = run_branch_predictor(trace, per_pc=True)
+        sims = {letter: runner.result(name, letter, width)
+                for letter in ("C", "I", "J")}
+        check = branchflow_cross_check(branchflow, trace,
+                                       result=prediction,
+                                       sim_results=sims, widest=width)
+        counts = branchflow.class_counts()
+        early = "%.3f" % check.early_coverage \
+            if check.early_coverage is not None else "-"
+        rows.append([name] + [counts[cls] for cls in ALL_BRANCH_CLASSES]
+                    + ["%.3f" % check.coverage_bound,
+                       "%.3f" % check.ceiling,
+                       "%.3f" % check.accuracy,
+                       early,
+                       "ok" if check.ok else "FAILED"])
+    return [
+        "## Static branch-predictability classification",
+        "",
+        "*Per-workload static conditional-branch sites by "
+        "predictability class (docs/LINT.md, `repro lint --branch`), "
+        "the class-capped static coverage bound vs the combining "
+        "predictor's confident-correct coverage, the cold-start "
+        "accuracy ceiling vs the measured accuracy, and the config-J "
+        "early-resolution coverage closing the chain ceiling >= "
+        "accuracy >= early coverage at width %d "
+        "(`repro lint --branch-check`).*" % (width,),
+        "",
+        "```",
+        render_table(headers, rows,
+                     title="branch predictability classes and "
+                           "config-J cross-check"),
         "```",
         "",
     ]

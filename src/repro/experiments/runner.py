@@ -27,7 +27,12 @@ from ..core.simulator import (
     load_outcomes,
     value_outcomes,
 )
-from ..workloads.registry import SUITE, cached_dae_plan, cached_trace
+from ..workloads.registry import (
+    SUITE,
+    cached_branch_plan,
+    cached_dae_plan,
+    cached_trace,
+)
 from .parallel import SweepProfile, run_cells
 
 
@@ -136,12 +141,22 @@ class ExperimentRunner:
             return None
         return cached_dae_plan(name, self.scale)
 
-    def _make_sanitizer(self, name, config, dae_plan=None):
+    def _branch_plan(self, name, config):
+        """Static load-driven exit-branch plan for configuration-J
+        cells; like the DAE plan it derives from the workload's
+        assembly at this runner's scale."""
+        if not config.branch_spec:
+            return None
+        return cached_branch_plan(name, self.scale)
+
+    def _make_sanitizer(self, name, config, dae_plan=None,
+                        branch_plan=None):
         if not self.sanitize:
             return None
         from ..core.simulator import make_sanitizer
         return make_sanitizer(self.trace(name), config,
-                              self.branch(name), dae_plan=dae_plan)
+                              self.branch(name), dae_plan=dae_plan,
+                              branch_plan=branch_plan)
 
     def result(self, name, letter, width):
         """Simulation result for one cell, memoised (and disk-cached)."""
@@ -159,12 +174,14 @@ class ExperimentRunner:
                 values = (self.value_prediction(name, config)
                           if config.value_spec else None)
                 dae_plan = self._dae_plan(name, config)
+                branch_plan = self._branch_plan(name, config)
                 scheduler = WindowScheduler(
                     self.trace(name), config, self.branch(name),
                     prediction, values,
                     sanitizer=self._make_sanitizer(name, config,
-                                                   dae_plan),
-                    dae_plan=dae_plan)
+                                                   dae_plan,
+                                                   branch_plan),
+                    dae_plan=dae_plan, branch_plan=branch_plan)
                 result = scheduler.run()
                 if self.sanitize:
                     self.sanitized_runs += 1
@@ -209,11 +226,13 @@ class ExperimentRunner:
             elif values is None and config.value_spec:
                 values = self.value_prediction(name, config)
             dae_plan = self._dae_plan(name, config)
+            branch_plan = self._branch_plan(name, config)
             scheduler = WindowScheduler(
                 self.trace(name), config, self.branch(name), prediction,
                 values,
-                sanitizer=self._make_sanitizer(name, config, dae_plan),
-                dae_plan=dae_plan)
+                sanitizer=self._make_sanitizer(name, config, dae_plan,
+                                               branch_plan),
+                dae_plan=dae_plan, branch_plan=branch_plan)
             result = scheduler.run()
             if self.sanitize:
                 self.sanitized_runs += 1

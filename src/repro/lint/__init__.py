@@ -32,7 +32,16 @@ Two halves share this package:
   recMII gap, and proves (:func:`dae_cross_check`, CLI flag
   ``--dae-check``) that statically-clean loops never incur a dynamic
   chase stall and that dynamic peak queue occupancy stays within the
-  static depth bound on a configuration-H run.  Passes themselves sit
+  static depth bound on a configuration-H run, and a
+  branch-predictability pass (:class:`BranchFlowAnalysis`, CLI flag
+  ``--branch``) that classifies every conditional branch per innermost
+  loop into a sound lattice (trip / exit / invariant / periodic /
+  history / load / straight / unknown), recovers IV-governed trip
+  counts, derives cold-start misprediction floors and accuracy
+  ceilings, and proves them (:func:`branchflow_cross_check`, CLI flag
+  ``--branch-check``) against per-PC combining-predictor histograms
+  plus a config-J (load-driven exit-branch prediction) simulation.
+  Passes themselves sit
   on a declarative registry (:func:`register_lint_pass` /
   :func:`lint_passes`): the driver iterates registered passes in
   order, so new analyses hook into ``repro lint --all``
@@ -59,6 +68,18 @@ from .analyzer import (
     lint_source,
     lint_workload,
 )
+from .branchflow import (
+    ALL_BRANCH_CLASSES,
+    BRANCH_COVERAGE_CAP,
+    BRANCH_PREDICTABLE_CLASSES,
+    BranchflowCheck,
+    BranchFlowAnalysis,
+    BranchPlan,
+    BranchSite,
+    branch_class_join,
+    branch_class_leq,
+    branchflow_cross_check,
+)
 from .cfg import ControlFlowGraph
 from .collapse_bound import StaticCollapseBound
 from .cycles import elementary_cycles
@@ -70,7 +91,11 @@ from .dae import (
     static_signature,
 )
 from .findings import SEV_ERROR, SEV_WARNING, Finding, LintReport
-from .ipcbound import RecurrenceCheck, recurrence_cross_check
+from .ipcbound import (
+    RecurrenceCheck,
+    fetch_refined_ipc,
+    recurrence_cross_check,
+)
 from .loops import DominatorTree, Loop, LoopForest
 from .memdep import MemDepBound, MemDepCheck, memdep_cross_check
 from .recurrence import LoopRecurrence, RecurrenceAnalysis
@@ -95,6 +120,13 @@ from .valueflow import (
 __all__ = [
     "AddressCheck",
     "AddressClassification",
+    "ALL_BRANCH_CLASSES",
+    "BRANCH_COVERAGE_CAP",
+    "BRANCH_PREDICTABLE_CLASSES",
+    "BranchFlowAnalysis",
+    "BranchPlan",
+    "BranchSite",
+    "BranchflowCheck",
     "ControlFlowGraph",
     "DAEAnalysis",
     "DAECheck",
@@ -122,12 +154,16 @@ __all__ = [
     "ValueFlowAnalysis",
     "ValueSite",
     "ValueflowCheck",
+    "branch_class_join",
+    "branch_class_leq",
+    "branchflow_cross_check",
     "check_addr_untracked",
     "class_join",
     "class_leq",
     "cross_check",
     "dae_cross_check",
     "elementary_cycles",
+    "fetch_refined_ipc",
     "lint_passes",
     "lint_path",
     "lint_program",

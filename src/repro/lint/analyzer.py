@@ -25,6 +25,7 @@ from .dataflow import (
     check_off_end,
     check_unreachable,
 )
+from .branchflow import BranchFlowAnalysis
 from .findings import Finding, LintReport
 from .memdep import MemDepBound
 from .recurrence import RecurrenceAnalysis
@@ -41,7 +42,8 @@ LINT_CHECKS = {
 }
 
 
-@register_lint_pass("dataflow", "register/cc dataflow checks", order=10)
+@register_lint_pass("dataflow", "register/cc dataflow checks", order=10,
+                    flags=())
 def _pass_dataflow(ctx):
     findings = []
     for check in (check_unreachable, check_off_end, check_assignment,
@@ -51,14 +53,15 @@ def _pass_dataflow(ctx):
 
 
 @register_lint_pass("collapse-bound", "static collapse opportunities",
-                    order=20)
+                    order=20, flags=("--bounds", "--cross-check"))
 def _pass_collapse_bound(ctx):
     ctx.report.collapse_bound = StaticCollapseBound(
         ctx.program, rules=ctx.rules, cfg=ctx.cfg)
     return ()
 
 
-@register_lint_pass("addr-class", "load address classification", order=30)
+@register_lint_pass("addr-class", "load address classification", order=30,
+                    flags=("--addr", "--addr-check"))
 def _pass_addr_class(ctx):
     classes = AddressClassification(ctx.program, ctx.cfg)
     ctx.shared["addr_classes"] = classes
@@ -66,7 +69,8 @@ def _pass_addr_class(ctx):
     return ()
 
 
-@register_lint_pass("valueflow", "result-value predictability", order=35)
+@register_lint_pass("valueflow", "result-value predictability", order=35,
+                    flags=("--value", "--value-check"))
 def _pass_valueflow(ctx):
     classes = ctx.shared["addr_classes"]
     valueflow = ValueFlowAnalysis(ctx.program, cfg=ctx.cfg,
@@ -78,7 +82,7 @@ def _pass_valueflow(ctx):
 
 
 @register_lint_pass("recurrence", "loop recurrence (recMII) bounds",
-                    order=40)
+                    order=40, flags=("--recur", "--recur-check"))
 def _pass_recurrence(ctx):
     classes = ctx.shared["addr_classes"]
     recurrence = RecurrenceAnalysis(ctx.program, cfg=ctx.cfg,
@@ -90,7 +94,21 @@ def _pass_recurrence(ctx):
     return recurrence.findings(file=ctx.file)
 
 
-@register_lint_pass("memdep", "may-alias conflict pairs", order=50)
+@register_lint_pass("branchflow", "branch predictability", order=45,
+                    flags=("--branch", "--branch-check"))
+def _pass_branchflow(ctx):
+    classes = ctx.shared["addr_classes"]
+    branchflow = BranchFlowAnalysis(ctx.program, cfg=ctx.cfg,
+                                    forest=classes.forest,
+                                    values=classes.values,
+                                    addr_classes=classes)
+    ctx.shared["branchflow"] = branchflow
+    ctx.report.branchflow = branchflow
+    return ()
+
+
+@register_lint_pass("memdep", "may-alias conflict pairs", order=50,
+                    flags=("--memdep", "--memdep-check"))
 def _pass_memdep(ctx):
     classes = ctx.shared["addr_classes"]
     ctx.report.memdep_bound = MemDepBound(ctx.program, cfg=ctx.cfg,
@@ -99,7 +117,8 @@ def _pass_memdep(ctx):
     return ()
 
 
-@register_lint_pass("dae", "access/execute loop slicing", order=60)
+@register_lint_pass("dae", "access/execute loop slicing", order=60,
+                    flags=("--dae", "--dae-check"))
 def _pass_dae(ctx):
     dae = DAEAnalysis(ctx.program, cfg=ctx.cfg,
                       recurrence=ctx.shared["recurrence"])

@@ -60,6 +60,8 @@ class LintReport:
         self.valueflow = None
         #: filled in by the analyzer: RecurrenceAnalysis or None
         self.recurrence = None
+        #: filled in by the analyzer: BranchFlowAnalysis or None
+        self.branchflow = None
         #: filled in by the analyzer: MemDepBound or None
         self.memdep_bound = None
         #: filled in by the analyzer: DAEAnalysis or None

@@ -265,5 +265,21 @@ def recurrence_cross_check(analysis, trace, sim_ipcs=None, widest=2048,
     return check
 
 
-__all__ = ["RecurrenceCheck", "SIM_LETTERS", "recurrence_cross_check",
-           "variant_depth_arrays"]
+def fetch_refined_ipc(instructions, cycles, mispredict_floor):
+    """Fetch-side IPC refinement from the branchflow cold-start floor.
+
+    A realistic-fetch machine (config C and up) pays at least one
+    fetch-stall cycle per *guaranteed* misprediction
+    (:meth:`repro.lint.branchflow.BranchFlowAnalysis
+    .misprediction_floor`), so its cycle count can never drop below the
+    floor and the achievable IPC is at most
+    ``instructions / max(cycles, floor)``.
+    """
+    denominator = max(cycles, mispredict_floor)
+    if denominator <= 0:
+        return float(instructions)
+    return instructions / denominator
+
+
+__all__ = ["RecurrenceCheck", "SIM_LETTERS", "fetch_refined_ipc",
+           "recurrence_cross_check", "variant_depth_arrays"]

@@ -34,15 +34,21 @@ class LintContext:
 
 
 class LintPass:
-    """One registered pass: metadata plus the callable."""
+    """One registered pass: metadata plus the callable.
 
-    __slots__ = ("name", "title", "order", "fn")
+    ``flags`` names the ``repro lint`` CLI switches the pass backs
+    (table and check flags), so ``repro lint --list`` can render the
+    full pass/slot/flags table without a hand-maintained mapping.
+    """
 
-    def __init__(self, name, title, order, fn):
+    __slots__ = ("name", "title", "order", "fn", "flags")
+
+    def __init__(self, name, title, order, fn, flags=()):
         self.name = name
         self.title = title
         self.order = order
         self.fn = fn
+        self.flags = tuple(flags)
 
     def run(self, ctx):
         return self.fn(ctx)
@@ -55,18 +61,19 @@ class LintPass:
 LINT_PASSES = {}
 
 
-def register_lint_pass(name, title, order=100):
+def register_lint_pass(name, title, order=100, flags=()):
     """Decorator registering ``fn(ctx)`` as lint pass ``name``.
 
     ``order`` fixes the execution sequence (ties break on name), which
     matters for passes consuming ``ctx.shared`` products of earlier
-    ones.  Registering a taken name raises ``ValueError`` — redefine a
-    pass by unregistering it first.
+    ones.  ``flags`` lists the CLI switches the pass backs (for
+    ``repro lint --list``).  Registering a taken name raises
+    ``ValueError`` — redefine a pass by unregistering it first.
     """
     def decorate(fn):
         if name in LINT_PASSES:
             raise ValueError("lint pass %r is already registered" % (name,))
-        LINT_PASSES[name] = LintPass(name, title, order, fn)
+        LINT_PASSES[name] = LintPass(name, title, order, fn, flags=flags)
         return fn
     return decorate
 

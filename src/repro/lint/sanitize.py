@@ -33,6 +33,13 @@ semantics promise (the always-on version of ``test_scheduler_verify``):
   the end of the run: no consumer that speculated on a wrong value
   kept a final issue cycle earlier than the watched load's completion
   (i.e. no stale speculative value was committed);
+- under load-driven exit-branch prediction (``config.branch_spec``,
+  configuration J): every waived fetch fence names a conditional
+  branch the static :class:`~repro.lint.branchflow.BranchPlan` maps to
+  a governing load, the resolving position is an earlier, entered
+  dynamic instance of exactly that load, and each branch position
+  resolves at most once (exactly-once recovery: a waived fence can
+  never be waived again, nor re-block fetch);
 - under decoupled access/execute (``config.dae``, configuration H):
   only statically access-slice members bypass into the access window,
   access-window occupancy never exceeds ``window_size``, every queue
@@ -66,7 +73,8 @@ class SchedulerSanitizer:
     #: cap on recorded violation messages (the count keeps rising)
     MAX_RECORDED = 20
 
-    def __init__(self, trace, config, mispredicted=None, dae_plan=None):
+    def __init__(self, trace, config, mispredicted=None, dae_plan=None,
+                 branch_plan=None):
         self.trace = trace
         self.config = config
         self.mispredicted = mispredicted if mispredicted is not None \
@@ -86,6 +94,7 @@ class SchedulerSanitizer:
         self.dae_bypasses = 0
         self.dae_enqueues = 0
         self.dae_pops = 0
+        self.branch_resolves = 0
 
         static = trace.static
         self._sidx = trace.sidx
@@ -118,6 +127,11 @@ class SchedulerSanitizer:
         self._fence_issue = None
         self._cycle = -1
         self._issued_this_cycle = 0
+        #: configuration-J replica state: the static plan plus the set
+        #: of branch positions whose fence was already waived
+        self._branch_plan = branch_plan \
+            if getattr(config, "branch_spec", False) else None
+        self._branch_resolved = set()
         #: DAE (configuration H) replica state; the hooks also work
         #: plan-less (bookkeeping only, no membership checks)
         self._dae_plan = dae_plan if config.dae else None
@@ -320,6 +334,40 @@ class SchedulerSanitizer:
         self._issue_cycle[w] = None
         self._completion[w] = None
         self._squashed.add(w)
+
+    def on_branch_resolve(self, i, p, cycle):
+        """Mispredicted exit branch ``i``'s fetch fence is waived: its
+        direction resolved at governing-load instance ``p``'s
+        address-generation time (configuration J)."""
+        self.branch_resolves += 1
+        plan = self._branch_plan
+        s = self._sidx[i]
+        if plan is None or s not in plan.resolves:
+            self._violate(
+                "branch resolve at position %d, which the static plan "
+                "does not map to a governing load" % (i,))
+        elif self._sidx[p] != plan.resolves[s]:
+            self._violate(
+                "branch %d resolved by position %d (static #%d), but "
+                "the plan names load #%d as its governor"
+                % (i, p, self._sidx[p], plan.resolves[s]))
+        if p >= i or not self._entered[p]:
+            self._violate(
+                "branch %d resolved by position %d that is not an "
+                "earlier entered instruction" % (i, p))
+        if i in self._branch_resolved:
+            self._violate("branch %d resolved twice" % (i,))
+            return
+        self._branch_resolved.add(i)
+        if i not in self.mispredicted:
+            self._violate(
+                "branch %d resolved a fence it never raised (it was "
+                "predicted correctly)" % (i,))
+        if self._fence_pos == i:
+            # The fence this branch raised on entry is waived; fetch
+            # may proceed as if the branch were predicted correctly.
+            self._fence_pos = None
+            self._fence_issue = None
 
     def on_eliminate(self, p, cycle):
         """Producer ``p`` is removed without executing (its sole reader
@@ -600,6 +648,9 @@ class SchedulerSanitizer:
             text += ("; dae: %d bypasses, %d enqueues, %d FIFO pops "
                      "checked" % (self.dae_bypasses, self.dae_enqueues,
                                   self.dae_pops))
+        if self.branch_resolves:
+            text += ("; bspec: %d exit-branch fences waived exactly "
+                     "once" % (self.branch_resolves,))
         return text
 
 

@@ -14,6 +14,7 @@ from .registry import (
     POINTER_CHASING,
     SUITE,
     WORKLOADS,
+    cached_branch_plan,
     cached_dae_plan,
     cached_trace,
     get_workload,
@@ -25,6 +26,6 @@ __all__ = [
     "CompressWorkload", "EspressoWorkload", "EqntottWorkload",
     "GoWorkload", "IjpegWorkload", "LiWorkload", "VortexWorkload",
     "EXTRAS", "NON_POINTER_CHASING", "POINTER_CHASING", "SUITE",
-    "WORKLOADS", "cached_dae_plan", "cached_trace", "get_workload",
-    "suite_traces",
+    "WORKLOADS", "cached_branch_plan", "cached_dae_plan",
+    "cached_trace", "get_workload", "suite_traces",
 ]

@@ -72,6 +72,19 @@ def cached_dae_plan(name, scale=1.0):
     return DAEAnalysis(program).plan()
 
 
+@lru_cache(maxsize=64)
+def cached_branch_plan(name, scale=1.0):
+    """Static load-driven exit-branch plan for a workload kernel.
+
+    Configuration-J simulations consume it (``repro.lint.branchflow``);
+    like the DAE plan it is a pure function of the assembled program,
+    so it caches per (name, scale) alongside the trace.
+    """
+    from ..lint.branchflow import BranchFlowAnalysis
+    program = get_workload(name).build(scale=scale)
+    return BranchFlowAnalysis(program).plan()
+
+
 def suite_traces(scale=1.0, names=None):
     """Traces for the whole suite (or a named subset), in suite order."""
     if names is None:

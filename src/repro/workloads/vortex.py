@@ -13,7 +13,14 @@ reproduces that shape:
 - a shared ``find`` subroutine (``call``/``ret``) returning both the
   matching node and the link slot that points at it, so deletion unlinks
   through the returned slot exactly like a C ``**prev`` idiom;
-- a final bucket-order checksum walk over every surviving chain.
+- a final bucket-order checksum walk over every surviving chain;
+- a directory-rebuild phase: an append-ordered record-id ramp (the
+  auto-increment primary keys a real store journals) is written out,
+  then LCG-drawn probe keys are located by linear index scan — the
+  scan's exit branch is governed by a stride load over arithmetic
+  values, the load-driven branch shape configuration J resolves early,
+  in direct contrast to the chase-governed exits in ``find``/``ckwalk``
+  that it cannot.
 
 It registers outside the paper's six-benchmark suite (Table 1 is fixed);
 ``repro list`` shows it as an extra, and it doubles as the linter's
@@ -32,11 +39,22 @@ _NODE_WORDS = 4
 _SEED = 0x2E81
 _VALUE_SEED = 0x517D
 
+#: directory-rebuild phase: DIRN record ids starting at _FIRST_ID and
+#: stepping by _ID_STRIDE (an auto-increment primary-key journal);
+#: probes draw uniformly over the covered id range (a power of two)
+_DIRN = 64
+_FIRST_ID = 1000
+_ID_STRIDE = 8
+_PROBE_MASK = _DIRN * _ID_STRIDE - 1
+_BASE_PROBES = 48
+
 _SOURCE = """
         .equ OPS, {ops}
         .equ KMASK, {kmask}
         .equ BMASK, {bmask}
         .equ NBUCKETS, {nbuckets}
+        .equ DIRN, {dirn}
+        .equ PROBES, {probes}
         .text
 main:
         set     buckets, %i0        ! bucket-head table
@@ -134,6 +152,45 @@ ckdone:
         st      %l4, [%o0]
         set     cksum, %o0
         st      %l3, [%o0]
+
+        ! ---- directory rebuild: journal the record-id ramp, then
+        !      locate each probe key's insertion slot by linear scan
+        set     dirids, %o0
+        mov     0, %l0
+        set     {first_id}, %l1
+dirfill:
+        sll     %l0, 2, %o1
+        st      %l1, [%o0 + %o1]
+        add     %l1, {id_stride}, %l1
+        inc     %l0
+        cmp     %l0, DIRN
+        bl      dirfill
+        mov     0, %l5              ! probe counter
+        mov     0, %l4              ! insertion-slot checksum
+probe_loop:
+        smul    %o5, %i4, %o5       ! continue the LCG stream
+        add     %o5, %i5, %o5
+        srl     %o5, 7, %l2
+        and     %l2, {probe_mask}, %l2
+        set     {first_id}, %o2
+        add     %l2, %o2, %l2       ! probe id
+        set     dirids, %o0
+        mov     0, %l0              ! slot index
+dirscan:
+        sll     %l0, 2, %o1
+        ld      [%o0 + %o1], %o2    ! dir[slot] (ramp: stride values)
+        cmp     %o2, %l2
+        bge     dirfound            ! first id >= probe: slot found
+        inc     %l0
+        cmp     %l0, DIRN
+        bl      dirscan
+dirfound:
+        add     %l4, %l0, %l4
+        inc     %l5
+        cmp     %l5, PROBES
+        bl      probe_loop
+        set     slotsum, %o0
+        st      %l4, [%o0]
         halt
 
         ! ---- find(%o0 = &head, %o1 = key)
@@ -160,6 +217,8 @@ pool:
 {pool_words}
         .space  {pool_tail_bytes}
 poolptr: .word  {pool_cursor}
+dirids: .space  {dir_bytes}
+slotsum: .word  0
 hits:   .word   0
 sum:    .word   0
 inserts: .word  0
@@ -204,12 +263,15 @@ def _layout():
     return heads, pool, _POOL_BASE + 4 * _NODE_WORDS * _INITIAL
 
 
-def _reference(ops):
+def _reference(ops, probes=0):
     """Replay the operation stream on the seeded store.
 
-    Returns (hits, value_sum, inserts, deletes, cksum); ``inserts``
-    counts pool allocations only (value bumps on present keys do not
-    allocate), which also sizes the assembly-side node pool exactly.
+    Returns (hits, value_sum, inserts, deletes, cksum, slotsum);
+    ``inserts`` counts pool allocations only (value bumps on present
+    keys do not allocate), which also sizes the assembly-side node pool
+    exactly.  ``slotsum`` sums the insertion slot each of the
+    ``probes`` directory scans finds (the LCG stream continues past the
+    operation draws).
     """
     buckets = _initial_store()
     state = _SEED
@@ -240,7 +302,14 @@ def _reference(ops):
     for chain in buckets:
         for key, _ in chain:
             cksum = (cksum * 31 + key) & 0xFFFFFFFF
-    return hits, value_sum, inserts, deletes, cksum
+    slotsum = 0
+    for _ in range(probes):
+        state = (state * LCG.MULTIPLIER + LCG.INCREMENT) & 0xFFFFFFFF
+        probe = _FIRST_ID + ((state >> 7) & _PROBE_MASK)
+        slot = next((i for i in range(_DIRN)
+                     if _FIRST_ID + i * _ID_STRIDE >= probe), _DIRN)
+        slotsum = (slotsum + slot) & 0xFFFFFFFF
+    return hits, value_sum, inserts, deletes, cksum, slotsum
 
 
 class VortexWorkload(Workload):
@@ -252,6 +321,9 @@ class VortexWorkload(Workload):
 
     def operations(self, scale):
         return max(4, round(_BASE_OPS * scale))
+
+    def probes(self, scale):
+        return max(2, round(_BASE_PROBES * scale))
 
     def source(self, scale):
         ops = self.operations(scale)
@@ -265,6 +337,12 @@ class VortexWorkload(Workload):
             bmask=_NBUCKETS - 1,
             nbuckets=_NBUCKETS,
             seed=_SEED,
+            dirn=_DIRN,
+            probes=self.probes(scale),
+            first_id=_FIRST_ID,
+            id_stride=_ID_STRIDE,
+            probe_mask=_PROBE_MASK,
+            dir_bytes=4 * _DIRN,
             bucket_words=words_directive(heads),
             pool_words=words_directive(pool),
             pool_tail_bytes=tail_bytes,
@@ -272,8 +350,8 @@ class VortexWorkload(Workload):
         )
 
     def validate(self, machine, program, scale):
-        hits, value_sum, inserts, deletes, cksum = \
-            _reference(self.operations(scale))
+        hits, value_sum, inserts, deletes, cksum, slotsum = \
+            _reference(self.operations(scale), self.probes(scale))
         expect_equal(read_word_array(machine, program, "hits", 1)[0],
                      hits, "vortex lookup hits")
         expect_equal(read_word_array(machine, program, "sum", 1)[0],
@@ -284,3 +362,5 @@ class VortexWorkload(Workload):
                      deletes, "vortex delete count")
         expect_equal(read_word_array(machine, program, "cksum", 1)[0],
                      cksum, "vortex chain checksum")
+        expect_equal(read_word_array(machine, program, "slotsum", 1)[0],
+                     slotsum, "vortex directory slot sum")

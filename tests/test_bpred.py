@@ -4,6 +4,7 @@ import pytest
 
 from repro.bpred import (
     BimodalPredictor,
+    BranchRunResult,
     CombiningPredictor,
     CounterTable,
     GsharePredictor,
@@ -153,8 +154,56 @@ def test_perfect_predictor_never_mispredicts():
     assert result.mispredicted == {}
 
 
-def test_runner_empty_trace():
+def test_runner_empty_trace_denominators_raise():
+    """A trace with no conditional branches has no defined accuracy or
+    branch fraction: both raise an actionable ReproError instead of
+    dividing by zero or inventing a value."""
+    from repro.errors import ReproError
     result = run_branch_predictor(TraceBuilder().build())
     assert result.conditional == 0
-    assert result.accuracy == 1.0
+    with pytest.raises(ReproError, match="no.*conditional branches"):
+        result.accuracy
+    with pytest.raises(ReproError, match="trace.*is empty"):
+        result.cond_branch_fraction
+
+
+def test_runner_zero_branch_trace_denominators_raise():
+    """Non-empty trace, zero conditional branches: accuracy still
+    raises, but the branch fraction is well-defined (0.0)."""
+    from repro.errors import ReproError
+    builder = TraceBuilder()
+    builder.alu(0, dest=2, src1=1, imm=True)
+    builder.alu(0, dest=3, src1=2, imm=True)
+    result = run_branch_predictor(builder.build())
+    assert result.conditional == 0
+    assert result.trace_length == 2
+    with pytest.raises(ReproError):
+        result.accuracy
     assert result.cond_branch_fraction == 0.0
+
+
+def test_run_result_payload_round_trip():
+    """BranchRunResult -> payload -> BranchRunResult is lossless,
+    including the per-PC histograms the branchflow cross-check reads."""
+    result = run_branch_predictor(_loop_trace(60), per_pc=True)
+    clone = BranchRunResult.from_payload(result.to_payload())
+    assert clone.mispredicted == result.mispredicted
+    assert list(clone.mispredicted) == list(result.mispredicted)
+    for field in ("conditional", "correct", "trace_length",
+                  "confident", "confident_correct"):
+        assert getattr(clone, field) == getattr(result, field), field
+    assert set(clone.per_pc) == set(result.per_pc)
+    for pc, stat in result.per_pc.items():
+        other = clone.per_pc[pc]
+        for field in stat.__slots__:
+            assert getattr(other, field) == getattr(stat, field), \
+                (hex(pc), field)
+    assert clone.accuracy == result.accuracy
+
+
+def test_run_result_payload_without_per_pc():
+    result = run_branch_predictor(_loop_trace(10))
+    assert result.per_pc is None
+    clone = BranchRunResult.from_payload(result.to_payload())
+    assert clone.per_pc is None
+    assert clone.correct == result.correct

@@ -81,7 +81,8 @@ def test_result_round_trip_preserves_derived_measures(cache):
     assert loaded.config_name == result.config_name
     assert loaded.loads.counts == result.loads.counts
     assert loaded.loads.fractions() == result.loads.fractions()
-    assert loaded.branch.accuracy == result.branch.accuracy
+    assert (loaded.branch.correct, loaded.branch.conditional) \
+        == (result.branch.correct, result.branch.conditional)
     assert loaded.branch.mispredicted == result.branch.mispredicted
     collapse, original = loaded.collapse, result.collapse
     assert collapse.events == original.events

@@ -54,6 +54,19 @@ def test_simulate_paper_config(capsys):
     assert "loads" in output
 
 
+def test_simulate_config_j_threads_branch_plan(capsys):
+    """`simulate --config J` must derive the workload's branch plan:
+    vortex is the registered kernel whose plan is non-empty."""
+    code, output = run_cli(capsys, "simulate", "vortex",
+                           "--config", "J", "--width", "8",
+                           "--scale", "0.05", "--sanitize")
+    assert code == 0
+    assert "exit branches:" in output
+    assert "resolved at address-generation time" in output
+    planned = int(output.split("exit branches:")[1].split()[0])
+    assert planned > 0
+
+
 def test_simulate_custom_flags(capsys):
     code, output = run_cli(capsys, "simulate", "eqntott",
                            "--collapse", "--load-spec", "ideal",
@@ -249,6 +262,34 @@ def test_lint_recur_check(capsys):
     assert "recur-check li: ok" in output
     assert "static floor" in output
     assert ">= dataflow" in output and ">= simulated" in output
+
+
+def test_lint_list_passes(capsys):
+    code, output = run_cli(capsys, "lint", "--list")
+    assert code == 0
+    assert "registered lint passes" in output
+    for name in ("dataflow", "collapse-bound", "addr-class", "valueflow",
+                 "recurrence", "branchflow", "memdep", "dae"):
+        assert name in output
+    assert "--branch --branch-check" in output
+
+
+def test_lint_branch_table(capsys):
+    code, output = run_cli(capsys, "lint", "eqntott", "--scale", "0.03",
+                           "--branch")
+    assert code == 0
+    assert "branch predictability classes" in output
+    assert "trip" in output and "exit" in output
+    assert "branch classes:" in output
+
+
+def test_lint_branch_check(capsys):
+    code, output = run_cli(capsys, "lint", "eqntott", "--scale", "0.03",
+                           "--branch-check")
+    assert code == 0
+    assert "branch-check eqntott: ok" in output
+    assert "ceiling" in output and ">= accuracy" in output
+    assert "plan branches" in output
 
 
 def test_lint_recur_on_plain_file(capsys, tmp_path):

@@ -106,8 +106,8 @@ def test_repr_mentions_name():
 # ----------------------------------------------------------------------
 
 def test_registry_letters_in_order():
-    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G", "H", "I")
-    assert [spec.letter for spec in config_specs()] == list("ABCDEFGHI")
+    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G", "H", "I", "J")
+    assert [spec.letter for spec in config_specs()] == list("ABCDEFGHIJ")
 
 
 def test_config_f_realistic_memory():
@@ -180,7 +180,7 @@ def test_register_rejects_bad_letters_and_knobs():
         register_config("A", "duplicate")
     with pytest.raises(ConfigError):
         register_config("X", "bad knob", issue_width=4)
-    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G", "H", "I")
+    assert config_letters() == ("A", "B", "C", "D", "E", "F", "G", "H", "I", "J")
 
 
 def test_register_validates_knob_values_eagerly():

@@ -92,6 +92,16 @@ def test_value_study(capsys):
     assert "FAILED" not in output
 
 
+def test_branch_study(capsys):
+    run_example("branch_study.py")
+    output = capsys.readouterr().out
+    assert "branch predictability" in output
+    assert "stride" in output and "chase" in output
+    assert "resolved at address-generation time" in output
+    assert "cross-check: ok" in output
+    assert "FAILED" not in output
+
+
 def test_future_predictors(capsys):
     run_example("future_predictors.py", "0.02", "8")
     output = capsys.readouterr().out
@@ -117,5 +127,6 @@ def test_every_example_is_covered(name):
                "pointer_chasing_study.py", "custom_workload.py",
                "collapse_anatomy.py", "extensions_study.py",
                "future_predictors.py", "address_classes.py",
-               "decoupled_study.py", "value_study.py"}
+               "decoupled_study.py", "value_study.py",
+               "branch_study.py"}
     assert name in covered

@@ -48,13 +48,14 @@ def test_figure2_ordering(runner):
     realizable prediction mechanism)."""
     exhibit = figure2(runner)
     assert exhibit.headers == ["width", "A", "B", "C", "D", "E", "F",
-                               "G", "H", "I"]
+                               "G", "H", "I", "J"]
     for row in exhibit.rows:
-        _, a, b, c, d, e, f, g, h, i = row
+        _, a, b, c, d, e, f, g, h, i, j = row
         assert e >= d >= c >= b * 0.999 >= a * 0.98
         assert a > 1.0           # superscalar base beats scalar
         assert f <= a * 1.02    # MDPT costs IPC (2% anomaly tolerance)
         assert g <= c * 1.02
+        assert j >= i * 0.999   # waived fences never slow the machine
         assert h >= a * 0.999   # decoupling never hurts the mean
         assert i <= e * 1.001   # real value speculation under ideal E
 
@@ -69,17 +70,18 @@ def test_figure2_ipc_grows_with_width(runner):
 def test_figure3_speedups(runner):
     exhibit = figure3(runner)
     assert exhibit.headers == ["width", "B", "C", "D", "E", "F", "G",
-                               "H", "I"]
+                               "H", "I", "J"]
     for row in exhibit.rows:
-        _, b, c, d, e, f, g, h, i = row
+        _, b, c, d, e, f, g, h, i, j = row
         assert 0.99 <= b < e
         assert c > 1.05          # collapsing clearly helps
         assert d >= c * 0.999    # adding speculation never hurts means
-        assert e == max(b, c, d, e, f, g, h, i)
+        assert e == max(b, c, d, e, f, g, h, i, j)
         assert f <= 1.02        # realistic memory can't beat perfect
         assert 1.0 < g <= c * 1.02
         assert h >= 0.999       # decoupling never slows the machine
         assert 0 < i <= e       # replay penalties keep I under ideal E
+        assert i * 0.999 <= j <= e  # load-driven fences only help
 
 
 def test_figure3_collapsing_dominates(runner):

@@ -64,11 +64,23 @@ def test_depth_kernels_identical(name, scale):
 def test_predictor_sweeps_identical(name, scale):
     trace = cached_trace(name, scale)
 
-    scalar, vector = _both(lambda: run_branch_predictor(trace))
-    assert scalar.mispredicted == vector.mispredicted
-    assert list(scalar.mispredicted) == list(vector.mispredicted)
-    assert (scalar.conditional, scalar.correct, scalar.trace_length) \
-        == (vector.conditional, vector.correct, vector.trace_length)
+    for kind in ("combining", "bimodal", "local"):
+        scalar, vector = _both(
+            lambda: run_branch_predictor(trace, predictor=kind,
+                                         per_pc=True))
+        assert scalar.mispredicted == vector.mispredicted, kind
+        assert list(scalar.mispredicted) == list(vector.mispredicted), \
+            kind
+        for field in ("conditional", "correct", "trace_length",
+                      "confident", "confident_correct"):
+            assert getattr(scalar, field) == getattr(vector, field), \
+                (kind, field)
+        assert list(scalar.per_pc) == list(vector.per_pc), kind
+        for pc, stat in scalar.per_pc.items():
+            other = vector.per_pc[pc]
+            for field in stat.__slots__:
+                assert getattr(stat, field) == getattr(other, field), \
+                    (kind, hex(pc), field)
 
     scalar, vector = _both(
         lambda: run_address_predictor(trace, per_pc=True))
@@ -146,6 +158,28 @@ def test_value_spec_cells_identical(name):
     vspec = scalar.get("value_spec")
     assert vspec is not None
     assert vspec["replays"] == vspec["squashes"]
+
+
+@pytest.mark.parametrize("name", [workload.name for workload in ALL])
+def test_branch_spec_cells_identical(name):
+    """Configuration J threads a lint-derived branch plan into the
+    scheduler on top of config I's value-speculation pass; the full
+    result payload — cycles, exit-branch waive counts, squash stats —
+    must not depend on the active kernel."""
+    from repro.core.config import paper_config
+    from repro.workloads import cached_branch_plan
+    trace = cached_trace(name, 0.03)
+    config = paper_config("J", 8)
+    plan = cached_branch_plan(name, 0.03)
+    scalar, vector = _both(
+        lambda: simulate_trace(trace, config,
+                               branch_plan=plan).to_payload())
+    assert scalar == vector
+    bspec = scalar.get("branch_spec")
+    assert bspec is not None
+    if not plan.resolves:
+        # An empty plan keeps the mechanism armed but idle.
+        assert bspec["exit_branches"] == 0
 
 
 @pytest.mark.parametrize("name", [workload.name for workload in ALL])

@@ -186,6 +186,92 @@ def test_claim_strength_chain():
     assert not class_leq(CLASS_AFFINE, CLASS_STRIDE)
 
 
+# ---------------------------------------------------------------------
+# branch-predictability class lattice (repro.lint.branchflow)
+#
+# Same contract as the valueflow lattice above: every merge in the
+# branch classification goes through branch_class_join, so its
+# soundness rests on the join being the real LUB of branch_class_leq —
+# merging control paths may only weaken a predictability claim.
+
+from repro.lint.branchflow import (     # noqa: E402 (grouped section)
+    ALL_BRANCH_CLASSES,
+    CLASS_EXIT,
+    CLASS_TRIP,
+    CLASS_UNKNOWN as BRANCH_UNKNOWN,
+    branch_class_join,
+    branch_class_leq,
+)
+
+branch_classes = st.sampled_from(ALL_BRANCH_CLASSES)
+
+
+@given(branch_classes, branch_classes)
+def test_branch_join_commutative_and_upper(a, b):
+    j = branch_class_join(a, b)
+    assert j == branch_class_join(b, a)
+    assert branch_class_leq(a, j) and branch_class_leq(b, j)
+
+
+@given(branch_classes, branch_classes, branch_classes)
+def test_branch_join_associative(a, b, c):
+    assert branch_class_join(branch_class_join(a, b), c) \
+        == branch_class_join(a, branch_class_join(b, c))
+
+
+@given(branch_classes)
+def test_branch_join_idempotent_and_top(a):
+    assert branch_class_join(a, a) == a
+    assert branch_class_join(a, BRANCH_UNKNOWN) == BRANCH_UNKNOWN
+    assert branch_class_leq(a, BRANCH_UNKNOWN)
+
+
+@given(branch_classes, branch_classes, branch_classes)
+def test_branch_leq_is_a_partial_order(a, b, c):
+    assert branch_class_leq(a, a)
+    if branch_class_leq(a, b) and branch_class_leq(b, a):
+        assert a == b
+    if branch_class_leq(a, b) and branch_class_leq(b, c):
+        assert branch_class_leq(a, c)
+
+
+@given(branch_classes, branch_classes)
+def test_branch_join_is_least_upper_bound(a, b):
+    """branch_class_join(a, b) is below every common upper bound — the
+    brute-force LUB definition over the full (tiny) lattice."""
+    j = branch_class_join(a, b)
+    for u in ALL_BRANCH_CLASSES:
+        if branch_class_leq(a, u) and branch_class_leq(b, u):
+            assert branch_class_leq(j, u), (a, b, u)
+
+
+@given(branch_classes, branch_classes)
+def test_branch_join_matches_brute_force_lub(a, b):
+    """The lattice is a tree, so the set of common upper bounds has a
+    unique minimum; branch_class_join must return exactly it."""
+    uppers = [u for u in ALL_BRANCH_CLASSES
+              if branch_class_leq(a, u) and branch_class_leq(b, u)]
+    minimal = [u for u in uppers
+               if not any(branch_class_leq(v, u) and v != u
+                          for v in uppers)]
+    assert minimal == [branch_class_join(a, b)], (a, b, uppers)
+
+
+@given(branch_classes, branch_classes, branch_classes)
+def test_branch_join_monotone(a, b, c):
+    """a ⊑ b implies a ⊔ c ⊑ b ⊔ c: refining one input can never
+    coarsen the merge."""
+    if branch_class_leq(a, b):
+        assert branch_class_leq(branch_class_join(a, c),
+                                branch_class_join(b, c))
+
+
+def test_branch_claim_strength_chain():
+    assert branch_class_leq(CLASS_TRIP, CLASS_EXIT)
+    assert branch_class_leq(CLASS_EXIT, BRANCH_UNKNOWN)
+    assert not branch_class_leq(CLASS_EXIT, CLASS_TRIP)
+
+
 def brute_force_period(imm, start):
     """Cycle length of the value iteration ``v -> v ^ imm``."""
     seen = {start: 0}

@@ -81,12 +81,12 @@ def test_vortex_uses_call_and_ret():
 
 def test_vortex_reference_counters_are_consistent():
     from repro.workloads.vortex import _initial_store, _reference
-    hits, value_sum, inserts, deletes, _ = _reference(300)
+    hits, value_sum, inserts, deletes, _, _ = _reference(300)
     assert hits > 0 and inserts > 0 and deletes > 0
     assert sum(len(chain) for chain in _initial_store()) == 40
     # The op stream is a deterministic sequence, so every counter of a
     # prefix run bounds the longer run's.
-    h2, _, i2, d2, _ = _reference(600)
+    h2, _, i2, d2, _, _ = _reference(600)
     assert h2 >= hits and i2 >= inserts and d2 >= deletes
 
 
